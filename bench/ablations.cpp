@@ -1,0 +1,150 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//
+//   A1 node padding    — paper layout (one node per cache line) vs packed
+//                        16-byte nodes: false sharing between neighbours.
+//   A2 dequeue spin-wait — §4.1.1's bounded wait before an empty
+//                        transition: without it, racing pairs burn extra
+//                        F&A rounds (ring_retry / empty_transition rates).
+//   A3 starvation limit — how aggressively enqueuers close a ring:
+//                        segment turnover vs wasted retries.
+//   A4 MS-queue backoff — CAS retry storm with and without backoff.
+#include <cstdio>
+
+#include "bench_framework/report.hpp"
+#include "util/table.hpp"
+
+using namespace lcrq;
+using namespace lcrq::bench;
+
+namespace {
+
+struct Measured {
+    double mops;
+    double retries_per_op;
+    double empty_transitions_per_op;
+    double cas_fails_per_op;
+    std::uint64_t closes;
+    std::uint64_t appends;
+};
+
+Measured measure(const std::string& queue, const QueueOptions& qopt,
+                 const RunConfig& cfg) {
+    stats::reset_all();
+    const RunResult r = run_pairs(queue, qopt, cfg);
+    const double ops = static_cast<double>(r.events.operations());
+    Measured m;
+    m.mops = r.mean_ops_per_sec() / 1e6;
+    m.retries_per_op =
+        ops > 0 ? static_cast<double>(r.events[stats::Event::kRingRetry]) / ops : 0;
+    m.empty_transitions_per_op =
+        ops > 0 ? static_cast<double>(r.events[stats::Event::kEmptyTransition]) / ops : 0;
+    m.cas_fails_per_op =
+        ops > 0 ? static_cast<double>(r.events[stats::Event::kCasFailure] +
+                                      r.events[stats::Event::kCas2Failure]) /
+                      ops
+                : 0;
+    m.closes = r.events[stats::Event::kCrqClose];
+    m.appends = r.events[stats::Event::kCrqAppend];
+    return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("ablations", "Ablations: padding, spin-wait, starvation limit, backoff");
+    RunConfig defaults;
+    defaults.threads = 8;
+    defaults.pairs_per_thread = 10'000;
+    defaults.runs = 2;
+    defaults.placement = topo::Placement::kUnpinned;
+    add_common_flags(cli, defaults);
+    if (!cli.parse(argc, argv)) return cli.failed() ? 1 : 0;
+
+    const RunConfig cfg = config_from_cli(cli);
+    QueueOptions qopt = queue_options_from_cli(cli);
+
+    print_banner("Ablations", "design-choice isolations (not in the paper's figures)",
+                 cfg);
+
+    {
+        std::printf("--- A1: ring-node padding (lcrq vs lcrq-compact) ---\n");
+        Table t({"layout", "Mops/s", "cas2 fails/op"});
+        const Measured padded = measure("lcrq", qopt, cfg);
+        const Measured compact = measure("lcrq-compact", qopt, cfg);
+        t.row().cell("padded (64B/node)").cell(padded.mops, 3).cell(
+            padded.cas_fails_per_op, 3);
+        t.row().cell("compact (16B/node)").cell(compact.mops, 3).cell(
+            compact.cas_fails_per_op, 3);
+        t.print();
+        std::printf("\n");
+    }
+
+    {
+        std::printf("--- A2: dequeue spin-wait before empty transition ---\n");
+        // Tiny rings so enqueuers and dequeuers actually collide on cells;
+        // with large rings on a lightly loaded host the contested paths
+        // never fire and every setting measures identically.
+        Table t({"spin-wait iters", "Mops/s", "ring retries/op", "empty transitions/op"});
+        for (unsigned iters : {0u, 16u, 64u, 256u, 1024u}) {
+            QueueOptions o = qopt;
+            o.ring_order = 3;
+            o.spin_wait_iters = iters;
+            const Measured m = measure("lcrq", o, cfg);
+            t.row()
+                .cell(static_cast<std::uint64_t>(iters))
+                .cell(m.mops, 3)
+                .cell(m.retries_per_op, 3)
+                .cell(m.empty_transitions_per_op, 3);
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    {
+        std::printf("--- A3: enqueue starvation limit (ring closes/appends) ---\n");
+        // Prefill keeps head and tail in different rings, so the tail ring
+        // genuinely fills and closes once per R enqueues — the segment-
+        // turnover regime the starvation limit interacts with.
+        RunConfig grow_cfg = cfg;
+        grow_cfg.prefill = 1'000;
+        Table t({"starvation limit", "Mops/s", "closes", "segments appended",
+                 "retries/op"});
+        for (unsigned limit : {1u, 4u, 16u, 64u, 1024u}) {
+            QueueOptions o = qopt;
+            o.starvation_limit = limit;
+            o.ring_order = 2;  // R = 4: fills fast
+            const Measured m = measure("lcrq", o, grow_cfg);
+            t.row()
+                .cell(static_cast<std::uint64_t>(limit))
+                .cell(m.mops, 3)
+                .cell(m.closes)
+                .cell(m.appends)
+                .cell(m.retries_per_op, 3);
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    {
+        std::printf("--- A4: hazard-pointer protection cost (paper footnote 6) ---\n");
+        Table t({"variant", "Mops/s"});
+        const Measured with = measure("lcrq", qopt, cfg);
+        const Measured without = measure("lcrq-noreclaim", qopt, cfg);
+        t.row().cell("lcrq (hazard pointers)").cell(with.mops, 3);
+        t.row().cell("lcrq-noreclaim (plain loads)").cell(without.mops, 3);
+        t.print();
+        std::printf("\n");
+    }
+
+    {
+        std::printf("--- A5: MS queue CAS backoff ---\n");
+        Table t({"variant", "Mops/s", "CAS fails/op"});
+        const Measured with = measure("ms", qopt, cfg);
+        const Measured without = measure("ms-nobackoff", qopt, cfg);
+        t.row().cell("ms (backoff)").cell(with.mops, 3).cell(with.cas_fails_per_op, 3);
+        t.row().cell("ms-nobackoff").cell(without.mops, 3).cell(without.cas_fails_per_op,
+                                                                3);
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Extension (not a paper figure): the fig-6 queue line-up under the two
+// application-shaped workloads the harness supports beyond the paper's
+// enqueue/dequeue pairs —
+//   prodcons: half the threads produce, half consume (queue depth grows
+//             into real occupancy instead of hovering near empty);
+//   mix:      every thread flips a coin per operation (bursty depth,
+//             plenty of EMPTY dequeues).
+// Useful for checking that a ranking measured under "pairs" does not
+// invert for the shapes applications actually run.
+#include <cstdio>
+
+#include "bench_framework/report.hpp"
+#include "util/table.hpp"
+
+using namespace lcrq;
+using namespace lcrq::bench;
+
+int main(int argc, char** argv) {
+    Cli cli("ext_workloads",
+            "Extension: queue throughput under producer/consumer and mixed workloads");
+    RunConfig defaults;
+    defaults.threads = 8;
+    defaults.pairs_per_thread = 10'000;
+    defaults.runs = 2;
+    defaults.placement = topo::Placement::kUnpinned;
+    add_common_flags(cli, defaults);
+    cli.flag("queues", "", "comma names override (default: paper fig 6 set)");
+    if (!cli.parse(argc, argv)) return cli.failed() ? 1 : 0;
+
+    RunConfig cfg = config_from_cli(cli);
+    const QueueOptions qopt = queue_options_from_cli(cli);
+    std::vector<std::string> queues = paper_single_processor_set();
+    if (const auto names = split_names(cli.get("queues")); !names.empty()) {
+        queues = names;
+    }
+
+    print_banner("Extension: workload shapes beyond the paper's pairs",
+                 "(no paper counterpart) rankings should be stable across shapes; "
+                 "prodcons adds real queue depth, mix adds EMPTY traffic",
+                 cfg);
+
+    Table table({"queue", "pairs Mops/s", "prodcons Mops/s", "mix Mops/s",
+                 "mix empty-deq %"});
+    for (const auto& name : queues) {
+        auto row = table.row();
+        row.cell(name);
+        for (Workload w : {Workload::kPairs, Workload::kProducerConsumer,
+                           Workload::kMix5050}) {
+            RunConfig c = cfg;
+            c.workload = w;
+            const RunResult r = run_pairs(name, qopt, c);
+            row.cell(r.mean_ops_per_sec() / 1e6, 3);
+            if (w == Workload::kMix5050) {
+                row.cell(r.total_ops == 0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(r.empty_dequeues) /
+                                   static_cast<double>(r.total_ops),
+                         1);
+            }
+        }
+    }
+    if (cli.get_bool("csv")) {
+        table.print_csv();
+    } else {
+        table.print();
+    }
+    return 0;
+}

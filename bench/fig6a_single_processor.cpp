@@ -1,0 +1,62 @@
+// Figure 6a — enqueue/dequeue throughput on a single processor, queue
+// initially empty: LCRQ, LCRQ-CAS, CC-Queue, FC queue, MS queue across
+// thread counts confined to one cluster.
+//
+// Paper shape: LCRQ wins beyond 2 threads — 1.5x over CC-Queue, >2.5x
+// over FC, >3x over MS from 10 threads on; LCRQ-CAS tracks LCRQ to ~4
+// threads then melts down; MS peaks at 2 threads and degrades.
+#include <cstdio>
+
+#include "bench_framework/report.hpp"
+#include "util/table.hpp"
+
+using namespace lcrq;
+using namespace lcrq::bench;
+
+int main(int argc, char** argv) {
+    Cli cli("fig6a_single_processor",
+            "Figure 6a: single-processor throughput, queue initially empty");
+    RunConfig defaults;
+    defaults.threads = 0;  // unused; sweep below
+    defaults.pairs_per_thread = 20'000;
+    defaults.runs = 3;
+    defaults.placement = topo::Placement::kSingleCluster;
+    add_common_flags(cli, defaults);
+    cli.flag("thread-list", "1,2,4,8,12,16,20", "thread counts to sweep (paper: 1..20)");
+    cli.flag("queues", "", "comma names override (default: the paper's fig 6 set)");
+    if (!cli.parse(argc, argv)) return cli.failed() ? 1 : 0;
+
+    RunConfig cfg = config_from_cli(cli);
+    const QueueOptions qopt = queue_options_from_cli(cli);
+
+    std::vector<std::string> queues = paper_single_processor_set();
+    if (const auto names = split_names(cli.get("queues")); !names.empty()) {
+        queues = names;
+    }
+
+    cfg.threads = 1;
+    print_banner("Figure 6a: single-processor throughput (queue initially empty)",
+                 "LCRQ > CC-Queue (1.5x) > FC (2.5x) > MS (3x) from 10 threads on;"
+                 " LCRQ-CAS melts down past 4 threads",
+                 cfg);
+
+    std::vector<std::string> header = {"threads"};
+    for (const auto& q : queues) header.push_back(q + " Mops/s");
+    Table table(header);
+
+    for (std::int64_t threads : cli.get_int_list("thread-list")) {
+        cfg.threads = static_cast<int>(threads);
+        auto row = table.row();
+        row.cell(threads);
+        for (const auto& name : queues) {
+            const RunResult r = run_pairs(name, qopt, cfg);
+            row.cell(r.mean_ops_per_sec() / 1e6, 3);
+        }
+    }
+    if (cli.get_bool("csv")) {
+        table.print_csv();
+    } else {
+        table.print();
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 9 — LCRQ throughput vs ring size R, with the combining queues'
+// (ring-size-independent) throughput as reference lines.
+//
+// Paper shape: throughput rises with R and saturates once a ring holds
+// all running threads.  Single processor: LCRQ beats CC-Queue from
+// R >= 32 (1.33x) up to ~1.5x.  Four processors: crossover at R = 128,
+// ~1.5x from R = 1024; LCRQ+H needs R = 512 to match H-Queue and
+// R = 4096 to beat it by 1.5x.
+#include <cstdio>
+
+#include "bench_framework/report.hpp"
+#include "util/table.hpp"
+
+using namespace lcrq;
+using namespace lcrq::bench;
+
+int main(int argc, char** argv) {
+    Cli cli("fig9_ring_size", "Figure 9: LCRQ throughput vs CRQ ring size");
+    RunConfig defaults;
+    defaults.threads = 8;
+    defaults.pairs_per_thread = 10'000;
+    defaults.runs = 3;
+    defaults.placement = topo::Placement::kSingleCluster;
+    add_common_flags(cli, defaults);
+    cli.flag("orders", "3,5,7,9,11,13,15,17",
+             "log2 ring sizes to sweep (paper: 8..2^17)");
+    cli.flag("mode", "both", "both | single (one cluster) | multi (round-robin, 4 clusters)");
+    if (!cli.parse(argc, argv)) return cli.failed() ? 1 : 0;
+
+    const RunConfig base_cfg = config_from_cli(cli);
+    const std::string mode = cli.get("mode");
+
+    for (const bool multi : {false, true}) {
+        if ((mode == "single" && multi) || (mode == "multi" && !multi)) continue;
+    RunConfig cfg = base_cfg;
+    QueueOptions qopt = queue_options_from_cli(cli);
+    if (multi) {
+        cfg.placement = topo::Placement::kRoundRobin;
+        if (cfg.clusters == 0) cfg.clusters = 4;
+    }
+
+    print_banner(multi ? "Figure 9 (four clusters): throughput vs ring size"
+                       : "Figure 9 (single cluster): throughput vs ring size",
+                 "LCRQ saturates once one ring holds all threads; crossover vs "
+                 "CC-Queue at R>=32 (single) / R>=128 (multi)",
+                 cfg);
+
+    // Reference lines: the combining queues do not depend on R.
+    const RunResult cc = run_pairs("cc-queue", qopt, cfg);
+    std::printf("reference: cc-queue  %s\n", throughput_cell(cc).c_str());
+    RunResult h;
+    if (multi) {
+        h = run_pairs("h-queue", qopt, cfg);
+        std::printf("reference: h-queue   %s\n", throughput_cell(h).c_str());
+    }
+    std::printf("\n");
+
+    std::vector<std::string> header = {"R", "lcrq Mops/s", "vs cc-queue"};
+    if (multi) {
+        header.push_back("lcrq+h Mops/s");
+        header.push_back("vs h-queue");
+    }
+    Table table(header);
+    for (std::int64_t order : cli.get_int_list("orders")) {
+        qopt.ring_order = static_cast<unsigned>(order);
+        auto row = table.row();
+        row.cell(std::int64_t{1} << order);
+        const RunResult r = run_pairs("lcrq", qopt, cfg);
+        row.cell(r.mean_ops_per_sec() / 1e6, 3);
+        row.cell(r.mean_ops_per_sec() / (cc.mean_ops_per_sec() > 0
+                                             ? cc.mean_ops_per_sec()
+                                             : 1),
+                 2);
+        if (multi) {
+            const RunResult rh = run_pairs("lcrq+h", qopt, cfg);
+            row.cell(rh.mean_ops_per_sec() / 1e6, 3);
+            row.cell(rh.mean_ops_per_sec() /
+                         (h.mean_ops_per_sec() > 0 ? h.mean_ops_per_sec() : 1),
+                     2);
+        }
+    }
+    if (cli.get_bool("csv")) {
+        table.print_csv();
+    } else {
+        table.print();
+    }
+    std::printf("\n");
+    }
+    return 0;
+}

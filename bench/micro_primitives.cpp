@@ -1,0 +1,77 @@
+// google-benchmark microbenchmarks of the §3 primitive layer: per-
+// operation cost of each atomic primitive, uncontended and contended
+// (benchmark threads hammer one shared word — Figure 1 in micro form).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "arch/cacheline.hpp"
+#include "arch/faa_policy.hpp"
+#include "arch/primitives.hpp"
+
+namespace {
+
+using namespace lcrq;
+
+alignas(kDestructivePairSize) std::atomic<std::uint64_t> g_word{0};
+alignas(16) U128 g_pair{0, 0};
+
+void BM_FetchAndAdd(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fetch_and_add(g_word, std::uint64_t{1}));
+    }
+}
+BENCHMARK(BM_FetchAndAdd)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_CasLoopIncrement(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(CasLoopFaa::fetch_add(g_word, 1));
+    }
+}
+BENCHMARK(BM_CasLoopIncrement)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_Swap(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(swap(g_word, std::uint64_t{42}));
+    }
+}
+BENCHMARK(BM_Swap)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_UncontendedCas(benchmark::State& state) {
+    // Single thread: every CAS succeeds — the baseline cost of the
+    // instruction itself.
+    std::atomic<std::uint64_t> local{0};
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cas(local, v, v + 1));
+        ++v;
+    }
+}
+BENCHMARK(BM_UncontendedCas);
+
+void BM_Cas2(benchmark::State& state) {
+    if (state.thread_index() == 0) g_pair = {0, 0};
+    for (auto _ : state) {
+        U128 expected = load2(&g_pair);
+        cas2(&g_pair, expected, {expected.lo + 1, expected.hi + 1});
+    }
+}
+BENCHMARK(BM_Cas2)->ThreadRange(1, 4)->UseRealTime();
+
+void BM_TestAndSetBit(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(test_and_set_bit(g_word, 7));
+    }
+}
+BENCHMARK(BM_TestAndSetBit);
+
+void BM_UncontendedLoad(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(g_word.load(std::memory_order_seq_cst));
+    }
+}
+BENCHMARK(BM_UncontendedLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

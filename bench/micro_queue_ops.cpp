@@ -1,0 +1,59 @@
+// google-benchmark microbenchmarks of single queue operations: the cost
+// of an enqueue/dequeue pair on every registered queue, single-threaded
+// (pure instruction cost, no contention) and multi-threaded.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "registry/queue_registry.hpp"
+
+namespace {
+
+using namespace lcrq;
+
+QueueOptions micro_options() {
+    QueueOptions opt;
+    opt.ring_order = 10;
+    opt.bounded_order = 16;
+    opt.clusters = 2;
+    return opt;
+}
+
+// Queues are created eagerly in main (before any benchmark thread runs)
+// and shared across thread counts, so the benchmark body is race-free.
+std::vector<std::unique_ptr<AnyQueue>>& instances() {
+    static std::vector<std::unique_ptr<AnyQueue>> qs;
+    return qs;
+}
+
+void BM_EnqueueDequeuePair(benchmark::State& state, AnyQueue* q) {
+    for (auto _ : state) {
+        q->enqueue(1);
+        benchmark::DoNotOptimize(q->dequeue());
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void register_all() {
+    for (const auto& info : queue_catalog()) {
+        // Deferred-reclamation baselines would grow without bound under
+        // google-benchmark's open-ended iteration counts.
+        if (info.deferred_reclamation) continue;
+        instances().push_back(make_queue(info.name, micro_options()));
+        AnyQueue* q = instances().back().get();
+        auto* b = benchmark::RegisterBenchmark(
+            ("BM_Pair/" + info.name).c_str(),
+            [q](benchmark::State& s) { BM_EnqueueDequeuePair(s, q); });
+        b->ThreadRange(1, 4)->UseRealTime();
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    register_all();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

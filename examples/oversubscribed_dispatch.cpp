@@ -1,0 +1,98 @@
+// Oversubscription resilience (the paper's Figure 6b as an application).
+//
+// A task-dispatch system where the number of worker threads is set by the
+// workload (e.g. one per client session), not by the core count — the
+// situation where blocking queues fall over: if the thread holding the
+// lock (or acting as combiner) is scheduled out, everyone stalls.
+//
+// The same dispatch loop runs over (a) LCRQ and (b) a two-lock queue with
+// conventional non-yielding spinlocks, with 8x more threads than hardware
+// threads.  The printout compares sustained dispatch throughput.
+//
+// Build & run:  ./build/examples/oversubscribed_dispatch [tasks-per-worker]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "registry/queue_registry.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using namespace lcrq;
+
+double run_dispatch(AnyQueue& queue, int workers, std::uint64_t tasks_per_worker) {
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::atomic<std::uint64_t> executed{0};
+    const std::uint64_t total = static_cast<std::uint64_t>(workers) * tasks_per_worker;
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+            ready.fetch_add(1);
+            while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+            // Each worker both submits tasks (enqueue) and executes
+            // whatever is pending (dequeue) — a classic shared run-queue.
+            std::uint64_t sink = 0;
+            for (std::uint64_t i = 0; i < tasks_per_worker; ++i) {
+                queue.enqueue((static_cast<value_t>(w) << 32) | i);
+                if (auto task = queue.dequeue()) {
+                    // "Execute": ~40 ns of computation, so the run is long
+                    // enough for the scheduler to preempt operations
+                    // mid-flight (the effect being demonstrated).
+                    std::uint64_t x = *task | 1;
+                    for (int k = 0; k < 16; ++k) x = x * 2654435761u + k;
+                    sink ^= x;
+                    executed.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+            volatile std::uint64_t keep = sink;
+            (void)keep;
+        });
+    }
+    while (ready.load() < workers) std::this_thread::yield();
+    const auto t0 = now_ns();
+    go.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+    while (queue.dequeue().has_value()) executed.fetch_add(1);
+    const auto t1 = now_ns();
+
+    if (executed.load() != total) {
+        std::fprintf(stderr, "BUG: %llu of %llu tasks executed\n",
+                     static_cast<unsigned long long>(executed.load()),
+                     static_cast<unsigned long long>(total));
+        std::exit(1);
+    }
+    return static_cast<double>(total) / (static_cast<double>(t1 - t0) / 1e9) / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::uint64_t tasks =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 300'000;
+    const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    const int workers = 8 * hw;
+
+    std::printf("dispatching with %d workers on %d hardware thread(s) "
+                "(8x oversubscribed), %llu tasks/worker\n\n",
+                workers, hw, static_cast<unsigned long long>(tasks));
+
+    for (const char* name : {"lcrq", "ms", "two-lock-blind", "cc-queue"}) {
+        auto q = make_queue(name);
+        const double mops = run_dispatch(*q, workers, tasks);
+        std::printf("%-16s %8.2f Mtasks/s\n", name, mops);
+    }
+
+    std::printf("\nThe nonblocking queues (lcrq, ms) sustain their throughput no matter\n"
+                "how long the run is.  two-lock-blind stalls a full scheduler quantum\n"
+                "whenever the OS deschedules a lock holder, so its throughput *decays\n"
+                "with run length* — try a larger tasks-per-worker argument, or see\n"
+                "bench/fig6b_oversubscribed for the systematic sweep.\n");
+    return 0;
+}

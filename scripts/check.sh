@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local verification: plain build + tests, ASan tests, TSan tests on
+# the std::atomic-only modules (TSan cannot see through the cmpxchg16b
+# inline asm in the CRQ fast path, so CRQ/LCRQ suites are exercised under
+# ASan and the checker-based tests instead).
+set -euo pipefail
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+cmake -B build-asan -G Ninja -DLCRQ_ENABLE_ASAN=ON -DLCRQ_ENABLE_BENCH=OFF -DLCRQ_ENABLE_EXAMPLES=OFF
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure
+
+cmake -B build-tsan -G Ninja -DLCRQ_ENABLE_TSAN=ON -DLCRQ_ENABLE_BENCH=OFF -DLCRQ_ENABLE_EXAMPLES=OFF
+cmake --build build-tsan
+ctest --test-dir build-tsan --output-on-failure -R \
+  "test_hazard|test_ms_queue|test_two_lock|test_combining|test_kp_queue|test_counters|test_thread_id|test_bounded_and_infinite"

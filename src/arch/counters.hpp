@@ -1,0 +1,165 @@
+// Per-thread software event counters.
+//
+// Tables 2 and 3 of the paper report per-operation atomic-instruction
+// counts and CAS-failure behaviour; Figure 1's right axis reports CASes per
+// successful increment.  Hardware PMUs are usually unavailable inside
+// containers, so the library maintains these counts in software: each
+// thread increments a plain thread-local block (no atomics, no sharing) and
+// registered blocks are summed on demand.
+//
+// The counters are always compiled in.  The increment is a single add to a
+// thread-local cache line the owning thread already has exclusive, which is
+// noise next to the contended lock-prefixed instruction being counted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "arch/cacheline.hpp"
+
+namespace lcrq::stats {
+
+enum class Event : unsigned {
+    kFaa = 0,          // hardware fetch-and-add executed
+    kSwap,             // hardware swap executed
+    kTas,              // hardware test-and-set executed
+    kCas,              // single-word CAS attempts
+    kCasFailure,       // single-word CAS attempts that failed
+    kCas2,             // double-width CAS attempts
+    kCas2Failure,      // double-width CAS attempts that failed
+    kEnqueue,          // completed enqueue operations
+    kDequeue,          // completed dequeue operations (incl. EMPTY)
+    kDequeueEmpty,     // dequeues that returned EMPTY
+    kCrqClose,         // CRQ transitions to CLOSED
+    kCrqAppend,        // new CRQ appended to the LCRQ list
+    kRingRetry,        // extra F&A rounds inside one CRQ operation
+    kSpinWait,         // dequeue spin-waits for a matching enqueuer
+    kUnsafeTransition, // dequeuer marked a node unsafe
+    kEmptyTransition,  // dequeuer performed an empty transition
+    kCombine,          // operations a combiner applied on behalf of others
+    kCombinerAcquire,  // times a thread became combiner
+    kClusterHandoff,   // hierarchical cluster ownership changes
+    kCount
+};
+
+inline constexpr std::size_t kEventCount = static_cast<std::size_t>(Event::kCount);
+
+constexpr std::string_view event_name(Event e) noexcept {
+    constexpr std::array<std::string_view, kEventCount> names = {
+        "faa",           "swap",         "tas",
+        "cas",           "cas_failure",  "cas2",
+        "cas2_failure",  "enqueue",      "dequeue",
+        "dequeue_empty", "crq_close",    "crq_append",
+        "ring_retry",    "spin_wait",    "unsafe_transition",
+        "empty_transition", "combine",   "combiner_acquire",
+        "cluster_handoff",
+    };
+    return names[static_cast<std::size_t>(e)];
+}
+
+struct Snapshot {
+    std::array<std::uint64_t, kEventCount> counts{};
+
+    std::uint64_t operator[](Event e) const noexcept {
+        return counts[static_cast<std::size_t>(e)];
+    }
+    std::uint64_t& operator[](Event e) noexcept {
+        return counts[static_cast<std::size_t>(e)];
+    }
+    Snapshot& operator+=(const Snapshot& o) noexcept {
+        for (std::size_t i = 0; i < kEventCount; ++i) counts[i] += o.counts[i];
+        return *this;
+    }
+    Snapshot operator-(const Snapshot& o) const noexcept {
+        Snapshot r;
+        for (std::size_t i = 0; i < kEventCount; ++i) r.counts[i] = counts[i] - o.counts[i];
+        return r;
+    }
+    std::uint64_t operations() const noexcept {
+        return (*this)[Event::kEnqueue] + (*this)[Event::kDequeue];
+    }
+    // "Atomic operations" row of Tables 2/3: every lock-prefixed RMW.
+    std::uint64_t atomic_ops() const noexcept {
+        return (*this)[Event::kFaa] + (*this)[Event::kSwap] + (*this)[Event::kTas] +
+               (*this)[Event::kCas] + (*this)[Event::kCas2];
+    }
+};
+
+namespace detail {
+
+struct alignas(kCacheLineSize) ThreadBlock {
+    std::array<std::uint64_t, kEventCount> counts{};
+};
+
+class Registry {
+  public:
+    static Registry& instance() {
+        static Registry r;
+        return r;
+    }
+
+    void attach(ThreadBlock* b) {
+        std::lock_guard lock(mu_);
+        blocks_.push_back(b);
+    }
+
+    // Blocks of exited threads must survive until read: they are moved to
+    // the graveyard rather than freed.
+    void detach(ThreadBlock* b) {
+        std::lock_guard lock(mu_);
+        graveyard_ += sum_one(*b);
+        std::erase(blocks_, b);
+    }
+
+    Snapshot total() const {
+        std::lock_guard lock(mu_);
+        Snapshot s = graveyard_;
+        for (const ThreadBlock* b : blocks_) s += sum_one(*b);
+        return s;
+    }
+
+    void reset() {
+        std::lock_guard lock(mu_);
+        graveyard_ = Snapshot{};
+        for (ThreadBlock* b : blocks_) b->counts.fill(0);
+    }
+
+  private:
+    static Snapshot sum_one(const ThreadBlock& b) {
+        Snapshot s;
+        s.counts = b.counts;
+        return s;
+    }
+
+    mutable std::mutex mu_;
+    std::vector<ThreadBlock*> blocks_;
+    Snapshot graveyard_;
+};
+
+struct ThreadHandle {
+    ThreadBlock block;
+    ThreadHandle() { Registry::instance().attach(&block); }
+    ~ThreadHandle() { Registry::instance().detach(&block); }
+};
+
+inline ThreadBlock& local_block() {
+    thread_local ThreadHandle handle;
+    return handle.block;
+}
+
+}  // namespace detail
+
+inline void count(Event e, std::uint64_t n = 1) noexcept {
+    detail::local_block().counts[static_cast<std::size_t>(e)] += n;
+}
+
+// Sum over all threads that ever counted (including exited ones).
+inline Snapshot global_snapshot() { return detail::Registry::instance().total(); }
+
+// Zero all counters.  Only call while no instrumented code is running.
+inline void reset_all() { detail::Registry::instance().reset(); }
+
+}  // namespace lcrq::stats

@@ -1,0 +1,90 @@
+// Fetch-and-add policies.
+//
+// The paper's central claim is that a *hardware* F&A — which always
+// succeeds — behaves qualitatively differently under contention from the
+// same operation emulated with a CAS loop, which wastes work on every
+// failure.  LCRQ-CAS (Section 5) is LCRQ with exactly this substitution.
+// Both strategies live here as interchangeable policies; the queue code is
+// written once against the policy interface.
+//
+// Counted wrappers feed the software-event counters used by the Table 2/3
+// and Figure 1 benches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "arch/counters.hpp"
+#include "arch/primitives.hpp"
+
+namespace lcrq {
+
+// Hardware `lock xadd`.  One globally ordered instruction, always succeeds.
+struct HardwareFaa {
+    static constexpr const char* name() noexcept { return "faa"; }
+
+    static std::uint64_t fetch_add(std::atomic<std::uint64_t>& a, std::uint64_t x) noexcept {
+        stats::count(stats::Event::kFaa);
+        return fetch_and_add(a, x);
+    }
+};
+
+// F&A emulated with a CAS loop: read, compute, CAS, retry on failure.
+// Under contention the failure rate grows with the number of participants
+// and each failure re-fetches the line in shared state before retrying in
+// exclusive state — the "CAS futile work" effect the paper isolates.
+struct CasLoopFaa {
+    static constexpr const char* name() noexcept { return "cas-loop"; }
+
+    static std::uint64_t fetch_add(std::atomic<std::uint64_t>& a, std::uint64_t x) noexcept {
+        std::uint64_t observed = a.load(std::memory_order_seq_cst);
+        for (;;) {
+            stats::count(stats::Event::kCas);
+            if (a.compare_exchange_strong(observed, observed + x, std::memory_order_seq_cst,
+                                          std::memory_order_seq_cst)) {
+                return observed;
+            }
+            // compare_exchange_strong refreshed `observed` on failure.
+            stats::count(stats::Event::kCasFailure);
+        }
+    }
+};
+
+// Counted single-word primitives used by algorithm code on shared hot words
+// (the uncounted raw forms in primitives.hpp stay available for cold paths).
+inline bool counted_cas(std::atomic<std::uint64_t>& a, std::uint64_t expected,
+                        std::uint64_t desired) noexcept {
+    stats::count(stats::Event::kCas);
+    const bool ok = cas(a, expected, desired);
+    if (!ok) stats::count(stats::Event::kCasFailure);
+    return ok;
+}
+
+template <typename T>
+inline bool counted_cas_ptr(std::atomic<T*>& a, T* expected, T* desired) noexcept {
+    stats::count(stats::Event::kCas);
+    const bool ok = a.compare_exchange_strong(expected, desired, std::memory_order_seq_cst,
+                                              std::memory_order_seq_cst);
+    if (!ok) stats::count(stats::Event::kCasFailure);
+    return ok;
+}
+
+inline bool counted_cas2(U128* target, U128& expected, U128 desired) noexcept {
+    stats::count(stats::Event::kCas2);
+    const bool ok = cas2(target, expected, desired);
+    if (!ok) stats::count(stats::Event::kCas2Failure);
+    return ok;
+}
+
+template <typename T>
+inline T counted_swap(std::atomic<T>& a, T x) noexcept {
+    stats::count(stats::Event::kSwap);
+    return swap(a, x);
+}
+
+inline bool counted_test_and_set_bit(std::atomic<std::uint64_t>& a, unsigned bit) noexcept {
+    stats::count(stats::Event::kTas);
+    return test_and_set_bit(a, bit);
+}
+
+}  // namespace lcrq

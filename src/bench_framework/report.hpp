@@ -1,0 +1,35 @@
+// Report helpers shared by the per-figure bench binaries: a standard
+// banner (experiment id, host topology, config, paper expectation),
+// uniform row formatting, and the common CLI flags — so every bench binary
+// reads alike and bench_output.txt reads like the paper's evaluation
+// section.
+#pragma once
+
+#include <string>
+
+#include "bench_framework/runner.hpp"
+#include "util/cli.hpp"
+
+namespace lcrq::bench {
+
+// Register the flags every throughput bench shares (--threads, --pairs,
+// --runs, --placement, --clusters, --delay-ns, --prefill, --ring-order,
+// --csv).  Defaults are laptop-scale; pass paper-scale values to
+// reproduce the original setup.
+void add_common_flags(Cli& cli, const RunConfig& defaults, unsigned ring_order = 12);
+
+// Extract a RunConfig / QueueOptions from parsed common flags.
+RunConfig config_from_cli(const Cli& cli);
+QueueOptions queue_options_from_cli(const Cli& cli);
+
+// Print the experiment banner: what the paper shows, what this host is,
+// and how the run is configured.
+void print_banner(const std::string& experiment_id, const std::string& paper_claim,
+                  const RunConfig& cfg);
+
+std::string throughput_cell(const RunResult& r);  // "12.34 Mops/s (cv 2%)"
+
+// "a,b,c" -> {"a","b","c"}; empty string -> empty vector.
+std::vector<std::string> split_names(const std::string& csv);
+
+}  // namespace lcrq::bench

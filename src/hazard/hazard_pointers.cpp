@@ -1,0 +1,119 @@
+#include "hazard/hazard_pointers.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lcrq {
+
+[[noreturn]] void alloc_failure() {
+    std::fputs("lcrq: allocation failure\n", stderr);
+    std::abort();
+}
+
+HazardDomain::~HazardDomain() {
+    // No concurrent users may remain.  Free everything still retired, then
+    // the record list itself.
+    detail::HazardRecord* rec = head_.load(std::memory_order_acquire);
+    while (rec != nullptr) {
+        for (const auto& obj : rec->retired) obj.deleter(obj.ptr);
+        detail::HazardRecord* next = rec->next.load(std::memory_order_relaxed);
+        delete rec;
+        rec = next;
+    }
+}
+
+detail::HazardRecord* HazardDomain::acquire_record() {
+    // Reuse an inactive record if one exists.
+    for (detail::HazardRecord* rec = head_.load(std::memory_order_acquire); rec != nullptr;
+         rec = rec->next.load(std::memory_order_acquire)) {
+        if (!rec->active.load(std::memory_order_relaxed)) {
+            bool expected = false;
+            if (rec->active.compare_exchange_strong(expected, true,
+                                                    std::memory_order_acq_rel)) {
+                return rec;
+            }
+        }
+    }
+    // Otherwise push a fresh one.
+    auto* rec = check_alloc(new (std::nothrow) detail::HazardRecord);
+    rec->active.store(true, std::memory_order_relaxed);
+    detail::HazardRecord* old_head = head_.load(std::memory_order_relaxed);
+    do {
+        rec->next.store(old_head, std::memory_order_relaxed);
+    } while (!head_.compare_exchange_weak(old_head, rec, std::memory_order_release,
+                                          std::memory_order_relaxed));
+    record_estimate_.fetch_add(1, std::memory_order_relaxed);
+    return rec;
+}
+
+void HazardDomain::release_record(detail::HazardRecord* rec) {
+    for (auto& s : rec->slots) s.store(nullptr, std::memory_order_release);
+    // Best-effort drain so an idle record does not pin memory; leftovers
+    // stay with the record for the next owner or the destructor.
+    drain(rec->retired);
+    rec->active.store(false, std::memory_order_release);
+}
+
+void HazardDomain::collect_protected(std::vector<void*>& out) const {
+    out.clear();
+    for (detail::HazardRecord* rec = head_.load(std::memory_order_acquire); rec != nullptr;
+         rec = rec->next.load(std::memory_order_acquire)) {
+        for (const auto& s : rec->slots) {
+            void* p = s.load(std::memory_order_acquire);
+            if (p != nullptr) out.push_back(p);
+        }
+    }
+    std::sort(out.begin(), out.end());
+}
+
+void HazardDomain::drain(std::vector<detail::RetiredObject>& objs) {
+    if (objs.empty()) return;
+    std::vector<void*> protected_ptrs;
+    collect_protected(protected_ptrs);
+    std::size_t kept = 0;
+    for (auto& obj : objs) {
+        if (std::binary_search(protected_ptrs.begin(), protected_ptrs.end(), obj.ptr)) {
+            objs[kept++] = obj;
+        } else {
+            obj.deleter(obj.ptr);
+        }
+    }
+    objs.resize(kept);
+}
+
+void HazardThread::retire_impl(void* ptr, void (*deleter)(void*)) {
+    record_->retired.push_back({ptr, deleter});
+    const std::size_t threshold =
+        2 * detail::HazardRecord::kSlots *
+            std::max<std::size_t>(domain_->record_estimate_.load(std::memory_order_relaxed),
+                                  1) +
+        8;
+    if (record_->retired.size() >= threshold) {
+        domain_->drain(record_->retired);
+    }
+}
+
+void HazardDomain::scan() {
+    // Quiescent-only (see header): touching every record's retired list is
+    // safe because no owner is concurrently retiring.
+    for (detail::HazardRecord* rec = head_.load(std::memory_order_acquire); rec != nullptr;
+         rec = rec->next.load(std::memory_order_acquire)) {
+        drain(rec->retired);
+    }
+}
+
+std::size_t HazardDomain::retired_count() const {
+    std::size_t n = 0;
+    for (detail::HazardRecord* rec = head_.load(std::memory_order_acquire); rec != nullptr;
+         rec = rec->next.load(std::memory_order_acquire)) {
+        n += rec->retired.size();
+    }
+    return n;
+}
+
+std::size_t HazardDomain::record_count() const {
+    return record_estimate_.load(std::memory_order_relaxed);
+}
+
+}  // namespace lcrq

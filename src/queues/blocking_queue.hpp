@@ -1,0 +1,113 @@
+// Blocking facade over the nonblocking queues.
+//
+// The algorithms in this library are *total*: dequeue returns EMPTY
+// instead of waiting (that totality is what the paper's progress claims
+// are about).  Applications that want consumers to sleep when idle layer
+// this facade on top: a C++20 atomic eventcount turns the nonblocking
+// dequeue into wait_dequeue() without touching the queue's hot path —
+// consumers only enter the futex slow path after the fast dequeue misses,
+// and producers only notify when a waiter is registered.
+//
+// Semantics:
+//   enqueue(x)        — as the base queue; wakes sleeping consumers.
+//   wait_dequeue()    — blocks until an item arrives or close() is called;
+//                       nullopt only after close() with the queue drained.
+//   try_dequeue()     — the base queue's nonblocking dequeue.
+//   close()           — wakes everyone; further enqueues are dropped
+//                       (returns false), pending items remain dequeueable.
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "arch/backoff.hpp"
+#include "queues/lcrq.hpp"
+#include "queues/queue_common.hpp"
+
+namespace lcrq {
+
+template <typename Base = LcrqQueue>
+class BlockingQueue {
+  public:
+    explicit BlockingQueue(const QueueOptions& opt = {}) : base_(opt) {}
+
+    BlockingQueue(const BlockingQueue&) = delete;
+    BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+    bool enqueue(value_t x) {
+        if (closed_.load(std::memory_order_acquire)) return false;
+        base_.enqueue(x);
+        // Epoch bump + notify: only consumers that already registered as
+        // waiters (bumped waiters_) cost producers a futex syscall.
+        epoch_.fetch_add(1, std::memory_order_release);
+        if (waiters_.load(std::memory_order_seq_cst) != 0) {
+            epoch_.notify_all();
+        }
+        return true;
+    }
+
+    std::optional<value_t> try_dequeue() { return base_.dequeue(); }
+
+    std::optional<value_t> wait_dequeue() {
+        SpinWait spinner;
+        for (;;) {
+            // Fast path: a handful of optimistic attempts before sleeping.
+            for (int i = 0; i < 64; ++i) {
+                if (auto v = base_.dequeue()) return v;
+                if (closed_.load(std::memory_order_acquire)) {
+                    // Drain-then-report-closed: one more attempt races any
+                    // enqueue that completed before the close.
+                    return base_.dequeue();
+                }
+                spinner.spin();
+            }
+            // Slow path: register, re-check (an enqueue may have landed
+            // between the miss and the registration), then sleep on the
+            // epoch word until a producer bumps it.
+            const std::uint64_t observed = epoch_.load(std::memory_order_acquire);
+            waiters_.fetch_add(1, std::memory_order_seq_cst);
+            if (auto v = base_.dequeue()) {
+                waiters_.fetch_sub(1, std::memory_order_seq_cst);
+                return v;
+            }
+            if (!closed_.load(std::memory_order_acquire)) {
+                epoch_.wait(observed, std::memory_order_acquire);
+            }
+            waiters_.fetch_sub(1, std::memory_order_seq_cst);
+            spinner.reset();
+        }
+    }
+
+    // wait_dequeue with a deadline: returns nullopt on timeout (or closed
+    // and drained).  std::atomic::wait has no timed form, so this variant
+    // never enters the futex — it spins politely (pause → sched_yield)
+    // until the deadline.  Use wait_dequeue() for indefinite waits (those
+    // do sleep) and this only where a bounded wait is the point.
+    std::optional<value_t> wait_dequeue_for(std::uint64_t timeout_ns) {
+        const std::uint64_t deadline = now_ns() + timeout_ns;
+        SpinWait spinner;
+        for (;;) {
+            if (auto v = base_.dequeue()) return v;
+            if (closed_.load(std::memory_order_acquire)) return base_.dequeue();
+            if (now_ns() >= deadline) return std::nullopt;
+            spinner.spin();
+        }
+    }
+
+    void close() {
+        closed_.store(true, std::memory_order_seq_cst);
+        epoch_.fetch_add(1, std::memory_order_seq_cst);
+        epoch_.notify_all();
+    }
+
+    bool closed() const noexcept { return closed_.load(std::memory_order_acquire); }
+    Base& base() noexcept { return base_; }
+
+  private:
+    Base base_;
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> epoch_{0};
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> waiters_{0};
+    alignas(kCacheLineSize) std::atomic<bool> closed_{false};
+};
+
+}  // namespace lcrq

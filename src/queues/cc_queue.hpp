@@ -1,0 +1,56 @@
+// CC-Queue (Fatourou & Kallimanis, PPoPP 2012).
+//
+// The Michael–Scott two-lock queue with each lock replaced by a CC-Synch
+// combining instance: one instance serializes all enqueues, the other all
+// dequeues, and the two ends run in parallel.  The best-performing
+// software-combining queue in the literature the paper compares against.
+#pragma once
+
+#include <optional>
+
+#include "queues/ccsynch.hpp"
+#include "queues/two_lock_queue.hpp"
+
+namespace lcrq {
+
+class CcQueue {
+  public:
+    static constexpr const char* kName = "cc-queue";
+
+    explicit CcQueue(const QueueOptions& opt = {})
+        : enq_side_(list_, &apply_enqueue, opt.combiner_bound),
+          deq_side_(list_, &apply_dequeue, opt.combiner_bound) {}
+
+    void enqueue(value_t x) {
+        CombineRequest req;
+        req.is_enqueue = true;
+        req.arg = x;
+        enq_side_.apply(req);
+    }
+
+    std::optional<value_t> dequeue() {
+        CombineRequest req;
+        req.is_enqueue = false;
+        const value_t v = deq_side_.apply(req);
+        if (v == kBottom) return std::nullopt;
+        return v;
+    }
+
+  private:
+    static void apply_enqueue(MsTwoLockList& list, CombineRequest& req) {
+        list.push_tail(req.arg);
+        req.result = kBottom;
+    }
+    static void apply_dequeue(MsTwoLockList& list, CombineRequest& req) {
+        const auto v = list.pop_head();
+        req.result = v.has_value() ? *v : kBottom;
+    }
+
+    using ApplyFn = void (*)(MsTwoLockList&, CombineRequest&);
+
+    MsTwoLockList list_;
+    CcSynch<MsTwoLockList, ApplyFn> enq_side_;
+    CcSynch<MsTwoLockList, ApplyFn> deq_side_;
+};
+
+}  // namespace lcrq

@@ -1,0 +1,120 @@
+// CC-Synch — the blocking combining construction of Fatourou & Kallimanis
+// (PPoPP 2012), used by CC-Queue and (per cluster) by H-Synch.
+//
+// Threads announce operations by SWAPping a fresh node onto a shared list
+// tail; the thread whose node sits at the list head becomes *combiner* and
+// applies up to `bound` announced operations to the protected object while
+// the others spin locally on their node's wait flag.  Synchronization cost
+// is one SWAP per operation, but the work itself is serialized through the
+// combiner — the design point the paper contrasts LCRQ against.
+//
+// The per-thread "spare node" trick from the original algorithm avoids
+// allocation on the hot path: after publishing node A and receiving node B
+// from the SWAP, the thread keeps B as its spare for the next operation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "arch/backoff.hpp"
+#include "arch/cacheline.hpp"
+#include "arch/faa_policy.hpp"
+#include "arch/thread_id.hpp"
+#include "queues/queue_common.hpp"
+
+namespace lcrq {
+
+// Request: an operation on the protected object.  For the queue use-cases
+// Op encodes enqueue(value) / dequeue(); Apply is supplied by the owner.
+struct CombineRequest {
+    value_t arg = kBottom;
+    value_t result = kBottom;
+    bool is_enqueue = false;
+};
+
+template <typename Object, typename ApplyFn>
+class CcSynch {
+  public:
+    // `bound`: max operations one combiner applies before handing off.
+    CcSynch(Object& object, ApplyFn apply, unsigned bound)
+        : object_(object), apply_(apply), bound_(bound == 0 ? 1 : bound) {
+        auto* dummy = check_alloc(new (std::nothrow) Node);
+        dummy->wait.store(false, std::memory_order_relaxed);
+        dummy->completed.store(false, std::memory_order_relaxed);
+        tail_->store(dummy, std::memory_order_relaxed);
+        for (auto& s : spare_) s = nullptr;
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+
+    ~CcSynch() {
+        delete tail_->load(std::memory_order_relaxed);
+        for (auto* s : spare_) delete s;
+    }
+
+    CcSynch(const CcSynch&) = delete;
+    CcSynch& operator=(const CcSynch&) = delete;
+
+    // Execute `req` under the construction; returns the operation result.
+    value_t apply(CombineRequest req) {
+        Node* next = my_spare();
+        next->next.store(nullptr, std::memory_order_relaxed);
+        next->wait.store(true, std::memory_order_relaxed);
+        next->completed.store(false, std::memory_order_relaxed);
+
+        Node* cur = counted_swap(*tail_, next);
+        cur->req = req;
+        cur->next.store(next, std::memory_order_release);
+        spare_[thread_index()] = cur;
+
+        // Local spin: our cache line, flipped either by our combiner
+        // (completed) or by the previous combiner handing us the role.
+        SpinWait waiter;
+        while (cur->wait.load(std::memory_order_acquire)) waiter.spin();
+
+        if (cur->completed.load(std::memory_order_acquire)) {
+            return cur->req.result;
+        }
+
+        // We are the combiner.
+        stats::count(stats::Event::kCombinerAcquire);
+        Node* node = cur;
+        unsigned combined = 0;
+        while (true) {
+            Node* follower = node->next.load(std::memory_order_acquire);
+            if (follower == nullptr || combined >= bound_) break;
+            apply_(object_, node->req);
+            ++combined;
+            node->completed.store(true, std::memory_order_relaxed);
+            node->wait.store(false, std::memory_order_release);
+            node = follower;
+        }
+        stats::count(stats::Event::kCombine, combined);
+        // Hand the combiner role to the first waiter we did not serve (or
+        // release the dummy if the list drained).
+        node->wait.store(false, std::memory_order_release);
+        return cur->req.result;
+    }
+
+  private:
+    struct alignas(kCacheLineSize) Node {
+        CombineRequest req{};
+        std::atomic<bool> wait{false};
+        std::atomic<bool> completed{false};
+        std::atomic<Node*> next{nullptr};
+    };
+
+    Node* my_spare() {
+        auto& slot = spare_[thread_index()];
+        if (slot == nullptr) slot = check_alloc(new (std::nothrow) Node);
+        return slot;
+    }
+
+    Object& object_;
+    ApplyFn apply_;
+    const unsigned bound_;
+    CacheAligned<std::atomic<Node*>, kDestructivePairSize> tail_{nullptr};
+    Node* spare_[kMaxThreads];
+};
+
+}  // namespace lcrq

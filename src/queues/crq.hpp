@@ -1,0 +1,313 @@
+// CRQ — the Concurrent Ring Queue (paper §4.1, Figure 3).
+//
+// A bounded *tantrum queue*: a linearizable FIFO queue whose enqueue may
+// nondeterministically refuse and return CLOSED, after which every enqueue
+// returns CLOSED.  LCRQ (lcrq.hpp) links CRQs into an unbounded queue.
+//
+// State:
+//   head, tail : 64-bit monotone indices; index i addresses ring node
+//                i mod R.  tail's MSB is the CLOSED bit.
+//   ring node  : logically (safe bit, 63-bit index, 64-bit value), stored
+//                as two adjacent 64-bit words updated with CAS2
+//                (lock cmpxchg16b).  Node u starts as (1, u, ⊥).
+//
+// Operations obtain an index with one F&A on head or tail — the only
+// contended access in the common case — and then synchronize on the ring
+// node via CAS2 transitions:
+//   dequeue transition  (s, h, x) -> (s, h+R, ⊥)   deq_h removes x
+//   empty transition    (s, i, ⊥) -> (s, h+R, ⊥)   deq_h blocks enq_h..
+//   unsafe transition   (s, i, x) -> (0, i, x)     deq_h warns enq_h (i<h)
+//   enqueue transition  (s, i, ⊥) -> (1, t, x)     enq_t stores x, only if
+//                        i ≤ t and (s = 1 or head ≤ t)
+//
+// The F&A policy parameter selects hardware `lock xadd` (LCRQ) or a CAS
+// loop (LCRQ-CAS, §5); the Padded parameter controls one-node-per-cache-
+// line layout (paper default) vs packed 16-byte nodes (ablation).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+
+#include "arch/backoff.hpp"
+#include "arch/cacheline.hpp"
+#include "arch/faa_policy.hpp"
+#include "arch/primitives.hpp"
+#include "queues/queue_common.hpp"
+
+namespace lcrq {
+
+namespace detail {
+
+// A ring node's two words.  `si` packs (safe << 63) | idx; `val` is the
+// value or ⊥.  The pair overlays a U128 for CAS2: si is the low word.
+struct alignas(16) CrqCell {
+    std::atomic<std::uint64_t> si;
+    std::atomic<std::uint64_t> val;
+
+    U128* as_u128() noexcept { return reinterpret_cast<U128*>(this); }
+};
+static_assert(sizeof(CrqCell) == 16);
+static_assert(offsetof(CrqCell, si) == 0 && offsetof(CrqCell, val) == 8);
+
+template <bool Padded>
+struct CrqNode;
+
+template <>
+struct alignas(kCacheLineSize) CrqNode<true> {
+    CrqCell cell;
+
+  private:
+    char pad_[kCacheLineSize - sizeof(CrqCell)];
+};
+
+template <>
+struct alignas(16) CrqNode<false> {
+    CrqCell cell;
+};
+
+static_assert(sizeof(CrqNode<true>) == kCacheLineSize);
+static_assert(sizeof(CrqNode<false>) == 16);
+
+inline constexpr std::uint64_t kMsb = std::uint64_t{1} << 63;
+inline constexpr std::uint64_t kIdxMask = kMsb - 1;
+
+constexpr std::uint64_t make_si(bool safe, std::uint64_t idx) noexcept {
+    return (safe ? kMsb : 0) | idx;
+}
+constexpr bool si_safe(std::uint64_t si) noexcept { return (si & kMsb) != 0; }
+constexpr std::uint64_t si_idx(std::uint64_t si) noexcept { return si & kIdxMask; }
+
+}  // namespace detail
+
+enum class EnqueueResult { kOk, kClosed };
+
+template <class Faa = HardwareFaa, bool Padded = true>
+class Crq {
+  public:
+    static constexpr const char* kName = "crq";
+    using Node = detail::CrqNode<Padded>;
+
+    // Construct an empty CRQ of 2^opt.ring_order nodes, optionally seeded
+    // with one item (LCRQ appends new CRQs "initialized to contain x").
+    explicit Crq(const QueueOptions& opt = {},
+                 std::optional<value_t> first = std::nullopt)
+        : size_(std::uint64_t{1} << opt.ring_order),
+          mask_(size_ - 1),
+          starvation_limit_(opt.starvation_limit == 0 ? 1 : opt.starvation_limit),
+          spin_wait_iters_(opt.spin_wait_iters) {
+        assert(opt.ring_order >= 1 && opt.ring_order < 63);
+        ring_ = check_alloc(aligned_array_alloc<Node>(size_));
+        for (std::uint64_t u = 0; u < size_; ++u) {
+            ring_[u].cell.si.store(detail::make_si(true, u), std::memory_order_relaxed);
+            ring_[u].cell.val.store(kBottom, std::memory_order_relaxed);
+        }
+        if (first.has_value()) {
+            assert(is_enqueueable(*first));
+            ring_[0].cell.val.store(*first, std::memory_order_relaxed);
+            tail_->store(1, std::memory_order_relaxed);
+        }
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+
+    ~Crq() { aligned_array_free(ring_); }
+
+    Crq(const Crq&) = delete;
+    Crq& operator=(const Crq&) = delete;
+
+    // Figure 3d.  Returns kClosed once the ring is closed (by this or any
+    // other enqueuer); never blocks.
+    EnqueueResult enqueue(value_t x) {
+        assert(is_enqueueable(x));
+        unsigned tries = 0;
+        for (;;) {
+            const std::uint64_t traw = Faa::fetch_add(*tail_, 1);
+            if ((traw & detail::kMsb) != 0) return EnqueueResult::kClosed;
+            const std::uint64_t t = traw;
+            detail::CrqCell& cell = ring_[t & mask_].cell;
+
+            const std::uint64_t val = cell.val.load(std::memory_order_seq_cst);
+            const std::uint64_t si = cell.si.load(std::memory_order_seq_cst);
+            if (val == kBottom && detail::si_idx(si) <= t &&
+                (detail::si_safe(si) ||
+                 head_->load(std::memory_order_seq_cst) <= t)) {
+                U128 expected{si, kBottom};
+                const U128 desired{detail::make_si(true, t), x};
+                if (counted_cas2(cell.as_u128(), expected, desired)) {
+                    return EnqueueResult::kOk;
+                }
+            }
+
+            // Give up if the ring looks full or we are starving (§4, fig 3d
+            // lines 97-101): close and let LCRQ append a fresh CRQ.
+            const std::uint64_t h = head_->load(std::memory_order_seq_cst);
+            if (static_cast<std::int64_t>(t - h) >= static_cast<std::int64_t>(size_) ||
+                ++tries >= starvation_limit_) {
+                close();
+                return EnqueueResult::kClosed;
+            }
+            stats::count(stats::Event::kRingRetry);
+        }
+    }
+
+    // Figure 3b, plus the §4.1.1 bounded wait for a matching in-flight
+    // enqueuer before an empty transition.
+    std::optional<value_t> dequeue() {
+        for (;;) {
+            const std::uint64_t h = Faa::fetch_add(*head_, 1);
+            detail::CrqCell& cell = ring_[h & mask_].cell;
+            unsigned spins = 0;
+
+            for (;;) {
+                const std::uint64_t val = cell.val.load(std::memory_order_seq_cst);
+                const std::uint64_t si = cell.si.load(std::memory_order_seq_cst);
+                const std::uint64_t idx = detail::si_idx(si);
+                const bool safe = detail::si_safe(si);
+                if (idx > h) break;  // overtaken: this index is spent
+
+                if (val != kBottom) {
+                    if (idx == h) {
+                        // Dequeue transition: remove val, advance the node
+                        // to the next lap.
+                        U128 expected{si, val};
+                        const U128 desired{detail::make_si(safe, h + size_), kBottom};
+                        if (counted_cas2(cell.as_u128(), expected, desired)) {
+                            return val;
+                        }
+                    } else {
+                        // Occupied by an older lap (idx < h): mark unsafe so
+                        // enq_h cannot store an item we will not be around
+                        // to dequeue.
+                        U128 expected{si, val};
+                        const U128 desired{detail::make_si(false, idx), val};
+                        if (counted_cas2(cell.as_u128(), expected, desired)) {
+                            stats::count(stats::Event::kUnsafeTransition);
+                            break;
+                        }
+                    }
+                } else {
+                    // Empty cell (idx ≤ h).  If the matching enqueuer is
+                    // already active (tail passed h), give it a moment
+                    // before poisoning the node — saves both operations a
+                    // round through the contended F&As (§4.1.1).
+                    if (spins < spin_wait_iters_) {
+                        const std::uint64_t traw =
+                            tail_->load(std::memory_order_seq_cst);
+                        if ((traw & detail::kIdxMask) > h) {
+                            ++spins;
+                            stats::count(stats::Event::kSpinWait);
+                            cpu_relax();
+                            continue;
+                        }
+                    }
+                    // Empty transition: advance the node a lap so no
+                    // operation with index ≤ h can use it.
+                    U128 expected{si, kBottom};
+                    const U128 desired{detail::make_si(safe, h + size_), kBottom};
+                    if (counted_cas2(cell.as_u128(), expected, desired)) {
+                        stats::count(stats::Event::kEmptyTransition);
+                        break;
+                    }
+                }
+                // A CAS2 failed: the node changed under us; re-read.
+            }
+
+            // No item obtained with index h; return EMPTY if the queue is.
+            const std::uint64_t traw = tail_->load(std::memory_order_seq_cst);
+            if ((traw & detail::kIdxMask) <= h + 1) {
+                fix_state();
+                return std::nullopt;
+            }
+            stats::count(stats::Event::kRingRetry);
+        }
+    }
+
+    // Close to further enqueues (sets tail's MSB; idempotent).
+    void close() noexcept {
+        counted_test_and_set_bit(*tail_, 63);
+        stats::count(stats::Event::kCrqClose);
+    }
+
+    bool closed() const noexcept {
+        return (tail_->load(std::memory_order_seq_cst) & detail::kMsb) != 0;
+    }
+
+    std::uint64_t head_index() const noexcept {
+        return head_->load(std::memory_order_seq_cst);
+    }
+    std::uint64_t tail_index() const noexcept {
+        return tail_->load(std::memory_order_seq_cst) & detail::kIdxMask;
+    }
+    std::uint64_t ring_size() const noexcept { return size_; }
+
+    // Instantaneous item-count estimate.  Under concurrency it is a
+    // snapshot of racing indices (never negative, may over-count by
+    // in-flight operations); clamped to the ring capacity because failed
+    // enqueue rounds bump tail without storing (a closed full ring reads
+    // exactly R).  For monitoring, not control flow — a queue this
+    // estimate calls empty may deliver an item.
+    std::uint64_t approx_size() const noexcept {
+        const std::uint64_t t = tail_index();
+        const std::uint64_t h = head_index();
+        const std::uint64_t n = t > h ? t - h : 0;
+        return n < size_ ? n : size_;
+    }
+
+    // Intrusive link and cluster tag used by Lcrq; unused standalone.
+    std::atomic<Crq*> next{nullptr};
+    std::atomic<int> cluster{0};
+
+    // Test peers: simulate a thread that performed its F&A and then died
+    // (was descheduled forever) before touching the ring — the adversarial
+    // schedule the nonblocking proofs are about.  A stolen enqueue ticket
+    // leaves a hole dequeuers must poison past; a stolen dequeue ticket
+    // strands exactly that one item.  Tests only.
+    std::uint64_t debug_take_enqueue_ticket() {
+        return Faa::fetch_add(*tail_, 1) & detail::kIdxMask;
+    }
+    std::uint64_t debug_take_dequeue_ticket() { return Faa::fetch_add(*head_, 1); }
+
+    // Test peer: fast-forward head/tail (and the ring nodes' indices) to a
+    // chosen epoch so index-arithmetic near the 63-bit limit is testable
+    // without 2^62 operations.  Only valid on a quiescent, empty queue.
+    void debug_jump_to_index(std::uint64_t base) {
+        assert(head_index() == tail_index());
+        assert((base & detail::kMsb) == 0);
+        const std::uint64_t aligned = base - (base % size_);
+        head_->store(aligned, std::memory_order_seq_cst);
+        tail_->store(aligned, std::memory_order_seq_cst);
+        for (std::uint64_t u = 0; u < size_; ++u) {
+            ring_[u].cell.si.store(detail::make_si(true, aligned + u),
+                                   std::memory_order_seq_cst);
+            ring_[u].cell.val.store(kBottom, std::memory_order_seq_cst);
+        }
+    }
+
+  private:
+    // A dequeuer overshooting an empty queue leaves head > tail; restore
+    // head ≤ tail so enqueuers do not burn an extra F&A round per wasted
+    // index (Figure 3c).  A closed CRQ takes no further enqueues, so there
+    // is nothing to fix (and the CAS below must not clobber the bit).
+    void fix_state() noexcept {
+        for (;;) {
+            const std::uint64_t traw = tail_->load(std::memory_order_seq_cst);
+            const std::uint64_t h = head_->load(std::memory_order_seq_cst);
+            if (tail_->load(std::memory_order_seq_cst) != traw) continue;
+            if ((traw & detail::kMsb) != 0) return;
+            if (h <= traw) return;
+            if (counted_cas(*tail_, traw, h)) return;
+        }
+    }
+
+    const std::uint64_t size_;
+    const std::uint64_t mask_;
+    const unsigned starvation_limit_;
+    const unsigned spin_wait_iters_;
+    Node* ring_;
+
+    CacheAligned<std::atomic<std::uint64_t>, kDestructivePairSize> head_{0};
+    CacheAligned<std::atomic<std::uint64_t>, kDestructivePairSize> tail_{0};
+};
+
+}  // namespace lcrq

@@ -1,0 +1,63 @@
+// Hierarchy-awareness policies (paper §4.1.1, "Hierarchy awareness").
+//
+// On multi-socket machines, batching operations so that stretches of
+// activity complete on one cluster amortizes cross-socket coherence
+// misses.  The CRQ carries a `cluster` tag; before operating, a thread on
+// another cluster waits up to a timeout for the tag to change, then CASes
+// the tag to its own cluster and proceeds *regardless* — unlike NUMA lock
+// cohorting, nobody is ever blocked, so the nonblocking guarantee stands.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "arch/backoff.hpp"
+#include "arch/counters.hpp"
+#include "topology/topology.hpp"
+#include "util/timing.hpp"
+
+namespace lcrq {
+
+// LCRQ: operations enter the CRQ immediately.
+struct NoHierarchy {
+    static constexpr const char* suffix() noexcept { return ""; }
+    explicit NoHierarchy(std::uint64_t /*timeout_ns*/ = 0) {}
+
+    template <typename CrqT>
+    void enter(CrqT& /*crq*/) const noexcept {}
+};
+
+// LCRQ+H: cluster handoff with bounded waiting (default timeout 100 µs).
+class ClusterHierarchy {
+  public:
+    static constexpr const char* suffix() noexcept { return "+h"; }
+    explicit ClusterHierarchy(std::uint64_t timeout_ns = 100'000)
+        : timeout_ns_(timeout_ns) {}
+
+    template <typename CrqT>
+    void enter(CrqT& crq) const noexcept {
+        const int mine = topo::current_cluster();
+        int cur = crq.cluster.load(std::memory_order_relaxed);
+        if (cur == mine) return;
+
+        const std::uint64_t deadline =
+            rdtsc() + static_cast<std::uint64_t>(static_cast<double>(timeout_ns_) *
+                                                 tsc_per_ns());
+        SpinWait waiter;
+        while (rdtsc() < deadline) {
+            cur = crq.cluster.load(std::memory_order_relaxed);
+            if (cur == mine) return;
+            waiter.spin();
+        }
+        // Timed out: claim the CRQ for our cluster and enter even if the
+        // CAS loses to another claimant (paper: "even if the CAS fails").
+        crq.cluster.compare_exchange_strong(cur, mine, std::memory_order_acq_rel,
+                                            std::memory_order_relaxed);
+        stats::count(stats::Event::kClusterHandoff);
+    }
+
+  private:
+    std::uint64_t timeout_ns_;
+};
+
+}  // namespace lcrq

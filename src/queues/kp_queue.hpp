@@ -1,0 +1,280 @@
+// Kogan–Petrank wait-free queue (PPoPP 2011) — the wait-free MS-queue
+// variant the paper's related work cites ([16]): every operation completes
+// in a bounded number of steps via a helping protocol.
+//
+// Mechanics: a thread announces its operation in a shared `state` array
+// with a monotonically increasing phase number, then helps every pending
+// operation with a phase at most its own.  Helpers race benignly: all the
+// racing CASes try to install the same value, so exactly one succeeds and
+// the rest observe completion.  The queue itself is the MS linked list; a
+// node records which thread enqueued it (enqTid) and which dequeue claimed
+// it (deqTid), so helpers can finish half-done operations.
+//
+// Reclamation: the original algorithm assumes garbage collection — helpers
+// may hold references to nodes and descriptors indefinitely, which hazard
+// pointers cannot express without restructuring the algorithm.  This
+// implementation keeps every allocation on an internal list and frees it
+// when the queue is destroyed.  That makes it a faithful *research
+// baseline* (correct, wait-free, linearizable) but not a long-running
+// production queue; the registry flags it accordingly and the default
+// benchmark sets exclude it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "arch/cacheline.hpp"
+#include "arch/faa_policy.hpp"
+#include "arch/thread_id.hpp"
+#include "queues/queue_common.hpp"
+
+namespace lcrq {
+
+class KpQueue {
+  public:
+    static constexpr const char* kName = "kp";
+    // The helping scan is O(max participating thread id); bounding the
+    // announce array keeps that scan short.  Thread ids are dense and
+    // recycled, so this is a *concurrency* bound, not a lifetime one.
+    static constexpr std::size_t kSlots = 64;
+
+    explicit KpQueue(const QueueOptions& = {}) {
+        Node* dummy = alloc_node(kBottom, -1);
+        head_->store(dummy, std::memory_order_relaxed);
+        tail_->store(dummy, std::memory_order_relaxed);
+        for (auto& s : state_) {
+            s.store(alloc_desc(-1, false, true, nullptr), std::memory_order_relaxed);
+        }
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+
+    ~KpQueue() {
+        // Free every allocation this queue ever made (see header).
+        Alloc* a = allocations_.load(std::memory_order_acquire);
+        while (a != nullptr) {
+            Alloc* next = a->next;
+            a->deleter(a);
+            a = next;
+        }
+    }
+
+    KpQueue(const KpQueue&) = delete;
+    KpQueue& operator=(const KpQueue&) = delete;
+
+    void enqueue(value_t x) {
+        const std::size_t tid = my_slot();
+        const std::int64_t phase = max_phase() + 1;
+        state_[tid].store(alloc_desc(phase, true, true, alloc_node(x, static_cast<int>(tid))),
+                          std::memory_order_seq_cst);
+        help(phase);
+        help_finish_enqueue();
+    }
+
+    std::optional<value_t> dequeue() {
+        const std::size_t tid = my_slot();
+        const std::int64_t phase = max_phase() + 1;
+        state_[tid].store(alloc_desc(phase, true, false, nullptr),
+                          std::memory_order_seq_cst);
+        help(phase);
+        help_finish_dequeue();
+        OpDesc* desc = state_[tid].load(std::memory_order_acquire);
+        Node* node = desc->node;
+        if (node == nullptr) return std::nullopt;  // linearized as EMPTY
+        // desc->node is the pre-dequeue head (dummy); the item is in its
+        // successor, whose next pointer is immutable once linked.
+        return node->next.load(std::memory_order_acquire)->value;
+    }
+
+  private:
+    struct Node;
+
+    // Allocation bookkeeping: an intrusive push-once list of everything
+    // allocated, drained at destruction.
+    struct Alloc {
+        Alloc* next = nullptr;
+        void (*deleter)(Alloc*) = nullptr;
+    };
+
+    struct Node : Alloc {
+        value_t value;
+        std::atomic<Node*> next{nullptr};
+        int enq_tid;
+        std::atomic<int> deq_tid{-1};
+    };
+
+    struct OpDesc : Alloc {
+        std::int64_t phase;
+        bool pending;
+        bool enqueue;
+        Node* node;
+    };
+
+    void track(Alloc* a, void (*deleter)(Alloc*)) {
+        a->deleter = deleter;
+        Alloc* old_head = allocations_.load(std::memory_order_relaxed);
+        do {
+            a->next = old_head;
+        } while (!allocations_.compare_exchange_weak(old_head, a, std::memory_order_release,
+                                                     std::memory_order_relaxed));
+    }
+
+    Node* alloc_node(value_t v, int enq_tid) {
+        auto* n = check_alloc(new (std::nothrow) Node);
+        n->value = v;
+        n->enq_tid = enq_tid;
+        track(n, [](Alloc* a) { delete static_cast<Node*>(a); });
+        return n;
+    }
+
+    OpDesc* alloc_desc(std::int64_t phase, bool pending, bool enqueue, Node* node) {
+        auto* d = check_alloc(new (std::nothrow) OpDesc);
+        d->phase = phase;
+        d->pending = pending;
+        d->enqueue = enqueue;
+        d->node = node;
+        track(d, [](Alloc* a) { delete static_cast<OpDesc*>(a); });
+        return d;
+    }
+
+    std::size_t my_slot() const { return thread_index() % kSlots; }
+
+    std::int64_t max_phase() const {
+        std::int64_t max = -1;
+        for (const auto& s : state_) {
+            const std::int64_t p = s.load(std::memory_order_acquire)->phase;
+            if (p > max) max = p;
+        }
+        return max;
+    }
+
+    bool still_pending(std::size_t tid, std::int64_t phase) const {
+        OpDesc* d = state_[tid].load(std::memory_order_acquire);
+        return d->pending && d->phase <= phase;
+    }
+
+    void help(std::int64_t phase) {
+        for (std::size_t i = 0; i < kSlots; ++i) {
+            OpDesc* desc = state_[i].load(std::memory_order_acquire);
+            if (desc->pending && desc->phase <= phase) {
+                if (desc->enqueue) {
+                    help_enqueue(i, phase);
+                } else {
+                    help_dequeue(i, phase);
+                }
+            }
+        }
+    }
+
+    void help_enqueue(std::size_t tid, std::int64_t phase) {
+        while (still_pending(tid, phase)) {
+            Node* last = tail_->load(std::memory_order_seq_cst);
+            Node* next = last->next.load(std::memory_order_seq_cst);
+            if (last != tail_->load(std::memory_order_seq_cst)) continue;
+            if (next == nullptr) {
+                if (!still_pending(tid, phase)) return;
+                Node* node = state_[tid].load(std::memory_order_acquire)->node;
+                Node* expected = nullptr;
+                stats::count(stats::Event::kCas);
+                if (last->next.compare_exchange_strong(expected, node,
+                                                       std::memory_order_seq_cst)) {
+                    help_finish_enqueue();
+                    return;
+                }
+                stats::count(stats::Event::kCasFailure);
+            } else {
+                help_finish_enqueue();  // tail lagging: finish that first
+            }
+        }
+    }
+
+    void help_finish_enqueue() {
+        Node* last = tail_->load(std::memory_order_seq_cst);
+        Node* next = last->next.load(std::memory_order_seq_cst);
+        if (next == nullptr) return;
+        const int tid = next->enq_tid;
+        if (tid >= 0) {
+            OpDesc* cur = state_[static_cast<std::size_t>(tid)].load(
+                std::memory_order_acquire);
+            if (last == tail_->load(std::memory_order_seq_cst) && cur->node == next) {
+                OpDesc* fresh = alloc_desc(cur->phase, false, true, next);
+                stats::count(stats::Event::kCas);
+                if (!state_[static_cast<std::size_t>(tid)].compare_exchange_strong(
+                        cur, fresh, std::memory_order_seq_cst)) {
+                    stats::count(stats::Event::kCasFailure);
+                }
+            }
+        }
+        counted_cas_ptr(*tail_, last, next);
+    }
+
+    void help_dequeue(std::size_t tid, std::int64_t phase) {
+        while (still_pending(tid, phase)) {
+            Node* first = head_->load(std::memory_order_seq_cst);
+            Node* last = tail_->load(std::memory_order_seq_cst);
+            Node* next = first->next.load(std::memory_order_seq_cst);
+            if (first != head_->load(std::memory_order_seq_cst)) continue;
+            if (first == last) {
+                if (next == nullptr) {
+                    // Queue looks empty: linearize the dequeue as EMPTY.
+                    OpDesc* cur = state_[tid].load(std::memory_order_acquire);
+                    if (last == tail_->load(std::memory_order_seq_cst) &&
+                        still_pending(tid, phase)) {
+                        OpDesc* fresh = alloc_desc(cur->phase, false, false, nullptr);
+                        stats::count(stats::Event::kCas);
+                        if (!state_[tid].compare_exchange_strong(
+                                cur, fresh, std::memory_order_seq_cst)) {
+                            stats::count(stats::Event::kCasFailure);
+                        }
+                    }
+                } else {
+                    help_finish_enqueue();  // tail lagging
+                }
+            } else {
+                OpDesc* cur = state_[tid].load(std::memory_order_acquire);
+                Node* node = cur->node;
+                if (!still_pending(tid, phase)) break;
+                if (first == head_->load(std::memory_order_seq_cst) && node != first) {
+                    // Record which head this dequeue is claiming.
+                    OpDesc* fresh = alloc_desc(cur->phase, true, false, first);
+                    stats::count(stats::Event::kCas);
+                    if (!state_[tid].compare_exchange_strong(cur, fresh,
+                                                             std::memory_order_seq_cst)) {
+                        stats::count(stats::Event::kCasFailure);
+                        continue;
+                    }
+                }
+                int expected = -1;
+                first->deq_tid.compare_exchange_strong(expected, static_cast<int>(tid),
+                                                       std::memory_order_seq_cst);
+                help_finish_dequeue();
+            }
+        }
+    }
+
+    void help_finish_dequeue() {
+        Node* first = head_->load(std::memory_order_seq_cst);
+        Node* next = first->next.load(std::memory_order_seq_cst);
+        const int tid = first->deq_tid.load(std::memory_order_seq_cst);
+        if (tid >= 0) {
+            OpDesc* cur =
+                state_[static_cast<std::size_t>(tid)].load(std::memory_order_acquire);
+            if (first == head_->load(std::memory_order_seq_cst) && next != nullptr) {
+                OpDesc* fresh = alloc_desc(cur->phase, false, false, cur->node);
+                stats::count(stats::Event::kCas);
+                if (!state_[static_cast<std::size_t>(tid)].compare_exchange_strong(
+                        cur, fresh, std::memory_order_seq_cst)) {
+                    stats::count(stats::Event::kCasFailure);
+                }
+                counted_cas_ptr(*head_, first, next);
+            }
+        }
+    }
+
+    CacheAligned<std::atomic<Node*>, kDestructivePairSize> head_{nullptr};
+    CacheAligned<std::atomic<Node*>, kDestructivePairSize> tail_{nullptr};
+    std::atomic<OpDesc*> state_[kSlots];
+    std::atomic<Alloc*> allocations_{nullptr};
+};
+
+}  // namespace lcrq

@@ -1,0 +1,248 @@
+// LCRQ — linked list of CRQs (paper §4.2, Figure 5, corrected version).
+//
+// The unbounded queue is a Michael–Scott list whose nodes are whole CRQ
+// rings.  Nearly all activity happens inside one ring; the list head/tail
+// pointers only move when a ring closes (enqueue side) or drains (dequeue
+// side), so they are uncontended in the common case.
+//
+//   enqueue: work in the tail CRQ; on CLOSED, append a new CRQ seeded with
+//            the item (one appender wins and is done; the rest retry in
+//            the new tail).
+//   dequeue: work in the head CRQ; on EMPTY with a successor present, try
+//            the CRQ once more (the corrected Fig. 5 lines 146-147 — an
+//            item may have landed between the EMPTY and the next check),
+//            then swing head and retire the drained ring.
+//
+// Retired CRQs are reclaimed with hazard pointers: an operation protects
+// the CRQ pointer it read from head/tail before entering it (§4.2).  The
+// paper's footnote 6 notes every variant pays this publish-fence-reread
+// cost; the Protected=false specialization removes it (and with it all
+// reclamation until destruction) so the ablation bench can price it.
+//
+// Template parameters select the paper's evaluated variants:
+//   Lcrq<HardwareFaa, NoHierarchy>      — LCRQ
+//   Lcrq<CasLoopFaa,  NoHierarchy>      — LCRQ-CAS
+//   Lcrq<HardwareFaa, ClusterHierarchy> — LCRQ+H
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <optional>
+
+#include "arch/faa_policy.hpp"
+#include "arch/thread_id.hpp"
+#include "hazard/hazard_pointers.hpp"
+#include "queues/crq.hpp"
+#include "queues/hierarchy.hpp"
+#include "queues/queue_common.hpp"
+
+namespace lcrq {
+
+template <class Faa = HardwareFaa, class Hierarchy = NoHierarchy, bool Padded = true,
+          bool Protected = true>
+class Lcrq {
+  public:
+    static constexpr const char* kName = "lcrq";
+    using CrqT = Crq<Faa, Padded>;
+
+    explicit Lcrq(const QueueOptions& opt = {})
+        : opt_(opt), hierarchy_(opt.cluster_timeout_ns) {
+        auto* q = check_alloc(new (std::nothrow) CrqT(opt_));
+        first_ = q;
+        head_->store(q, std::memory_order_relaxed);
+        tail_->store(q, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+
+    ~Lcrq() {
+        // Single-threaded at destruction.  With hazard protection, rings
+        // behind head were retired into the domain (freed when the domain
+        // member is destroyed) and the live suffix is deleted here;
+        // without protection nothing was ever freed, so the walk starts at
+        // the very first ring.
+        CrqT* q = Protected ? head_->load(std::memory_order_relaxed) : first_;
+        while (q != nullptr) {
+            CrqT* next = q->next.load(std::memory_order_relaxed);
+            delete q;
+            q = next;
+        }
+    }
+
+    Lcrq(const Lcrq&) = delete;
+    Lcrq& operator=(const Lcrq&) = delete;
+
+    void enqueue(value_t x) {
+        const bool ok = try_enqueue(x);
+        assert(ok && "enqueue on a closed queue; use try_enqueue for shutdown");
+        (void)ok;
+    }
+
+    // Enqueue unless the queue has been close()d.  Identical to enqueue()
+    // on an open queue; returns false (dropping nothing) after close().
+    bool try_enqueue(value_t x) {
+        // Checked up front so that an enqueue *starting* after close()
+        // returns can never succeed, even if an in-flight appender slips a
+        // fresh open ring in behind the close.  One read-shared cache line
+        // per operation; in-flight enqueues concurrent with close() may
+        // still complete, which linearizes them before the close.
+        if (closed_.load(std::memory_order_acquire)) return false;
+        for (;;) {
+            CrqT* crq = acquire(*tail_);
+            if (CrqT* next = crq->next.load(std::memory_order_acquire)) {
+                // Tail lags behind an appended ring: help swing it.
+                counted_cas_ptr(*tail_, crq, next);
+                continue;
+            }
+            hierarchy_.enter(*crq);
+            if (crq->enqueue(x) == EnqueueResult::kOk) {
+                release();
+                return true;
+            }
+            // Ring closed (tantrum): append a new CRQ seeded with x.
+            auto* fresh = check_alloc(new (std::nothrow) CrqT(opt_, x));
+            CrqT* expected = nullptr;
+            stats::count(stats::Event::kCas);
+            if (crq->next.compare_exchange_strong(expected, fresh,
+                                                  std::memory_order_seq_cst)) {
+                counted_cas_ptr(*tail_, crq, fresh);
+                stats::count(stats::Event::kCrqAppend);
+                release();
+                return true;
+            }
+            stats::count(stats::Event::kCasFailure);
+            delete fresh;  // another appender won; retry in the new tail
+        }
+    }
+
+    // Graceful shutdown: no enqueue that starts after close() returns can
+    // succeed; items already in the queue remain dequeueable (drain, then
+    // dequeue() keeps returning nullopt).  Implemented by closing the tail
+    // ring under a sticky flag that stops fresh rings from being appended,
+    // so the tantrum-queue close mechanism doubles as the shutdown path.
+    void close() {
+        closed_.store(true, std::memory_order_seq_cst);
+        for (;;) {
+            CrqT* crq = acquire(*tail_);
+            if (CrqT* next = crq->next.load(std::memory_order_acquire)) {
+                counted_cas_ptr(*tail_, crq, next);
+                continue;
+            }
+            crq->close();
+            release();
+            return;
+        }
+    }
+
+    bool closed() const noexcept { return closed_.load(std::memory_order_acquire); }
+
+    std::optional<value_t> dequeue() {
+        for (;;) {
+            CrqT* crq = acquire(*head_);
+            hierarchy_.enter(*crq);
+            if (auto v = crq->dequeue()) {
+                release();
+                return v;
+            }
+            if (crq->next.load(std::memory_order_acquire) == nullptr) {
+                release();
+                return std::nullopt;
+            }
+            // A successor exists, so this ring takes no more enqueues — but
+            // an enqueue may have completed in it between our EMPTY and the
+            // next check above.  Without this second attempt items are
+            // lost (the proceedings-version bug).
+            if (auto v = crq->dequeue()) {
+                release();
+                return v;
+            }
+            CrqT* next = crq->next.load(std::memory_order_acquire);
+            if (counted_cas_ptr(*head_, crq, next)) {
+                release();
+                if constexpr (Protected) {
+                    my_hazard().retire(crq);
+                }
+                // Unprotected: the drained ring stays linked from first_
+                // and is freed by the destructor.
+            }
+        }
+    }
+
+    // Introspection for tests, benches, and monitoring.
+    std::size_t segment_count() const {
+        std::size_t n = 0;
+        for (CrqT* q = head_->load(std::memory_order_acquire); q != nullptr;
+             q = q->next.load(std::memory_order_acquire)) {
+            ++n;
+        }
+        return n;
+    }
+
+    // Item-count estimate: the sum of the live segments' estimates.  Only
+    // a snapshot under concurrency (see Crq::approx_size), and closed
+    // segments being drained can each over-count by the enqueue tickets
+    // wasted there before they closed.  The walk itself is unprotected, so
+    // call it from contexts where the walked segments cannot be reclaimed
+    // (quiescent, or monitoring where a torn estimate is acceptable).
+    std::uint64_t approx_size() const {
+        std::uint64_t n = 0;
+        for (CrqT* q = head_->load(std::memory_order_acquire); q != nullptr;
+             q = q->next.load(std::memory_order_acquire)) {
+            n += q->approx_size();
+        }
+        return n;
+    }
+    HazardDomain& hazard_domain() noexcept { return domain_; }
+    static std::string variant_name() {
+        return std::string("lcrq") + Hierarchy::suffix() +
+               (std::string(Faa::name()) == "cas-loop" ? "-cas" : "") +
+               (Protected ? "" : "-noreclaim");
+    }
+
+  private:
+    // Read a list pointer for use: publish-fence-reread under hazard
+    // protection (slot 0), or a plain acquire load in the unprotected
+    // (leak-until-destruction) specialization.
+    CrqT* acquire(const std::atomic<CrqT*>& src) {
+        if constexpr (Protected) {
+            return my_hazard().protect(src, 0);
+        } else {
+            return src.load(std::memory_order_acquire);
+        }
+    }
+    void release() {
+        if constexpr (Protected) my_hazard().clear(0);
+    }
+
+    HazardThread& my_hazard() {
+        const std::size_t id = thread_index();
+        auto& slot = hazard_threads_[id];
+        if (slot == nullptr) {
+            slot = std::make_unique<HazardThread>(domain_);
+        }
+        return *slot;
+    }
+
+    QueueOptions opt_;
+    Hierarchy hierarchy_;
+    HazardDomain domain_;
+    CrqT* first_ = nullptr;  // construction-time ring; anchors ~Lcrq when unprotected
+    // Shutdown flag: read-shared on the enqueue path, written once.
+    std::atomic<bool> closed_{false};
+    CacheAligned<std::atomic<CrqT*>, kDestructivePairSize> head_{nullptr};
+    CacheAligned<std::atomic<CrqT*>, kDestructivePairSize> tail_{nullptr};
+    // Lazily constructed per-thread hazard attachments, indexed by the
+    // dense thread id; a slot is only touched by the thread owning that id.
+    std::unique_ptr<HazardThread> hazard_threads_[kMaxThreads];
+};
+
+// The paper's evaluated variants.
+using LcrqQueue = Lcrq<HardwareFaa, NoHierarchy>;
+using LcrqCasQueue = Lcrq<CasLoopFaa, NoHierarchy>;
+using LcrqHQueue = Lcrq<HardwareFaa, ClusterHierarchy>;
+// Ablations: nodes packed 4-per-cache-line; no hazard protection (prices
+// the paper's footnote-6 overhead, leaks rings until destruction).
+using LcrqCompactQueue = Lcrq<HardwareFaa, NoHierarchy, false>;
+using LcrqNoReclaimQueue = Lcrq<HardwareFaa, NoHierarchy, true, false>;
+
+}  // namespace lcrq

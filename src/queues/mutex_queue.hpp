@@ -1,0 +1,35 @@
+// std::mutex + intrusive list — the sanity-floor baseline.  One lock for
+// both ends; no cleverness.  Useful as a correctness oracle in tests and
+// as the "what you get for free" line in benchmark reports.
+#pragma once
+
+#include <mutex>
+#include <optional>
+
+#include "queues/queue_common.hpp"
+#include "queues/two_lock_queue.hpp"
+
+namespace lcrq {
+
+class MutexQueue {
+  public:
+    static constexpr const char* kName = "mutex";
+
+    explicit MutexQueue(const QueueOptions& = {}) {}
+
+    void enqueue(value_t x) {
+        std::lock_guard lock(mu_);
+        list_.push_tail(x);
+    }
+
+    std::optional<value_t> dequeue() {
+        std::lock_guard lock(mu_);
+        return list_.pop_head();
+    }
+
+  private:
+    std::mutex mu_;
+    MsTwoLockList list_;
+};
+
+}  // namespace lcrq

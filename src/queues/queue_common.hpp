@@ -1,0 +1,63 @@
+// Shared vocabulary of the queue implementations.
+//
+// Every queue in this library implements the paper's object (§3): a FIFO
+// multi-producer/multi-consumer queue of 64-bit values with
+//   enqueue(x)  — append x
+//   dequeue()   — remove and return the first item, or EMPTY.
+//
+// Values: the paper reserves one value (⊥) that may never be enqueued; the
+// infinite-array queue reserves a second (⊤).  Both sentinels live at the
+// top of the value space.  user-facing typed queues (lcrq/typed_queue.hpp)
+// box arbitrary T behind pointers, which never collide with the sentinels.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+
+namespace lcrq {
+
+using value_t = std::uint64_t;
+
+// ⊥ — "cell empty".  May not be enqueued.
+inline constexpr value_t kBottom = ~value_t{0};
+// ⊤ — "cell poisoned by a dequeuer" (infinite-array queue only).
+inline constexpr value_t kTop = ~value_t{0} - 1;
+
+// Largest enqueueable value.
+inline constexpr value_t kMaxValue = ~value_t{0} - 2;
+
+constexpr bool is_enqueueable(value_t v) noexcept { return v <= kMaxValue; }
+
+// The duck-typed interface all queues implement.
+template <typename Q>
+concept ConcurrentQueue = requires(Q q, value_t v) {
+    { q.enqueue(v) } -> std::same_as<void>;
+    { q.dequeue() } -> std::same_as<std::optional<value_t>>;
+    { Q::kName } -> std::convertible_to<const char*>;
+};
+
+// Construction-time options shared by the implementations; each queue uses
+// the subset that applies to it.
+struct QueueOptions {
+    // log2 of the CRQ ring size (paper default: 17 → R = 131072; library
+    // default is laptop-sized and overridable everywhere).
+    unsigned ring_order = 12;
+    // Close the CRQ after this many failed enqueue rounds (starving()).
+    unsigned starvation_limit = 16;
+    // Iterations a dequeuer spin-waits for a matching in-flight enqueuer
+    // before performing an empty transition (§4.1.1); 0 disables.
+    unsigned spin_wait_iters = 64;
+    // Cluster-handoff timeout for the hierarchical variants, in ns (§4.1.1
+    // uses 100 µs).
+    std::uint64_t cluster_timeout_ns = 100'000;
+    // Number of clusters the hierarchical algorithms partition threads
+    // into.  0 = use the discovered topology.
+    int clusters = 0;
+    // Combining bound: max operations one combiner applies per acquisition.
+    unsigned combiner_bound = 1024;
+    // Capacity (log2) of the bounded baseline rings.
+    unsigned bounded_order = 16;
+};
+
+}  // namespace lcrq

@@ -1,0 +1,156 @@
+// Michael–Scott two-lock queue (PODC 1996).
+//
+// A linked list with a dummy node and two locks: enqueuers serialize on
+// the tail lock, dequeuers on the head lock, and the two ends proceed in
+// parallel.  The dummy node keeps enqueuers and dequeuers from ever
+// touching the same node's fields concurrently except for the one benign
+// race on `next` that the original proof covers (we make that field atomic
+// so the race is defined behaviour).
+//
+// This queue is the substrate of CC-Queue/H-Queue (which replace the two
+// locks with combining constructions) and a baseline in its own right.
+// The lock is a test-and-test-and-set spinlock that escalates to yielding
+// so it survives oversubscription.
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "arch/backoff.hpp"
+#include "arch/cacheline.hpp"
+#include "arch/counters.hpp"
+#include "arch/primitives.hpp"
+#include "queues/queue_common.hpp"
+
+namespace lcrq {
+
+// Minimal TTAS spinlock used by the lock-based baselines.
+class SpinLock {
+  public:
+    void lock() noexcept {
+        SpinWait waiter;
+        for (;;) {
+            if (!locked_.load(std::memory_order_relaxed) &&
+                !locked_.exchange(true, std::memory_order_acquire)) {
+                stats::count(stats::Event::kTas);
+                return;
+            }
+            waiter.spin();
+        }
+    }
+    bool try_lock() noexcept {
+        if (locked_.load(std::memory_order_relaxed)) return false;
+        const bool got = !locked_.exchange(true, std::memory_order_acquire);
+        if (got) stats::count(stats::Event::kTas);
+        return got;
+    }
+    void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> locked_{false};
+};
+
+// The sequential list the two-lock queue (and CC-/H-Queue via combining)
+// manipulates.  Exposed separately so the combining queues reuse it.
+class MsTwoLockList {
+  public:
+    MsTwoLockList() {
+        Node* dummy = check_alloc(new (std::nothrow) Node{});
+        head_ = dummy;
+        tail_ = dummy;
+    }
+    ~MsTwoLockList() {
+        Node* n = head_;
+        while (n != nullptr) {
+            Node* next = n->next.load(std::memory_order_relaxed);
+            delete n;
+            n = next;
+        }
+    }
+    MsTwoLockList(const MsTwoLockList&) = delete;
+    MsTwoLockList& operator=(const MsTwoLockList&) = delete;
+
+    // Caller must hold the enqueue-side mutual exclusion.
+    void push_tail(value_t x) {
+        auto* node = check_alloc(new (std::nothrow) Node{});
+        node->value = x;
+        tail_->next.store(node, std::memory_order_release);
+        tail_ = node;
+    }
+
+    // Caller must hold the dequeue-side mutual exclusion.  Frees the old
+    // dummy; safe against a concurrent push_tail per the MS96 argument
+    // (once `next` is non-null the enqueuer no longer touches that node).
+    std::optional<value_t> pop_head() {
+        Node* dummy = head_;
+        Node* first = dummy->next.load(std::memory_order_acquire);
+        if (first == nullptr) return std::nullopt;
+        const value_t v = first->value;
+        head_ = first;
+        delete dummy;
+        return v;
+    }
+
+  private:
+    struct Node {
+        std::atomic<Node*> next{nullptr};
+        value_t value{kBottom};
+    };
+
+    alignas(kCacheLineSize) Node* head_;
+    alignas(kCacheLineSize) Node* tail_;
+};
+
+// A lock that spins blind: `pause` only, never yields to the scheduler —
+// how spinlocks are usually written for dedicated cores, and exactly what
+// makes blocking algorithms collapse when oversubscribed (Fig. 6b): a
+// preempted holder leaves every waiter burning its full quantum.  Kept as
+// a variant so that collapse is demonstrable on any host.
+class BlindSpinLock {
+  public:
+    void lock() noexcept {
+        for (;;) {
+            if (!locked_.load(std::memory_order_relaxed) &&
+                !locked_.exchange(true, std::memory_order_acquire)) {
+                stats::count(stats::Event::kTas);
+                return;
+            }
+            cpu_relax();
+        }
+    }
+    void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> locked_{false};
+};
+
+template <typename Lock>
+class BasicTwoLockQueue {
+  public:
+    static constexpr const char* kName = "two-lock";
+
+    explicit BasicTwoLockQueue(const QueueOptions& = {}) {}
+
+    void enqueue(value_t x) {
+        tail_lock_->lock();
+        list_.push_tail(x);
+        tail_lock_->unlock();
+    }
+
+    std::optional<value_t> dequeue() {
+        head_lock_->lock();
+        auto v = list_.pop_head();
+        head_lock_->unlock();
+        return v;
+    }
+
+  private:
+    CacheAligned<Lock> head_lock_;
+    CacheAligned<Lock> tail_lock_;
+    MsTwoLockList list_;
+};
+
+using TwoLockQueue = BasicTwoLockQueue<SpinLock>;
+using TwoLockQueueBlind = BasicTwoLockQueue<BlindSpinLock>;
+
+}  // namespace lcrq

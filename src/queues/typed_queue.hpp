@@ -1,0 +1,83 @@
+// Typed facade over the uint64-valued queues.
+//
+// The algorithms move 64-bit words (paper §3); applications move objects.
+// Queue<T> maps T onto words:
+//   * trivially-copyable T of ≤ 32 bits ride inline in the word (always
+//     below the reserved sentinels ⊥/⊤, so no value is forbidden);
+//   * anything else is boxed: enqueue heap-allocates a T, the word is the
+//     pointer (x86-64 pointers never reach the sentinels), dequeue unboxes
+//     and frees.
+//
+// Boxing costs an allocation per element — acceptable for the example
+// applications; workloads that care should pool their payloads and pass
+// indices, which is the inline path.
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "queues/lcrq.hpp"
+#include "queues/queue_common.hpp"
+
+namespace lcrq {
+
+template <typename T>
+inline constexpr bool kInlineStorable =
+    std::is_trivially_copyable_v<T> && sizeof(T) <= 4;
+
+template <typename T, typename Base = LcrqQueue>
+class Queue {
+  public:
+    explicit Queue(const QueueOptions& opt = {}) : base_(opt) {}
+
+    ~Queue() {
+        if constexpr (!kInlineStorable<T>) {
+            // Drain unconsumed boxes.
+            while (auto w = base_.dequeue()) delete from_word(*w);
+        }
+    }
+
+    Queue(const Queue&) = delete;
+    Queue& operator=(const Queue&) = delete;
+
+    void enqueue(T item) {
+        if constexpr (kInlineStorable<T>) {
+            value_t w = 0;
+            std::memcpy(&w, &item, sizeof(T));
+            base_.enqueue(w);
+        } else {
+            base_.enqueue(to_word(new T(std::move(item))));
+        }
+    }
+
+    std::optional<T> dequeue() {
+        auto w = base_.dequeue();
+        if (!w.has_value()) return std::nullopt;
+        if constexpr (kInlineStorable<T>) {
+            T item;
+            std::memcpy(&item, &*w, sizeof(T));
+            return item;
+        } else {
+            T* box = from_word(*w);
+            T item = std::move(*box);
+            delete box;
+            return item;
+        }
+    }
+
+    Base& base() noexcept { return base_; }
+
+  private:
+    static value_t to_word(T* p) noexcept {
+        return static_cast<value_t>(reinterpret_cast<std::uintptr_t>(p));
+    }
+    static T* from_word(value_t w) noexcept {
+        return reinterpret_cast<T*>(static_cast<std::uintptr_t>(w));
+    }
+
+    Base base_;
+};
+
+}  // namespace lcrq

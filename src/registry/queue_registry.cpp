@@ -1,0 +1,139 @@
+#include "registry/queue_registry.hpp"
+
+#include <cassert>
+#include <functional>
+#include <map>
+
+#include "queues/bounded_mpmc_queue.hpp"
+#include "queues/cc_queue.hpp"
+#include "queues/fc_queue.hpp"
+#include "queues/h_queue.hpp"
+#include "queues/infinite_array_queue.hpp"
+#include "queues/kp_queue.hpp"
+#include "queues/lcrq.hpp"
+#include "queues/ms_queue.hpp"
+#include "queues/mutex_queue.hpp"
+#include "queues/two_lock_queue.hpp"
+
+namespace lcrq {
+
+namespace {
+
+template <typename Q>
+class Adapter final : public AnyQueue {
+  public:
+    Adapter(std::string name, const QueueOptions& opt)
+        : name_(std::move(name)), q_(opt) {}
+
+    void enqueue(value_t x) override {
+        assert(is_enqueueable(x));
+        q_.enqueue(x);
+        stats::count(stats::Event::kEnqueue);
+    }
+
+    std::optional<value_t> dequeue() override {
+        auto v = q_.dequeue();
+        stats::count(stats::Event::kDequeue);
+        if (!v.has_value()) stats::count(stats::Event::kDequeueEmpty);
+        return v;
+    }
+
+    const std::string& name() const noexcept override { return name_; }
+
+  private:
+    std::string name_;
+    Q q_;
+};
+
+struct Entry {
+    QueueInfo info;
+    std::function<std::unique_ptr<AnyQueue>(const QueueOptions&)> make;
+};
+
+template <typename Q>
+Entry entry(const char* name, const char* description, bool nonblocking,
+            bool hierarchical, bool bounded, bool deferred_reclamation = false) {
+    QueueInfo info{name,  description, nonblocking,
+                   hierarchical, bounded,     deferred_reclamation};
+    std::string n = name;
+    return Entry{std::move(info), [n](const QueueOptions& opt) {
+                     return std::make_unique<Adapter<Q>>(n, opt);
+                 }};
+}
+
+const std::vector<Entry>& entries() {
+    static const std::vector<Entry> all = {
+        entry<LcrqQueue>("lcrq", "LCRQ: F&A-based nonblocking ring-list queue (this paper)",
+                         true, false, false),
+        entry<LcrqCasQueue>("lcrq-cas", "LCRQ with F&A emulated by a CAS loop (ablation)",
+                            true, false, false),
+        entry<LcrqHQueue>("lcrq+h", "LCRQ with hierarchical cluster handoff", true, true,
+                          false),
+        entry<LcrqCompactQueue>("lcrq-compact",
+                                "LCRQ with unpadded 16-byte ring nodes (ablation)", true,
+                                false, false),
+        entry<LcrqNoReclaimQueue>("lcrq-noreclaim",
+                                  "LCRQ without hazard protection (footnote-6 ablation; "
+                                  "reclaims at destruction)",
+                                  true, false, false, /*deferred_reclamation=*/true),
+        entry<MsQueue<true>>("ms", "Michael-Scott nonblocking queue (PODC'96), with backoff",
+                             true, false, false),
+        entry<MsQueue<false>>("ms-nobackoff",
+                              "Michael-Scott nonblocking queue without backoff (ablation)",
+                              true, false, false),
+        entry<TwoLockQueue>("two-lock", "Michael-Scott two-lock queue (PODC'96)", false,
+                            false, false),
+        entry<TwoLockQueueBlind>("two-lock-blind",
+                                 "two-lock queue with non-yielding spinlocks "
+                                 "(oversubscription-collapse demo)",
+                                 false, false, false),
+        entry<CcQueue>("cc-queue", "CC-Queue: two-lock queue over CC-Synch combining "
+                                   "(PPoPP'12)",
+                       false, false, false),
+        entry<HQueue>("h-queue", "H-Queue: two-lock queue over hierarchical H-Synch "
+                                 "combining (PPoPP'12)",
+                      false, true, false),
+        entry<FcQueue>("fc-queue", "Flat-combining queue (SPAA'10)", false, false, false),
+        entry<BoundedMpmcQueue>("bounded-mpmc",
+                                "Bounded CAS-ticket ring (cyclic-array family reference)",
+                                false, false, true),
+        entry<KpQueue>("kp",
+                       "Kogan-Petrank wait-free queue (PPoPP'11; reclaims at "
+                       "destruction)",
+                       true, false, false, /*deferred_reclamation=*/true),
+        entry<MutexQueue>("mutex", "std::mutex-protected list (sanity floor)", false, false,
+                          false),
+        entry<InfiniteArrayQueue>("infinite-array",
+                                  "Figure 2 infinite-array queue (pedagogical)", true,
+                                  false, false),
+    };
+    return all;
+}
+
+}  // namespace
+
+const std::vector<QueueInfo>& queue_catalog() {
+    static const std::vector<QueueInfo> catalog = [] {
+        std::vector<QueueInfo> out;
+        for (const auto& e : entries()) out.push_back(e.info);
+        return out;
+    }();
+    return catalog;
+}
+
+std::vector<std::string> paper_single_processor_set() {
+    return {"lcrq", "lcrq-cas", "cc-queue", "fc-queue", "ms"};
+}
+
+std::vector<std::string> paper_multi_processor_set() {
+    return {"lcrq+h", "lcrq", "lcrq-cas", "h-queue", "cc-queue"};
+}
+
+std::unique_ptr<AnyQueue> make_queue(const std::string& name, const QueueOptions& opt) {
+    for (const auto& e : entries()) {
+        if (e.info.name == name) return e.make(opt);
+    }
+    return nullptr;
+}
+
+}  // namespace lcrq

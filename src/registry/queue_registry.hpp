@@ -1,0 +1,53 @@
+// Type-erased queue factory.
+//
+// The bench harness, property tests, and examples sweep over "every queue
+// by name"; this registry maps names to heap-constructed instances behind
+// a uniform virtual interface.  The virtual dispatch adds the same ~1 ns
+// to every algorithm, preserving relative comparisons.
+//
+// The adapter also counts operation-level events (enqueue / dequeue /
+// dequeue-empty) so per-operation statistics (Tables 2/3) divide by the
+// right denominator no matter which algorithm ran.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/counters.hpp"
+#include "queues/queue_common.hpp"
+
+namespace lcrq {
+
+class AnyQueue {
+  public:
+    virtual ~AnyQueue() = default;
+    virtual void enqueue(value_t x) = 0;
+    virtual std::optional<value_t> dequeue() = 0;
+    virtual const std::string& name() const noexcept = 0;
+};
+
+struct QueueInfo {
+    std::string name;
+    std::string description;
+    bool nonblocking;
+    bool hierarchical;  // benefits from >1 cluster
+    bool bounded;
+    // Frees memory only at destruction (research baselines that assume a
+    // GC); excluded from unbounded-duration benchmarks.
+    bool deferred_reclamation = false;
+};
+
+// Catalog of every registered queue, in canonical report order.
+const std::vector<QueueInfo>& queue_catalog();
+
+// The paper's Figure 6/7 line-ups, by name.
+std::vector<std::string> paper_single_processor_set();  // fig 6
+std::vector<std::string> paper_multi_processor_set();   // fig 7
+
+// Construct by name; returns nullptr for unknown names.
+std::unique_ptr<AnyQueue> make_queue(const std::string& name,
+                                     const QueueOptions& opt = {});
+
+}  // namespace lcrq

@@ -1,0 +1,90 @@
+#include "topology/pinning.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+
+namespace lcrq::topo {
+
+const char* placement_name(Placement p) noexcept {
+    switch (p) {
+        case Placement::kSingleCluster: return "single-cluster";
+        case Placement::kRoundRobin: return "round-robin";
+        case Placement::kUnpinned: return "unpinned";
+    }
+    return "?";
+}
+
+bool parse_placement(const std::string& s, Placement& out) noexcept {
+    if (s == "single-cluster" || s == "single") {
+        out = Placement::kSingleCluster;
+    } else if (s == "round-robin" || s == "rr") {
+        out = Placement::kRoundRobin;
+    } else if (s == "unpinned" || s == "none") {
+        out = Placement::kUnpinned;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::vector<ThreadSlot> plan_placement(const Topology& t, int threads, Placement policy) {
+    std::vector<ThreadSlot> plan(static_cast<std::size_t>(std::max(threads, 0)));
+    const int clusters = std::max(t.num_clusters, 1);
+
+    // Index CPUs by cluster for the two pinned policies.
+    std::vector<std::vector<std::size_t>> by_cluster(static_cast<std::size_t>(clusters));
+    for (std::size_t i = 0; i < t.cpus.size(); ++i) {
+        by_cluster[static_cast<std::size_t>(t.cluster_of_cpu[i])].push_back(i);
+    }
+
+    switch (policy) {
+        case Placement::kUnpinned:
+            for (int i = 0; i < threads; ++i) {
+                plan[static_cast<std::size_t>(i)] = {-1, i % clusters};
+            }
+            break;
+
+        case Placement::kSingleCluster: {
+            const auto& cl0 = by_cluster[0];
+            for (int i = 0; i < threads; ++i) {
+                const int cpu = cl0.empty()
+                                    ? -1
+                                    : t.cpus[cl0[static_cast<std::size_t>(i) % cl0.size()]];
+                plan[static_cast<std::size_t>(i)] = {cpu, 0};
+            }
+            break;
+        }
+
+        case Placement::kRoundRobin: {
+            // Thread i goes to cluster i % clusters, cycling within the
+            // cluster's CPUs — the paper's cross-socket placement.
+            std::vector<std::size_t> next_in(static_cast<std::size_t>(clusters), 0);
+            for (int i = 0; i < threads; ++i) {
+                const int c = i % clusters;
+                const auto& cpus = by_cluster[static_cast<std::size_t>(c)];
+                int cpu = -1;
+                if (!cpus.empty()) {
+                    auto& k = next_in[static_cast<std::size_t>(c)];
+                    cpu = t.cpus[cpus[k % cpus.size()]];
+                    ++k;
+                }
+                plan[static_cast<std::size_t>(i)] = {cpu, c};
+            }
+            break;
+        }
+    }
+    return plan;
+}
+
+bool pin_self(const ThreadSlot& slot) {
+    set_current_cluster(slot.cluster);
+    if (slot.cpu < 0) return true;
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    CPU_SET(slot.cpu, &mask);
+    return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+}
+
+}  // namespace lcrq::topo

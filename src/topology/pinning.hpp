@@ -1,0 +1,44 @@
+// Thread placement policies (paper §5, "Methodology" / "Platform").
+//
+// The paper pins every software thread to a specific hardware thread and
+// varies the placement per experiment:
+//   * single-processor runs confine all threads to one socket (Fig. 6);
+//   * four-processor runs place threads round-robin across sockets so the
+//     cross-socket coherence cost is always present (Fig. 7);
+//   * oversubscribed runs intentionally exceed the hardware threads and
+//     leave scheduling to the OS (Fig. 6b).
+//
+// plan_placement() turns (thread count, policy, topology) into a per-thread
+// {cpu, cluster} assignment; pin_self() applies one entry.  When threads
+// outnumber CPUs the plan still assigns a *cluster* to every thread (this
+// is what the virtual-cluster substitution needs) and shares CPUs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace lcrq::topo {
+
+enum class Placement {
+    kSingleCluster,  // fill cluster 0's CPUs in order
+    kRoundRobin,     // alternate across clusters on consecutive threads
+    kUnpinned,       // no affinity; clusters assigned round-robin by index
+};
+
+const char* placement_name(Placement p) noexcept;
+bool parse_placement(const std::string& s, Placement& out) noexcept;
+
+struct ThreadSlot {
+    int cpu;      // logical CPU to pin to, or -1 for unpinned
+    int cluster;  // cluster id this thread belongs to
+};
+
+std::vector<ThreadSlot> plan_placement(const Topology& t, int threads, Placement policy);
+
+// Pin the calling thread per `slot` and publish its cluster id.  Returns
+// false if the affinity call failed (the cluster is still published).
+bool pin_self(const ThreadSlot& slot);
+
+}  // namespace lcrq::topo

@@ -1,0 +1,96 @@
+#include "topology/topology.hpp"
+
+#include <sched.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lcrq::topo {
+
+namespace {
+
+int read_package_id(int cpu) {
+    std::ostringstream path;
+    path << "/sys/devices/system/cpu/cpu" << cpu << "/topology/physical_package_id";
+    std::ifstream f(path.str());
+    int id = 0;
+    if (!(f >> id)) return 0;
+    return id;
+}
+
+thread_local int t_cluster = 0;
+
+}  // namespace
+
+Topology discover() {
+    Topology t;
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (sched_getaffinity(0, sizeof(mask), &mask) != 0) {
+        t.cpus = {0};
+        t.cluster_of_cpu = {0};
+        t.num_clusters = 1;
+        return t;
+    }
+    std::vector<int> packages;
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+        if (!CPU_ISSET(cpu, &mask)) continue;
+        t.cpus.push_back(cpu);
+        packages.push_back(read_package_id(cpu));
+    }
+    if (t.cpus.empty()) {
+        t.cpus = {0};
+        packages = {0};
+    }
+    // Renumber packages densely as clusters 0..k-1.
+    std::vector<int> uniq = packages;
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    t.cluster_of_cpu.resize(t.cpus.size());
+    for (std::size_t i = 0; i < t.cpus.size(); ++i) {
+        t.cluster_of_cpu[i] = static_cast<int>(
+            std::lower_bound(uniq.begin(), uniq.end(), packages[i]) - uniq.begin());
+    }
+    t.num_clusters = static_cast<int>(uniq.size());
+    return t;
+}
+
+Topology make_virtual(const Topology& base, int clusters) {
+    Topology t;
+    t.cpus = base.cpus;
+    const int n = std::max(1, clusters);
+    t.num_clusters = n;
+    t.cluster_of_cpu.resize(t.cpus.size());
+    // Contiguous equal split: first |cpus|/n CPUs form cluster 0, etc.
+    // With fewer CPUs than clusters, clusters share CPUs round-robin.
+    const std::size_t cpus_n = t.cpus.size();
+    if (cpus_n >= static_cast<std::size_t>(n)) {
+        const std::size_t per = (cpus_n + n - 1) / n;
+        for (std::size_t i = 0; i < cpus_n; ++i) {
+            t.cluster_of_cpu[i] = std::min<int>(static_cast<int>(i / per), n - 1);
+        }
+    } else {
+        for (std::size_t i = 0; i < cpus_n; ++i) t.cluster_of_cpu[i] = static_cast<int>(i) % n;
+    }
+    return t;
+}
+
+void set_current_cluster(int cluster) noexcept { t_cluster = cluster; }
+int current_cluster() noexcept { return t_cluster; }
+
+std::string describe(const Topology& t) {
+    std::ostringstream os;
+    os << t.num_cpus() << " logical CPU(s) in " << t.num_clusters << " cluster(s):";
+    for (std::size_t i = 0; i < t.cpus.size(); ++i) {
+        os << " cpu" << t.cpus[i] << ">c" << t.cluster_of_cpu[i];
+        if (i >= 15 && t.cpus.size() > 17) {
+            os << " ...";
+            break;
+        }
+    }
+    return os.str();
+}
+
+}  // namespace lcrq::topo

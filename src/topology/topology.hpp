@@ -1,0 +1,51 @@
+// CPU topology discovery and virtual clusters.
+//
+// The paper's hierarchical algorithms (LCRQ+H, H-Synch/H-Queue) and its
+// thread-placement methodology are parameterized by "clusters": groups of
+// cores with cheap intra-group communication (one socket of the 4-socket
+// evaluation machine).  This module discovers the real topology from
+// /sys and, crucially, supports *virtual* clusters — an arbitrary
+// partition of threads into groups — so the hierarchical code paths and
+// placement policies run unchanged on hosts with fewer sockets (or a
+// single hardware thread) than the paper's testbed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lcrq::topo {
+
+struct Topology {
+    // Logical CPU ids usable by this process, in discovery order.
+    std::vector<int> cpus;
+    // cluster_of_cpu[i] is the cluster (package) of cpus[i].
+    std::vector<int> cluster_of_cpu;
+    int num_clusters = 1;
+
+    std::size_t num_cpus() const noexcept { return cpus.size(); }
+};
+
+// Discover the host topology (affinity mask + physical_package_id).
+// Degrades to a single cluster of the affine CPUs when /sys is missing.
+Topology discover();
+
+// A topology with the same CPUs regrouped into `clusters` equal parts.
+// Used to emulate the paper's 4-socket machine on smaller hosts.
+Topology make_virtual(const Topology& base, int clusters);
+
+// ---------------------------------------------------------------------------
+// Per-thread execution context.
+//
+// The benchmark runner assigns each worker a cluster id (derived from its
+// placement) and publishes it here; hierarchical queues read it on every
+// operation.  Defaults to cluster 0 for threads the runner did not place.
+// ---------------------------------------------------------------------------
+
+void set_current_cluster(int cluster) noexcept;
+int current_cluster() noexcept;
+
+// Human-readable one-line summary for bench headers.
+std::string describe(const Topology& t);
+
+}  // namespace lcrq::topo

@@ -1,0 +1,89 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace lcrq {
+
+Cli& Cli::flag(const std::string& name, const std::string& def, const std::string& help) {
+    flags_[name] = Flag{def, def, help};
+    order_.push_back(name);
+    return *this;
+}
+
+bool Cli::parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            print_usage();
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "%s: unexpected argument '%s'\n", program_.c_str(),
+                         arg.c_str());
+            failed_ = true;
+            return false;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        if (auto eq = name.find('='); eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        } else if (i + 1 < argc) {
+            value = argv[++i];
+        } else {
+            std::fprintf(stderr, "%s: flag '--%s' needs a value\n", program_.c_str(),
+                         name.c_str());
+            failed_ = true;
+            return false;
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end()) {
+            std::fprintf(stderr, "%s: unknown flag '--%s'\n", program_.c_str(), name.c_str());
+            failed_ = true;
+            return false;
+        }
+        it->second.value = value;
+    }
+    return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+    auto it = flags_.find(name);
+    return it == flags_.end() ? std::string{} : it->second.value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+    return std::strtoll(get(name).c_str(), nullptr, 0);
+}
+
+double Cli::get_double(const std::string& name) const {
+    return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name) const {
+    const std::string v = get(name);
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name) const {
+    std::vector<std::int64_t> out;
+    std::stringstream ss(get(name));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty()) out.push_back(std::strtoll(item.c_str(), nullptr, 0));
+    }
+    return out;
+}
+
+void Cli::print_usage() const {
+    std::printf("%s — %s\n\nflags:\n", program_.c_str(), description_.c_str());
+    for (const auto& name : order_) {
+        const Flag& f = flags_.at(name);
+        std::printf("  --%-18s %s (default: %s)\n", name.c_str(), f.help.c_str(),
+                    f.def.c_str());
+    }
+}
+
+}  // namespace lcrq

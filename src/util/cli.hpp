@@ -1,0 +1,50 @@
+// Minimal command-line option parser for the bench and example binaries.
+//
+// Every bench accepts `--flag value` / `--flag=value` pairs plus `--help`.
+// Flags are declared with a default and a help string, so each binary's
+// usage text documents its paper-scale and laptop-scale settings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lcrq {
+
+class Cli {
+  public:
+    Cli(std::string program, std::string description)
+        : program_(std::move(program)), description_(std::move(description)) {}
+
+    Cli& flag(const std::string& name, const std::string& def, const std::string& help);
+
+    // Parse argv.  On `--help` prints usage and returns false (caller
+    // exits 0).  Unknown flags print an error and return false (exit 1;
+    // check failed() to distinguish).
+    bool parse(int argc, char** argv);
+    bool failed() const noexcept { return failed_; }
+
+    std::string get(const std::string& name) const;
+    std::int64_t get_int(const std::string& name) const;
+    double get_double(const std::string& name) const;
+    bool get_bool(const std::string& name) const;
+    std::vector<std::int64_t> get_int_list(const std::string& name) const;  // comma-separated
+
+    void print_usage() const;
+
+  private:
+    struct Flag {
+        std::string value;
+        std::string def;
+        std::string help;
+    };
+
+    std::string program_;
+    std::string description_;
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> order_;
+    bool failed_ = false;
+};
+
+}  // namespace lcrq

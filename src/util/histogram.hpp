@@ -1,0 +1,110 @@
+// Log-bucketed latency histogram.
+//
+// Figure 8 plots cumulative latency distributions over ~10^8 operations;
+// storing raw samples is out of the question, and a lock per record would
+// perturb the measurement.  Each thread records into its own histogram
+// (HDR-style log-linear buckets, ~2.5% relative error) and the runner merges
+// them afterwards.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lcrq {
+
+class LatencyHistogram {
+  public:
+    // Buckets: 64 exponents x 32 linear sub-buckets covering [0, 2^63) ns.
+    static constexpr std::size_t kSubBits = 5;
+    static constexpr std::size_t kSub = 1u << kSubBits;
+    static constexpr std::size_t kBuckets = 64 * kSub;
+
+    void record(std::uint64_t ns) noexcept {
+        ++counts_[index_of(ns)];
+        ++total_;
+        sum_ += ns;
+        if (ns > max_) max_ = ns;
+    }
+
+    void merge(const LatencyHistogram& other) noexcept {
+        for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+        total_ += other.total_;
+        sum_ += other.sum_;
+        if (other.max_ > max_) max_ = other.max_;
+    }
+
+    std::uint64_t total() const noexcept { return total_; }
+    std::uint64_t max() const noexcept { return max_; }
+    double mean() const noexcept {
+        return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+    }
+
+    // Smallest bucket upper bound v such that P[x <= v] >= q (0 <= q <= 1).
+    std::uint64_t percentile(double q) const noexcept {
+        if (total_ == 0) return 0;
+        const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            seen += counts_[i];
+            if (seen >= target && counts_[i] != 0) return upper_bound(i);
+        }
+        return max_;
+    }
+
+    // Fraction of samples at or below `ns` — the y-value of a CDF plot.
+    double cdf_at(std::uint64_t ns) const noexcept {
+        if (total_ == 0) return 0.0;
+        const std::size_t idx = index_of(ns);
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i <= idx; ++i) seen += counts_[i];
+        return static_cast<double>(seen) / static_cast<double>(total_);
+    }
+
+    struct Point {
+        std::uint64_t ns;
+        double cum_fraction;
+    };
+    // Non-empty buckets as (upper bound, cumulative fraction) pairs.
+    std::vector<Point> cdf_points() const {
+        std::vector<Point> pts;
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            if (counts_[i] == 0) continue;
+            seen += counts_[i];
+            pts.push_back({upper_bound(i),
+                           static_cast<double>(seen) / static_cast<double>(total_)});
+        }
+        return pts;
+    }
+
+    void reset() noexcept {
+        counts_.fill(0);
+        total_ = sum_ = max_ = 0;
+    }
+
+    static std::size_t index_of(std::uint64_t ns) noexcept {
+        if (ns < kSub) return static_cast<std::size_t>(ns);
+        const int msb = 63 - __builtin_clzll(ns);
+        const int shift = msb - static_cast<int>(kSubBits);
+        const auto sub = static_cast<std::size_t>((ns >> shift) & (kSub - 1));
+        return static_cast<std::size_t>(msb - static_cast<int>(kSubBits) + 1) * kSub + sub;
+    }
+
+    static std::uint64_t upper_bound(std::size_t index) noexcept {
+        const std::size_t exp = index / kSub;
+        const std::size_t sub = index % kSub;
+        if (exp == 0) return sub;
+        const int shift = static_cast<int>(exp) - 1;
+        return ((kSub + sub + 1) << shift) - 1;
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+}  // namespace lcrq

@@ -1,0 +1,103 @@
+#include "util/perf_events.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace lcrq {
+
+const char* hw_event_name(HwEvent e) noexcept {
+    switch (e) {
+        case HwEvent::kInstructions: return "instructions";
+        case HwEvent::kL1DMisses: return "L1d_misses";
+        case HwEvent::kLLCMisses: return "LLC_misses";
+        case HwEvent::kCount: break;
+    }
+    return "?";
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int open_event(std::uint32_t type, std::uint64_t config) {
+    perf_event_attr attr{};
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    return static_cast<int>(
+        ::syscall(SYS_perf_event_open, &attr, 0 /* this thread */, -1, -1, 0));
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+    fds_.fill(-1);
+    fds_[static_cast<std::size_t>(HwEvent::kInstructions)] =
+        open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+    fds_[static_cast<std::size_t>(HwEvent::kL1DMisses)] = open_event(
+        PERF_TYPE_HW_CACHE, PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                                (PERF_COUNT_HW_CACHE_RESULT_MISS << 16));
+    fds_[static_cast<std::size_t>(HwEvent::kLLCMisses)] =
+        open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+    if (!any_available()) {
+        reason_ = std::string("perf_event_open: ") + std::strerror(errno);
+    }
+}
+
+PerfCounters::~PerfCounters() {
+    for (int fd : fds_) {
+        if (fd >= 0) ::close(fd);
+    }
+}
+
+bool PerfCounters::any_available() const noexcept {
+    for (int fd : fds_) {
+        if (fd >= 0) return true;
+    }
+    return false;
+}
+
+void PerfCounters::start() {
+    for (int fd : fds_) {
+        if (fd < 0) continue;
+        ::ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+        ::ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+}
+
+HwCounts PerfCounters::stop() {
+    HwCounts out;
+    for (std::size_t i = 0; i < kHwEventCount; ++i) {
+        const int fd = fds_[i];
+        if (fd < 0) continue;
+        ::ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+        std::uint64_t value = 0;
+        if (::read(fd, &value, sizeof(value)) == static_cast<ssize_t>(sizeof(value))) {
+            out.counts[i] = value;
+            out.valid[i] = true;
+        }
+    }
+    return out;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters() : reason_("perf_event_open: not Linux") { fds_.fill(-1); }
+PerfCounters::~PerfCounters() = default;
+bool PerfCounters::any_available() const noexcept { return false; }
+void PerfCounters::start() {}
+HwCounts PerfCounters::stop() { return {}; }
+
+#endif
+
+}  // namespace lcrq

@@ -1,0 +1,63 @@
+// perf_event_open wrapper for the hardware rows of Tables 2 and 3
+// (instructions retired, L1/L2/LLC data-cache misses).
+//
+// Containers routinely deny perf_event_open (kernel.perf_event_paranoid,
+// seccomp); the wrapper degrades to "unavailable" and the table benches
+// print `n/a` for those rows while the software-counter rows (atomic ops,
+// CAS failures) — which carry the paper's actual argument — are always
+// measured.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lcrq {
+
+enum class HwEvent : unsigned {
+    kInstructions = 0,
+    kL1DMisses,
+    kLLCMisses,
+    kCount,
+};
+
+inline constexpr std::size_t kHwEventCount = static_cast<std::size_t>(HwEvent::kCount);
+
+const char* hw_event_name(HwEvent e) noexcept;
+
+struct HwCounts {
+    std::array<std::uint64_t, kHwEventCount> counts{};
+    std::array<bool, kHwEventCount> valid{};
+
+    std::optional<std::uint64_t> get(HwEvent e) const noexcept {
+        const auto i = static_cast<std::size_t>(e);
+        if (!valid[i]) return std::nullopt;
+        return counts[i];
+    }
+};
+
+// Per-thread counter group.  Counts events of the calling thread between
+// start() and stop().  Construction attempts to open all events; events
+// the kernel refuses are marked invalid.
+class PerfCounters {
+  public:
+    PerfCounters();
+    ~PerfCounters();
+
+    PerfCounters(const PerfCounters&) = delete;
+    PerfCounters& operator=(const PerfCounters&) = delete;
+
+    bool any_available() const noexcept;
+    void start();
+    HwCounts stop();
+
+    // Why counters are unavailable (empty if all opened).
+    const std::string& unavailable_reason() const noexcept { return reason_; }
+
+  private:
+    std::array<int, kHwEventCount> fds_;
+    std::string reason_;
+};
+
+}  // namespace lcrq

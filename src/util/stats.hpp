@@ -1,0 +1,44 @@
+// Scalar statistics accumulators for repeated benchmark runs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace lcrq {
+
+class RunningStats {
+  public:
+    void add(double x) noexcept {
+        // Welford's online mean/variance.
+        ++n_;
+        const double d = x - mean_;
+        mean_ += d / static_cast<double>(n_);
+        m2_ += d * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const noexcept { return n_; }
+    double mean() const noexcept { return mean_; }
+    double variance() const noexcept {
+        return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+    }
+    double stddev() const noexcept { return std::sqrt(variance()); }
+    double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+    double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+    // Coefficient of variation; the paper reports "variance is negligible".
+    double cv() const noexcept { return mean_ == 0.0 ? 0.0 : stddev() / mean_; }
+
+    void reset() noexcept { *this = RunningStats{}; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace lcrq

@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+
+namespace lcrq {
+
+std::string format_double(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string format_si(double v, int precision) {
+    const char* suffix = "";
+    if (v >= 1e9) {
+        v /= 1e9;
+        suffix = "G";
+    } else if (v >= 1e6) {
+        v /= 1e6;
+        suffix = "M";
+    } else if (v >= 1e3) {
+        v /= 1e3;
+        suffix = "K";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%s", precision, v, suffix);
+    return buf;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double v, int precision) {
+    cells_.push_back(format_double(v, precision));
+    return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    cells_.emplace_back(buf);
+    return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    cells_.emplace_back(buf);
+    return *this;
+}
+
+void Table::print(std::FILE* out) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& s = c < cells.size() ? cells[c] : std::string{};
+            std::fprintf(out, "%s%-*s", c == 0 ? "| " : " | ", static_cast<int>(widths[c]),
+                         s.c_str());
+        }
+        std::fprintf(out, " |\n");
+    };
+    line(header_);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        std::fprintf(out, "%s%s", c == 0 ? "|-" : "-|-", std::string(widths[c], '-').c_str());
+    }
+    std::fprintf(out, "-|\n");
+    for (const auto& row : rows_) line(row);
+}
+
+void Table::print_csv(std::FILE* out) const {
+    auto line = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            std::fprintf(out, "%s%s", c == 0 ? "" : ",", cells[c].c_str());
+        }
+        std::fprintf(out, "\n");
+    };
+    line(header_);
+    for (const auto& row : rows_) line(row);
+}
+
+}  // namespace lcrq

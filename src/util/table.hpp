@@ -1,0 +1,47 @@
+// ASCII table / CSV emission for the paper-shaped bench reports.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lcrq {
+
+class Table {
+  public:
+    explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+    void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+    // Convenience: build a row from heterogeneous cells.
+    class RowBuilder {
+      public:
+        explicit RowBuilder(Table& t) : table_(t) {}
+        ~RowBuilder() { table_.add_row(std::move(cells_)); }
+        RowBuilder& cell(const std::string& s) {
+            cells_.push_back(s);
+            return *this;
+        }
+        RowBuilder& cell(double v, int precision = 2);
+        RowBuilder& cell(std::uint64_t v);
+        RowBuilder& cell(std::int64_t v);
+        RowBuilder& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+
+      private:
+        Table& table_;
+        std::vector<std::string> cells_;
+    };
+    RowBuilder row() { return RowBuilder(*this); }
+
+    void print(std::FILE* out = stdout) const;
+    void print_csv(std::FILE* out = stdout) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int precision = 2);
+std::string format_si(double v, int precision = 2);  // 1234567 -> "1.23M"
+
+}  // namespace lcrq

@@ -1,0 +1,28 @@
+#include "util/timing.hpp"
+
+namespace lcrq {
+
+namespace {
+
+double calibrate() {
+    const std::uint64_t ns0 = now_ns();
+    const std::uint64_t t0 = rdtsc();
+    // ~10 ms window: long enough to average out store-buffer noise, short
+    // enough not to slow test startup.
+    while (now_ns() - ns0 < 10'000'000) {
+    }
+    const std::uint64_t t1 = rdtsc();
+    const std::uint64_t ns1 = now_ns();
+    const double ratio =
+        static_cast<double>(t1 - t0) / static_cast<double>(ns1 - ns0 ? ns1 - ns0 : 1);
+    return ratio > 0 ? ratio : 1.0;
+}
+
+}  // namespace
+
+double tsc_per_ns() {
+    static const double ratio = calibrate();
+    return ratio;
+}
+
+}  // namespace lcrq

@@ -1,0 +1,63 @@
+// Deterministic per-thread PRNG.
+//
+// The methodology (§5) inserts a random delay of up to 100 ns between queue
+// operations to break artificial long runs; drawing those delays must not
+// itself synchronize threads, so std::mt19937 (fine) behind std::random_device
+// (syscall) or rand() (shared state) are out.  xoshiro256** is small, fast,
+// and passes BigCrush; splitmix64 seeds it from a single word.
+#pragma once
+
+#include <cstdint>
+
+namespace lcrq {
+
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+class Xoshiro256 {
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256(std::uint64_t seed = 0x8badf00ddeadbeefULL) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept {
+        for (auto& w : s_) w = splitmix64(seed);
+        if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+    }
+
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    // Uniform in [0, bound) without modulo bias (Lemire's method).
+    std::uint64_t bounded(std::uint64_t bound) noexcept {
+        if (bound == 0) return 0;
+        const unsigned __int128 m = static_cast<unsigned __int128>((*this)()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+};
+
+}  // namespace lcrq

@@ -1,0 +1,90 @@
+// Concurrent history recording.
+//
+// The linearizability tests run real threads against a queue while each
+// thread logs (invoke timestamp, operation, result, response timestamp)
+// into a private buffer; after joining, the merged log is a *complete
+// history* in the Herlihy–Wing sense (every invocation has a response,
+// because threads finish their operations before the join).  The checkers
+// in lin_check.hpp then decide (exactly, for small histories) or refute
+// (necessary conditions, for large ones) linearizability against the
+// sequential FIFO queue specification.
+//
+// Timestamps are raw TSC ticks: globally meaningful on invariant-TSC x86,
+// and two orders of magnitude cheaper than clock_gettime, which matters
+// because timestamping must not serialize the very races being tested.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "queues/queue_common.hpp"
+#include "util/timing.hpp"
+
+namespace lcrq::verify {
+
+// Result slot of a dequeue that returned EMPTY.
+inline constexpr value_t kEmpty = kBottom;
+
+struct Operation {
+    enum class Kind : std::uint8_t { kEnqueue, kDequeue };
+
+    Kind kind;
+    int thread;
+    // kEnqueue: the enqueued value.  kDequeue: the dequeued value or kEmpty.
+    value_t value;
+    std::uint64_t invoke;    // TSC at invocation
+    std::uint64_t response;  // TSC at response
+};
+
+using History = std::vector<Operation>;
+
+// One per worker thread; merge after joining.
+class ThreadLog {
+  public:
+    explicit ThreadLog(int thread, std::size_t reserve = 0) : thread_(thread) {
+        ops_.reserve(reserve);
+    }
+
+    // Wrap a queue operation, timestamping around it.
+    template <typename Q>
+    void enqueue(Q& q, value_t v) {
+        const std::uint64_t t0 = rdtsc();
+        q.enqueue(v);
+        const std::uint64_t t1 = rdtsc();
+        ops_.push_back({Operation::Kind::kEnqueue, thread_, v, t0, t1});
+    }
+
+    template <typename Q>
+    bool dequeue(Q& q) {
+        const std::uint64_t t0 = rdtsc();
+        const auto v = q.dequeue();
+        const std::uint64_t t1 = rdtsc();
+        ops_.push_back({Operation::Kind::kDequeue, thread_,
+                        v.has_value() ? *v : kEmpty, t0, t1});
+        return v.has_value();
+    }
+
+    const History& ops() const noexcept { return ops_; }
+    // For tests that synthesize events (e.g. fault injection around a real
+    // queue) alongside recorded ones.
+    History& ops_mutable() noexcept { return ops_; }
+    History take() noexcept { return std::move(ops_); }
+
+  private:
+    int thread_;
+    History ops_;
+};
+
+inline History merge(std::vector<ThreadLog>& logs) {
+    History all;
+    std::size_t total = 0;
+    for (const auto& l : logs) total += l.ops().size();
+    all.reserve(total);
+    for (auto& l : logs) {
+        History h = l.take();
+        all.insert(all.end(), h.begin(), h.end());
+    }
+    return all;
+}
+
+}  // namespace lcrq::verify

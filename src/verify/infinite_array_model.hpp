@@ -1,0 +1,100 @@
+// Small-step model of the Figure 2 infinite-array queue, for schedule
+// exploration.  The paper omits this algorithm's linearizability proof
+// (footnote 4, "similar to the proof in Section 4.1.2"); the explorer
+// makes the claim executable by enumerating every interleaving of small
+// configurations.
+//
+// Steps mirror queues/infinite_array_queue.hpp:
+//   enqueue: F&A(tail) -> t; SWAP(Q[t], x): got ⊥ -> done, else retry.
+//   dequeue: F&A(head) -> h; SWAP(Q[h], ⊤): got value -> done;
+//            read tail: tail <= h+1 -> EMPTY, else retry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "queues/queue_common.hpp"
+#include "verify/crq_model.hpp"  // shared Kind/Status enums
+#include "verify/history.hpp"
+
+namespace lcrq::verify {
+
+struct InfArrayModelState {
+    std::uint64_t head = 0;
+    std::uint64_t tail = 0;
+    // "Infinite" array: grown on demand (model runs are tiny).
+    std::vector<value_t> cells;
+
+    value_t& cell(std::uint64_t i) {
+        if (i >= cells.size()) cells.resize(i + 1, kBottom);
+        return cells[i];
+    }
+};
+
+class InfArrayModelOp {
+  public:
+    using Kind = CrqModelOp::Kind;
+    using Status = CrqModelOp::Status;
+
+    InfArrayModelOp(Kind kind, value_t arg) : kind_(kind), arg_(arg) {
+        pc_ = (kind == Kind::kDequeue) ? 10 : 0;
+    }
+
+    Status step(InfArrayModelState& s) {
+        switch (pc_) {
+            // enqueue
+            case 0:
+                t_ = s.tail;
+                s.tail += 1;
+                pc_ = 1;
+                return Status::kRunning;
+            case 1: {
+                value_t& c = s.cell(t_);
+                const value_t old = c;
+                c = arg_;  // SWAP
+                if (old == kBottom) return finish(arg_);
+                pc_ = 0;  // poisoned by a dequeuer: take a fresh ticket
+                return Status::kRunning;
+            }
+            // dequeue
+            case 10:
+                t_ = s.head;
+                s.head += 1;
+                pc_ = 11;
+                return Status::kRunning;
+            case 11: {
+                value_t& c = s.cell(t_);
+                const value_t old = c;
+                c = kTop;  // SWAP with ⊤ poisons the cell
+                if (old != kBottom) return finish(old);
+                pc_ = 12;
+                return Status::kRunning;
+            }
+            case 12:
+                if (s.tail <= t_ + 1) return finish(kEmpty);
+                pc_ = 10;
+                return Status::kRunning;
+            default: return finish(kEmpty);
+        }
+    }
+
+    bool done() const noexcept { return done_; }
+    value_t result() const noexcept { return result_; }
+    Kind kind() const noexcept { return kind_; }
+
+  private:
+    Status finish(value_t r) {
+        done_ = true;
+        result_ = r;
+        return Status::kDone;
+    }
+
+    Kind kind_;
+    value_t arg_;
+    unsigned pc_;
+    std::uint64_t t_ = 0;
+    bool done_ = false;
+    value_t result_ = 0;
+};
+
+}  // namespace lcrq::verify

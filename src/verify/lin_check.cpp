@@ -1,0 +1,213 @@
+#include "verify/lin_check.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace lcrq::verify {
+
+namespace {
+
+std::string describe(const Operation& op) {
+    std::ostringstream os;
+    if (op.kind == Operation::Kind::kEnqueue) {
+        os << "enq(" << op.value << ")";
+    } else if (op.value == kEmpty) {
+        os << "deq()=EMPTY";
+    } else {
+        os << "deq()=" << op.value;
+    }
+    os << " by thread " << op.thread << " @[" << op.invoke << "," << op.response << "]";
+    return os.str();
+}
+
+}  // namespace
+
+CheckResult check_queue_fast(const History& history) {
+    struct ValueOps {
+        const Operation* enq = nullptr;
+        const Operation* deq = nullptr;
+    };
+    std::unordered_map<value_t, ValueOps> values;
+    values.reserve(history.size());
+
+    for (const auto& op : history) {
+        if (op.kind == Operation::Kind::kEnqueue) {
+            auto& v = values[op.value];
+            if (v.enq != nullptr) {
+                return {false, "duplicate enqueue of value (test bug): " + describe(op)};
+            }
+            v.enq = &op;
+        } else if (op.value != kEmpty) {
+            auto& v = values[op.value];
+            if (v.deq != nullptr) {
+                return {false, "V2 duplication: value dequeued twice: " + describe(op) +
+                                   " and " + describe(*v.deq)};
+            }
+            v.deq = &op;
+        }
+    }
+
+    for (const auto& [val, ops] : values) {
+        if (ops.deq != nullptr && ops.enq == nullptr) {
+            return {false, "V1 invention: dequeued value never enqueued: " +
+                               describe(*ops.deq)};
+        }
+        if (ops.deq != nullptr && ops.deq->response < ops.enq->invoke) {
+            return {false, "V3 causality: " + describe(*ops.deq) +
+                               " responded before " + describe(*ops.enq) + " was invoked"};
+        }
+    }
+
+    // V4 sweep.  Sort values by enq invoke; sweep a second cursor over
+    // values by enq response, maintaining the max dequeue-invoke (with
+    // +inf for never-dequeued values) among every value a whose enqueue
+    // responded before the current enqueue's invocation.  A dequeued value
+    // b violates FIFO iff that max exceeds deq(b)'s response.
+    struct Item {
+        const Operation* enq;
+        const Operation* deq;  // null if never dequeued
+    };
+    std::vector<Item> items;
+    items.reserve(values.size());
+    for (const auto& [val, ops] : values) {
+        if (ops.enq != nullptr) items.push_back({ops.enq, ops.deq});
+    }
+
+    std::vector<const Item*> by_invoke(items.size());
+    std::vector<const Item*> by_response(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        by_invoke[i] = &items[i];
+        by_response[i] = &items[i];
+    }
+    std::sort(by_invoke.begin(), by_invoke.end(),
+              [](const Item* a, const Item* b) { return a->enq->invoke < b->enq->invoke; });
+    std::sort(by_response.begin(), by_response.end(), [](const Item* a, const Item* b) {
+        return a->enq->response < b->enq->response;
+    });
+
+    constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_deq_invoke = 0;
+    const Item* max_witness = nullptr;
+    std::size_t cursor = 0;
+    for (const Item* b : by_invoke) {
+        while (cursor < by_response.size() &&
+               by_response[cursor]->enq->response < b->enq->invoke) {
+            const Item* a = by_response[cursor++];
+            const std::uint64_t di = a->deq == nullptr ? kInf : a->deq->invoke;
+            if (di > max_deq_invoke) {
+                max_deq_invoke = di;
+                max_witness = a;
+            }
+        }
+        if (b->deq != nullptr && max_witness != nullptr &&
+            max_deq_invoke > b->deq->response) {
+            const Item* a = max_witness;
+            std::string detail =
+                a->deq == nullptr
+                    ? std::string("which was never dequeued")
+                    : "whose dequeue " + describe(*a->deq) + " had not been invoked";
+            return {false, "V4 FIFO: " + describe(*b->deq) + " responded although " +
+                               describe(*a->enq) + " preceded " + describe(*b->enq) +
+                               " and " + detail};
+        }
+    }
+
+    return {};
+}
+
+// ---------------------------------------------------------------------------
+// Exact checker (Wing & Gong search with memoization).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SearchState {
+    const History* ops;
+    std::vector<bool> done;
+    std::deque<value_t> queue;
+    std::unordered_set<std::uint64_t> visited;
+    std::size_t remaining;
+
+    std::uint64_t key() const {
+        // Hash (done bitmask, queue contents).  |ops| ≤ 64 so the mask
+        // fits one word; combine with a rolling hash of the queue.
+        std::uint64_t mask = 0;
+        for (std::size_t i = 0; i < done.size(); ++i) {
+            if (done[i]) mask |= std::uint64_t{1} << i;
+        }
+        std::uint64_t h = mask * 0x9e3779b97f4a7c15ULL;
+        for (value_t v : queue) {
+            h ^= (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+        }
+        return h;
+    }
+};
+
+bool search(SearchState& st) {
+    if (st.remaining == 0) return true;
+    if (!st.visited.insert(st.key()).second) return false;
+
+    // Candidate set: pending operations invoked before the earliest
+    // response among pending operations (those are the only ones that can
+    // linearize first).
+    std::uint64_t min_response = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < st.ops->size(); ++i) {
+        if (!st.done[i]) min_response = std::min(min_response, (*st.ops)[i].response);
+    }
+
+    for (std::size_t i = 0; i < st.ops->size(); ++i) {
+        if (st.done[i]) continue;
+        const Operation& op = (*st.ops)[i];
+        if (op.invoke > min_response) continue;
+
+        if (op.kind == Operation::Kind::kEnqueue) {
+            st.done[i] = true;
+            --st.remaining;
+            st.queue.push_back(op.value);
+            if (search(st)) return true;
+            st.queue.pop_back();
+            ++st.remaining;
+            st.done[i] = false;
+        } else if (op.value == kEmpty) {
+            if (!st.queue.empty()) continue;
+            st.done[i] = true;
+            --st.remaining;
+            if (search(st)) return true;
+            ++st.remaining;
+            st.done[i] = false;
+        } else {
+            if (st.queue.empty() || st.queue.front() != op.value) continue;
+            st.done[i] = true;
+            --st.remaining;
+            st.queue.pop_front();
+            if (search(st)) return true;
+            st.queue.push_front(op.value);
+            ++st.remaining;
+            st.done[i] = false;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+CheckResult check_queue_exact(const History& history) {
+    if (history.size() > 64) {
+        return {false, "exact checker limited to 64 operations; got " +
+                           std::to_string(history.size())};
+    }
+    SearchState st;
+    st.ops = &history;
+    st.done.assign(history.size(), false);
+    st.remaining = history.size();
+    if (search(st)) return {};
+    return {false, "no linearization of the history against the FIFO queue spec exists"};
+}
+
+}  // namespace lcrq::verify

@@ -1,0 +1,42 @@
+// Linearizability checking for FIFO queue histories.
+//
+// Two checkers, both assuming *distinct enqueued values* (the tests tag
+// every value with (thread, sequence)) and *complete* histories:
+//
+//  * check_queue_fast — necessary conditions in O(n log n), suitable for
+//    histories with millions of operations:
+//      V1 no invention: every dequeued value was enqueued;
+//      V2 no duplication: no value dequeued twice;
+//      V3 causality: deq(x) cannot respond before enq(x) was invoked;
+//      V4 FIFO precedence: if enq(a) responds before enq(b) is invoked,
+//         then deq(b) must not respond before deq(a) is invoked — and if b
+//         was dequeued, a cannot remain in the queue forever.
+//    A history that fails any of these is NOT linearizable.  (Passing is
+//    not a proof, but V1–V4 catch the realistic failure modes: lost or
+//    duplicated items, reordering across the contended indices, and the
+//    proceedings-version LCRQ bug.)
+//
+//  * check_queue_exact — a Wing & Gong style exhaustive search against
+//    the sequential queue spec, with Lowe-style memoization on
+//    (completed-set, queue-state).  Exponential worst case; intended for
+//    targeted small histories (≤ 64 operations), and the only checker
+//    that validates EMPTY results exactly.
+#pragma once
+
+#include <string>
+
+#include "verify/history.hpp"
+
+namespace lcrq::verify {
+
+struct CheckResult {
+    bool ok = true;
+    std::string error;  // human-readable witness when !ok
+
+    explicit operator bool() const noexcept { return ok; }
+};
+
+CheckResult check_queue_fast(const History& history);
+CheckResult check_queue_exact(const History& history);
+
+}  // namespace lcrq::verify

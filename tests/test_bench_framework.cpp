@@ -1,0 +1,159 @@
+// Bench framework: the pairs runner produces sane results, honors
+// placement/prefill/latency options, and the CLI plumbing round-trips.
+#include <gtest/gtest.h>
+
+#include "bench_framework/report.hpp"
+#include "bench_framework/runner.hpp"
+
+namespace lcrq::bench {
+namespace {
+
+RunConfig quick_config() {
+    RunConfig cfg;
+    cfg.threads = 2;
+    cfg.pairs_per_thread = 2'000;
+    cfg.runs = 2;
+    cfg.max_delay_ns = 0;  // keep the test fast
+    cfg.placement = topo::Placement::kUnpinned;
+    return cfg;
+}
+
+TEST(Runner, ProducesPositiveThroughput) {
+    const auto r = run_pairs("lcrq", QueueOptions{}, quick_config());
+    EXPECT_EQ(r.throughput.count(), 2u);
+    EXPECT_GT(r.mean_ops_per_sec(), 0.0);
+    EXPECT_EQ(r.total_ops, 2u * 2 * 2'000 * 2);  // runs * threads * pairs * 2
+}
+
+TEST(Runner, CountsOperationsExactly) {
+    stats::reset_all();
+    const auto r = run_pairs("ms", QueueOptions{}, quick_config());
+    EXPECT_EQ(r.events[stats::Event::kEnqueue] + r.events[stats::Event::kDequeue],
+              r.total_ops);
+}
+
+TEST(Runner, PrefillLeavesResidue) {
+    RunConfig cfg = quick_config();
+    cfg.prefill = 500;
+    const auto r = run_pairs("lcrq", QueueOptions{}, cfg);
+    // With a prefilled queue, pair dequeues should essentially never see
+    // EMPTY (each dequeue follows this thread's own enqueue).
+    EXPECT_EQ(r.empty_dequeues, 0u);
+}
+
+TEST(Runner, LatencySamplingFillsHistogram) {
+    RunConfig cfg = quick_config();
+    cfg.latency_sample_every = 4;
+    const auto r = run_pairs("lcrq", QueueOptions{}, cfg);
+    EXPECT_GT(r.latency.total(), 0u);
+    EXPECT_LE(r.latency.total(), r.total_ops);
+    EXPECT_GT(r.latency.mean(), 0.0);
+}
+
+TEST(Runner, WorksWithEveryPlacement) {
+    for (auto p : {topo::Placement::kSingleCluster, topo::Placement::kRoundRobin,
+                   topo::Placement::kUnpinned}) {
+        RunConfig cfg = quick_config();
+        cfg.pairs_per_thread = 500;
+        cfg.placement = p;
+        cfg.clusters = 2;
+        const auto r = run_pairs("lcrq+h", QueueOptions{}, cfg);
+        EXPECT_GT(r.mean_ops_per_sec(), 0.0) << topo::placement_name(p);
+    }
+}
+
+TEST(Runner, EffectiveTopologyHonorsClusterOverride) {
+    RunConfig cfg = quick_config();
+    cfg.clusters = 4;
+    const auto t = effective_topology(cfg);
+    EXPECT_EQ(t.num_clusters, 4);
+}
+
+TEST(Report, CommonFlagsRoundTrip) {
+    Cli cli("x", "y");
+    RunConfig defaults;
+    defaults.threads = 8;
+    defaults.pairs_per_thread = 123;
+    add_common_flags(cli, defaults, 9);
+    std::string a0 = "x", a1 = "--placement=round-robin", a2 = "--prefill=77";
+    char* argv[] = {a0.data(), a1.data(), a2.data()};
+    ASSERT_TRUE(cli.parse(3, argv));
+    const RunConfig cfg = config_from_cli(cli);
+    EXPECT_EQ(cfg.threads, 8);
+    EXPECT_EQ(cfg.pairs_per_thread, 123u);
+    EXPECT_EQ(cfg.placement, topo::Placement::kRoundRobin);
+    EXPECT_EQ(cfg.prefill, 77u);
+    const QueueOptions opt = queue_options_from_cli(cli);
+    EXPECT_EQ(opt.ring_order, 9u);
+}
+
+TEST(Report, ThroughputCellFormats) {
+    RunResult r;
+    r.throughput.add(2'000'000.0);
+    const std::string s = throughput_cell(r);
+    EXPECT_NE(s.find("2.00M"), std::string::npos);
+}
+
+TEST(Runner, WorkloadNamesRoundTrip) {
+    Workload w;
+    EXPECT_TRUE(parse_workload("pairs", w));
+    EXPECT_EQ(w, Workload::kPairs);
+    EXPECT_TRUE(parse_workload("prodcons", w));
+    EXPECT_EQ(w, Workload::kProducerConsumer);
+    EXPECT_TRUE(parse_workload("mix", w));
+    EXPECT_EQ(w, Workload::kMix5050);
+    EXPECT_FALSE(parse_workload("bogus", w));
+    EXPECT_STREQ(workload_name(Workload::kPairs), "pairs");
+    EXPECT_STREQ(workload_name(Workload::kProducerConsumer), "prodcons");
+    EXPECT_STREQ(workload_name(Workload::kMix5050), "mix");
+}
+
+TEST(Runner, ProducerConsumerConsumesEverything) {
+    stats::reset_all();
+    RunConfig cfg = quick_config();
+    cfg.threads = 4;  // 2 producers + 2 consumers
+    cfg.workload = Workload::kProducerConsumer;
+    cfg.runs = 1;
+    const auto r = run_pairs("lcrq", QueueOptions{}, cfg);
+    // 2 producers x pairs enqueues, consumers dequeue exactly that many
+    // successfully (plus possibly some EMPTY attempts).
+    EXPECT_EQ(r.events[stats::Event::kEnqueue], 2u * cfg.pairs_per_thread);
+    EXPECT_EQ(r.events[stats::Event::kDequeue] -
+                  r.events[stats::Event::kDequeueEmpty],
+              2u * cfg.pairs_per_thread);
+    EXPECT_GT(r.mean_ops_per_sec(), 0.0);
+}
+
+TEST(Runner, ProducerConsumerDrainsPrefillToo) {
+    stats::reset_all();
+    RunConfig cfg = quick_config();
+    cfg.threads = 2;
+    cfg.workload = Workload::kProducerConsumer;
+    cfg.runs = 1;
+    cfg.prefill = 300;
+    const auto r = run_pairs("lcrq", QueueOptions{}, cfg);
+    EXPECT_EQ(r.events[stats::Event::kDequeue] -
+                  r.events[stats::Event::kDequeueEmpty],
+              cfg.pairs_per_thread + 300);
+}
+
+TEST(Runner, MixWorkloadBalances) {
+    stats::reset_all();
+    RunConfig cfg = quick_config();
+    cfg.threads = 3;
+    cfg.workload = Workload::kMix5050;
+    cfg.runs = 1;
+    const auto r = run_pairs("ms", QueueOptions{}, cfg);
+    const auto enq = r.events[stats::Event::kEnqueue];
+    const auto deq_ok =
+        r.events[stats::Event::kDequeue] - r.events[stats::Event::kDequeueEmpty];
+    // Successful dequeues never exceed enqueues; with a fair coin they
+    // land in the same ballpark.
+    EXPECT_LE(deq_ok, enq);
+    EXPECT_GT(enq, 0u);
+    const auto total = 2u * 3u * cfg.pairs_per_thread;
+    EXPECT_EQ(r.total_ops, total);
+}
+
+}  // namespace
+}  // namespace lcrq::bench

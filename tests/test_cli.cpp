@@ -1,0 +1,143 @@
+// CLI parser: flag forms, defaults, typed getters, error handling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace lcrq {
+namespace {
+
+// argv helper: builds a mutable char*[] from string literals.
+class Argv {
+  public:
+    explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+        for (auto& s : strings_) ptrs_.push_back(s.data());
+    }
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char** argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::vector<char*> ptrs_;
+};
+
+Cli make_cli() {
+    Cli cli("prog", "test program");
+    cli.flag("threads", "4", "thread count")
+        .flag("name", "lcrq", "queue name")
+        .flag("ratio", "0.5", "a ratio")
+        .flag("verbose", "false", "chatty")
+        .flag("list", "1,2,3", "numbers");
+    return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+    Cli cli = make_cli();
+    Argv a({"prog"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_EQ(cli.get_int("threads"), 4);
+    EXPECT_EQ(cli.get("name"), "lcrq");
+    EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 0.5);
+    EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+    Cli cli = make_cli();
+    Argv a({"prog", "--threads", "16", "--name", "ms"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_EQ(cli.get_int("threads"), 16);
+    EXPECT_EQ(cli.get("name"), "ms");
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+    Cli cli = make_cli();
+    Argv a({"prog", "--threads=8", "--verbose=true"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_EQ(cli.get_int("threads"), 8);
+    EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, BoolSpellings) {
+    for (const char* v : {"1", "true", "yes", "on"}) {
+        Cli cli = make_cli();
+        Argv a({"prog", std::string("--verbose=") + v});
+        ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+        EXPECT_TRUE(cli.get_bool("verbose")) << v;
+    }
+    for (const char* v : {"0", "false", "no", "off"}) {
+        Cli cli = make_cli();
+        Argv a({"prog", std::string("--verbose=") + v});
+        ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+        EXPECT_FALSE(cli.get_bool("verbose")) << v;
+    }
+}
+
+TEST(Cli, IntList) {
+    Cli cli = make_cli();
+    Argv a({"prog", "--list=4,8,16,32"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_EQ(cli.get_int_list("list"), (std::vector<std::int64_t>{4, 8, 16, 32}));
+}
+
+TEST(Cli, UnknownFlagFails) {
+    Cli cli = make_cli();
+    Argv a({"prog", "--bogus=1"});
+    EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+    EXPECT_TRUE(cli.failed());
+}
+
+TEST(Cli, MissingValueFails) {
+    Cli cli = make_cli();
+    Argv a({"prog", "--threads"});
+    EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+    EXPECT_TRUE(cli.failed());
+}
+
+TEST(Cli, HelpReturnsFalseWithoutFailure) {
+    Cli cli = make_cli();
+    Argv a({"prog", "--help"});
+    EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+    EXPECT_FALSE(cli.failed());
+}
+
+TEST(Cli, PositionalArgumentFails) {
+    Cli cli = make_cli();
+    Argv a({"prog", "stray"});
+    EXPECT_FALSE(cli.parse(a.argc(), a.argv()));
+    EXPECT_TRUE(cli.failed());
+}
+
+TEST(Cli, HexAndNegativeIntegers) {
+    Cli cli = make_cli();
+    Argv a({"prog", "--threads=0x10"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_EQ(cli.get_int("threads"), 16);
+
+    Cli cli2 = make_cli();
+    Argv b({"prog", "--threads=-3"});
+    ASSERT_TRUE(cli2.parse(b.argc(), b.argv()));
+    EXPECT_EQ(cli2.get_int("threads"), -3);
+}
+
+TEST(Cli, EmptyListAndTrailingComma) {
+    Cli cli = make_cli();
+    Argv a({"prog", "--list="});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_TRUE(cli.get_int_list("list").empty());
+
+    Cli cli2 = make_cli();
+    Argv b({"prog", "--list=5,"});
+    ASSERT_TRUE(cli2.parse(b.argc(), b.argv()));
+    EXPECT_EQ(cli2.get_int_list("list"), (std::vector<std::int64_t>{5}));
+}
+
+TEST(Cli, LastValueWins) {
+    Cli cli = make_cli();
+    Argv a({"prog", "--threads=2", "--threads=9"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_EQ(cli.get_int("threads"), 9);
+}
+
+}  // namespace
+}  // namespace lcrq

@@ -1,0 +1,110 @@
+// Software event-counter tests: per-thread accumulation, aggregation
+// across live and exited threads, reset, and snapshot arithmetic.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "arch/counters.hpp"
+#include "test_support.hpp"
+
+namespace lcrq::stats {
+namespace {
+
+TEST(Counters, CountAndSnapshot) {
+    reset_all();
+    count(Event::kFaa);
+    count(Event::kFaa);
+    count(Event::kCas, 5);
+    const Snapshot s = global_snapshot();
+    EXPECT_EQ(s[Event::kFaa], 2u);
+    EXPECT_EQ(s[Event::kCas], 5u);
+    EXPECT_EQ(s[Event::kSwap], 0u);
+}
+
+TEST(Counters, SnapshotDifference) {
+    reset_all();
+    count(Event::kEnqueue, 10);
+    const Snapshot before = global_snapshot();
+    count(Event::kEnqueue, 7);
+    const Snapshot delta = global_snapshot() - before;
+    EXPECT_EQ(delta[Event::kEnqueue], 7u);
+}
+
+TEST(Counters, SumAcrossThreads) {
+    reset_all();
+    lcrq::test::run_threads(4, [](int) {
+        for (int i = 0; i < 100; ++i) count(Event::kCas2);
+    });
+    // Exited threads' counts must persist via the graveyard.
+    EXPECT_EQ(global_snapshot()[Event::kCas2], 400u);
+}
+
+TEST(Counters, ResetClearsEverything) {
+    count(Event::kTas, 3);
+    reset_all();
+    EXPECT_EQ(global_snapshot()[Event::kTas], 0u);
+}
+
+TEST(Counters, AtomicOpsRollup) {
+    reset_all();
+    count(Event::kFaa, 2);
+    count(Event::kSwap, 3);
+    count(Event::kTas, 4);
+    count(Event::kCas, 5);
+    count(Event::kCas2, 6);
+    count(Event::kCasFailure, 99);  // failures are not extra instructions
+    EXPECT_EQ(global_snapshot().atomic_ops(), 2u + 3 + 4 + 5 + 6);
+}
+
+TEST(Counters, OperationsRollup) {
+    reset_all();
+    count(Event::kEnqueue, 8);
+    count(Event::kDequeue, 9);
+    EXPECT_EQ(global_snapshot().operations(), 17u);
+}
+
+TEST(Counters, EventNamesAreUniqueAndNonEmpty) {
+    for (std::size_t i = 0; i < kEventCount; ++i) {
+        const auto n1 = event_name(static_cast<Event>(i));
+        EXPECT_FALSE(n1.empty());
+        for (std::size_t j = i + 1; j < kEventCount; ++j) {
+            EXPECT_NE(n1, event_name(static_cast<Event>(j)));
+        }
+    }
+}
+
+TEST(Counters, SnapshotPlusEquals) {
+    Snapshot a;
+    a[Event::kFaa] = 3;
+    Snapshot b;
+    b[Event::kFaa] = 4;
+    b[Event::kCas] = 1;
+    a += b;
+    EXPECT_EQ(a[Event::kFaa], 7u);
+    EXPECT_EQ(a[Event::kCas], 1u);
+}
+
+TEST(Counters, ThreadsDoNotShareBlocks) {
+    reset_all();
+    // Two live threads bump different events; totals must not interleave
+    // incorrectly (each block is thread-private until aggregation).
+    lcrq::test::run_threads(2, [](int id) {
+        for (int i = 0; i < 1'000; ++i) {
+            count(id == 0 ? Event::kFaa : Event::kSwap);
+        }
+    });
+    const Snapshot s = global_snapshot();
+    EXPECT_EQ(s[Event::kFaa], 1'000u);
+    EXPECT_EQ(s[Event::kSwap], 1'000u);
+}
+
+TEST(Counters, ManyWavesAccumulateThroughGraveyard) {
+    reset_all();
+    for (int wave = 0; wave < 10; ++wave) {
+        lcrq::test::run_threads(4, [](int) { count(Event::kTas, 5); });
+    }
+    EXPECT_EQ(global_snapshot()[Event::kTas], 10u * 4 * 5);
+}
+
+}  // namespace
+}  // namespace lcrq::stats

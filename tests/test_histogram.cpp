@@ -1,0 +1,155 @@
+// Latency histogram: bucket mapping invariants, percentile and CDF
+// queries, and merging — the machinery behind Figure 8.
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+namespace lcrq {
+namespace {
+
+TEST(Histogram, ExactForSmallValues) {
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < LatencyHistogram::kSub; ++v) {
+        EXPECT_EQ(LatencyHistogram::index_of(v), v);
+        EXPECT_EQ(LatencyHistogram::upper_bound(v), v);
+    }
+}
+
+TEST(Histogram, IndexIsMonotoneNondecreasing) {
+    std::size_t prev = 0;
+    for (std::uint64_t v = 0; v < 100'000; v += 7) {
+        const std::size_t idx = LatencyHistogram::index_of(v);
+        EXPECT_GE(idx, prev);
+        prev = idx;
+    }
+}
+
+TEST(Histogram, UpperBoundContainsValue) {
+    for (std::uint64_t v : {0ull, 1ull, 31ull, 32ull, 33ull, 63ull, 64ull, 100ull,
+                            1'000ull, 123'456ull, 1'000'000'000ull}) {
+        const std::size_t idx = LatencyHistogram::index_of(v);
+        EXPECT_GE(LatencyHistogram::upper_bound(idx), v) << v;
+        if (idx > 0) {
+            EXPECT_LT(LatencyHistogram::upper_bound(idx - 1), v + 1) << v;
+        }
+    }
+}
+
+TEST(Histogram, RelativeErrorBounded) {
+    // Log-linear with 32 sub-buckets: bucket width / value <= 1/32 + eps.
+    for (std::uint64_t v = 64; v < 10'000'000; v = v * 5 / 4 + 1) {
+        const std::size_t idx = LatencyHistogram::index_of(v);
+        const std::uint64_t ub = LatencyHistogram::upper_bound(idx);
+        EXPECT_LE(static_cast<double>(ub - v), static_cast<double>(v) / 16.0) << v;
+    }
+}
+
+TEST(Histogram, MeanTotalMax) {
+    LatencyHistogram h;
+    h.record(10);
+    h.record(20);
+    h.record(30);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.max(), 30u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+    const auto p50 = h.percentile(0.50);
+    const auto p90 = h.percentile(0.90);
+    const auto p99 = h.percentile(0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_NEAR(static_cast<double>(p50), 500.0, 40.0);
+    EXPECT_NEAR(static_cast<double>(p99), 990.0, 60.0);
+}
+
+TEST(Histogram, CdfAtMatchesFractions) {
+    LatencyHistogram h;
+    for (int i = 0; i < 80; ++i) h.record(10);
+    for (int i = 0; i < 20; ++i) h.record(10'000);
+    EXPECT_NEAR(h.cdf_at(100), 0.80, 0.01);
+    EXPECT_NEAR(h.cdf_at(20'000), 1.0, 0.001);
+    EXPECT_NEAR(h.cdf_at(5), 0.0, 0.001);
+}
+
+TEST(Histogram, CdfPointsAreMonotone) {
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v < 100'000; v = v * 3 / 2 + 1) h.record(v);
+    const auto pts = h.cdf_points();
+    ASSERT_FALSE(pts.empty());
+    double prev = 0.0;
+    std::uint64_t prev_ns = 0;
+    for (const auto& p : pts) {
+        EXPECT_GE(p.cum_fraction, prev);
+        EXPECT_GE(p.ns, prev_ns);
+        prev = p.cum_fraction;
+        prev_ns = p.ns;
+    }
+    EXPECT_DOUBLE_EQ(pts.back().cum_fraction, 1.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+    LatencyHistogram a, b;
+    a.record(5);
+    b.record(500);
+    b.record(5'000);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.max(), 5'000u);
+}
+
+TEST(Histogram, ResetClears) {
+    LatencyHistogram h;
+    h.record(42);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, EmptyQueriesAreSafe) {
+    LatencyHistogram h;
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.cdf_at(100), 0.0);
+    EXPECT_TRUE(h.cdf_points().empty());
+}
+
+TEST(Histogram, MergeIsOrderIndependent) {
+    // (a ∪ b) and (b ∪ a) must answer every query identically.
+    LatencyHistogram a1, b1, a2, b2;
+    for (std::uint64_t v = 1; v < 50'000; v = v * 2 + 3) {
+        a1.record(v);
+        a2.record(v);
+    }
+    for (std::uint64_t v = 7; v < 900'000; v = v * 3 + 1) {
+        b1.record(v);
+        b2.record(v);
+    }
+    a1.merge(b1);  // a ∪ b
+    b2.merge(a2);  // b ∪ a
+    EXPECT_EQ(a1.total(), b2.total());
+    EXPECT_EQ(a1.max(), b2.max());
+    for (double q : {0.1, 0.5, 0.9, 0.99}) {
+        EXPECT_EQ(a1.percentile(q), b2.percentile(q)) << q;
+    }
+    for (std::uint64_t probe : {10ull, 1'000ull, 100'000ull}) {
+        EXPECT_DOUBLE_EQ(a1.cdf_at(probe), b2.cdf_at(probe)) << probe;
+    }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+    LatencyHistogram a, empty;
+    a.record(42);
+    a.record(4'200);
+    const auto before_total = a.total();
+    const auto before_p50 = a.percentile(0.5);
+    a.merge(empty);
+    EXPECT_EQ(a.total(), before_total);
+    EXPECT_EQ(a.percentile(0.5), before_p50);
+}
+
+}  // namespace
+}  // namespace lcrq

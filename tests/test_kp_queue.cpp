@@ -1,0 +1,88 @@
+// Kogan–Petrank wait-free queue: FIFO semantics, helping correctness
+// under contention, EMPTY linearization, and allocation bookkeeping.
+#include <gtest/gtest.h>
+
+#include "queues/kp_queue.hpp"
+#include "test_support.hpp"
+
+namespace lcrq {
+namespace {
+
+TEST(KpQueue, FifoSingleThread) {
+    KpQueue q;
+    for (value_t v = 1; v <= 100; ++v) q.enqueue(v);
+    for (value_t v = 1; v <= 100; ++v) ASSERT_EQ(q.dequeue().value_or(0), v);
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(KpQueue, EmptyThenReusable) {
+    KpQueue q;
+    EXPECT_FALSE(q.dequeue().has_value());
+    q.enqueue(1);
+    EXPECT_EQ(q.dequeue().value_or(0), 1u);
+    EXPECT_FALSE(q.dequeue().has_value());
+    q.enqueue(2);
+    EXPECT_EQ(q.dequeue().value_or(0), 2u);
+}
+
+TEST(KpQueue, AlternatingOps) {
+    KpQueue q;
+    for (value_t v = 1; v <= 500; ++v) {
+        q.enqueue(v);
+        ASSERT_EQ(q.dequeue().value_or(0), v);
+    }
+}
+
+TEST(KpQueue, ConcurrentExchange) {
+    KpQueue q;
+    auto received = test::mpmc_exchange(q, 3, 3, 800);
+    test::expect_exchange_valid(received, 3, 800);
+}
+
+TEST(KpQueue, ConcurrentPairsWithEmptyRaces) {
+    // Every thread runs pairs; dequeues race enqueues so EMPTY results and
+    // helping paths all fire.
+    KpQueue q;
+    constexpr int kThreads = 4;
+    constexpr int kPairs = 500;
+    std::atomic<std::uint64_t> got{0};
+    test::run_threads(kThreads, [&](int id) {
+        for (int i = 0; i < kPairs; ++i) {
+            q.enqueue(test::tag(static_cast<unsigned>(id),
+                                static_cast<std::uint64_t>(i)));
+            if (q.dequeue().has_value()) got.fetch_add(1);
+        }
+    });
+    while (q.dequeue().has_value()) got.fetch_add(1);
+    EXPECT_EQ(got.load(), static_cast<std::uint64_t>(kThreads) * kPairs);
+}
+
+TEST(KpQueue, OversubscribedStress) {
+    KpQueue q;
+    auto received = test::mpmc_exchange(q, 5, 5, 300);
+    test::expect_exchange_valid(received, 5, 300);
+}
+
+TEST(KpQueue, ManyQueuesIndependent) {
+    KpQueue a, b;
+    a.enqueue(1);
+    b.enqueue(2);
+    EXPECT_EQ(a.dequeue().value_or(0), 1u);
+    EXPECT_EQ(b.dequeue().value_or(0), 2u);
+    EXPECT_FALSE(a.dequeue().has_value());
+    EXPECT_FALSE(b.dequeue().has_value());
+}
+
+TEST(KpQueue, DestructionWithResidentItems) {
+    // ASan/valgrind would flag leaks or double frees in the allocation
+    // tracking; the balance assertion lives in the destructor's design.
+    for (int i = 0; i < 20; ++i) {
+        KpQueue q;
+        for (value_t v = 1; v <= 50; ++v) q.enqueue(v);
+        for (value_t v = 1; v <= 25; ++v) ASSERT_TRUE(q.dequeue().has_value());
+    }
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace lcrq

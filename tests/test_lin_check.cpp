@@ -1,0 +1,174 @@
+// The linearizability checkers themselves, exercised on hand-crafted
+// histories with known verdicts — the checker must be trustworthy before
+// the queue tests lean on it.
+#include <gtest/gtest.h>
+
+#include "verify/lin_check.hpp"
+
+namespace lcrq::verify {
+namespace {
+
+Operation enq(int thread, value_t v, std::uint64_t i, std::uint64_t r) {
+    return {Operation::Kind::kEnqueue, thread, v, i, r};
+}
+Operation deq(int thread, value_t v, std::uint64_t i, std::uint64_t r) {
+    return {Operation::Kind::kDequeue, thread, v, i, r};
+}
+
+// --- fast checker --------------------------------------------------------
+
+TEST(FastCheck, EmptyHistoryOk) {
+    EXPECT_TRUE(check_queue_fast({}));
+}
+
+TEST(FastCheck, SequentialFifoOk) {
+    History h = {enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(0, 1, 4, 5), deq(0, 2, 6, 7)};
+    EXPECT_TRUE(check_queue_fast(h));
+}
+
+TEST(FastCheck, DetectsInvention) {
+    History h = {deq(0, 42, 0, 1)};
+    const auto r = check_queue_fast(h);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("V1"), std::string::npos);
+}
+
+TEST(FastCheck, DetectsDuplication) {
+    History h = {enq(0, 1, 0, 1), deq(0, 1, 2, 3), deq(1, 1, 4, 5)};
+    const auto r = check_queue_fast(h);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("V2"), std::string::npos);
+}
+
+TEST(FastCheck, DetectsCausalityViolation) {
+    // deq responds before the matching enqueue is even invoked.
+    History h = {deq(0, 1, 0, 1), enq(1, 1, 5, 6)};
+    const auto r = check_queue_fast(h);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("V3"), std::string::npos);
+}
+
+TEST(FastCheck, DetectsFifoReorder) {
+    // enq(1) strictly precedes enq(2), yet 2 is dequeued before 1's
+    // dequeue is invoked.
+    History h = {enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(1, 2, 4, 5), deq(1, 1, 6, 7)};
+    const auto r = check_queue_fast(h);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("V4"), std::string::npos);
+}
+
+TEST(FastCheck, DetectsLostItem) {
+    // enq(1) precedes enq(2); 2 is dequeued, 1 never is — the
+    // proceedings-version LCRQ bug shape.
+    History h = {enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(1, 2, 4, 5)};
+    const auto r = check_queue_fast(h);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("V4"), std::string::npos);
+}
+
+TEST(FastCheck, ConcurrentEnqueuesMayDequeueInEitherOrder) {
+    // enq(1) and enq(2) overlap: both dequeue orders are linearizable.
+    History h1 = {enq(0, 1, 0, 10), enq(1, 2, 0, 10), deq(0, 2, 11, 12),
+                  deq(1, 1, 13, 14)};
+    EXPECT_TRUE(check_queue_fast(h1));
+    History h2 = {enq(0, 1, 0, 10), enq(1, 2, 0, 10), deq(0, 1, 11, 12),
+                  deq(1, 2, 13, 14)};
+    EXPECT_TRUE(check_queue_fast(h2));
+}
+
+TEST(FastCheck, OverlappingDequeuesMayCommute) {
+    // Sequential enqueues but overlapping dequeues: either assignment is
+    // fine since the deq *invocations* both precede both responses.
+    History h = {enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(1, 2, 4, 10), deq(2, 1, 4, 10)};
+    EXPECT_TRUE(check_queue_fast(h));
+}
+
+TEST(FastCheck, UndequeuedResidueOk) {
+    History h = {enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(1, 1, 4, 5)};
+    EXPECT_TRUE(check_queue_fast(h));  // 2 may legitimately remain
+}
+
+TEST(FastCheck, EmptyResultsAreIgnoredByFastCheck) {
+    History h = {deq(0, kEmpty, 0, 1), enq(0, 1, 2, 3), deq(0, 1, 4, 5),
+                 deq(0, kEmpty, 6, 7)};
+    EXPECT_TRUE(check_queue_fast(h));
+}
+
+// --- exact checker -------------------------------------------------------
+
+TEST(ExactCheck, SequentialFifoOk) {
+    History h = {enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(0, 1, 4, 5), deq(0, 2, 6, 7)};
+    EXPECT_TRUE(check_queue_exact(h));
+}
+
+TEST(ExactCheck, RejectsLifoOrder) {
+    History h = {enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(0, 2, 4, 5), deq(0, 1, 6, 7)};
+    EXPECT_FALSE(check_queue_exact(h).ok);
+}
+
+TEST(ExactCheck, AcceptsConcurrentCommute) {
+    History h = {enq(0, 1, 0, 10), enq(1, 2, 0, 10), deq(0, 2, 11, 12),
+                 deq(1, 1, 13, 14)};
+    EXPECT_TRUE(check_queue_exact(h));
+}
+
+TEST(ExactCheck, EmptyLegalOnlyWhenQueueCanBeEmpty) {
+    // EMPTY between an enqueue and its dequeue, all sequential: illegal.
+    History bad = {enq(0, 1, 0, 1), deq(0, kEmpty, 2, 3), deq(0, 1, 4, 5)};
+    EXPECT_FALSE(check_queue_exact(bad).ok);
+    // EMPTY before anything was enqueued: legal.
+    History good = {deq(0, kEmpty, 0, 1), enq(0, 1, 2, 3), deq(0, 1, 4, 5)};
+    EXPECT_TRUE(check_queue_exact(good));
+}
+
+TEST(ExactCheck, EmptyOverlappingEnqueueIsLegal) {
+    // The EMPTY overlaps the enqueue, so it may linearize first.
+    History h = {enq(0, 1, 0, 10), deq(1, kEmpty, 2, 4), deq(1, 1, 11, 12)};
+    EXPECT_TRUE(check_queue_exact(h));
+}
+
+TEST(ExactCheck, DetectsLostItem) {
+    History h = {enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(1, 2, 4, 5),
+                 deq(1, kEmpty, 6, 7)};
+    EXPECT_FALSE(check_queue_exact(h).ok);
+}
+
+TEST(ExactCheck, RespectsRealTimeOrderAcrossThreads) {
+    // deq()=2 completes before deq()=1 begins although enq order was 1,2.
+    History h = {enq(0, 1, 0, 1), enq(1, 2, 2, 3), deq(2, 2, 10, 11),
+                 deq(3, 1, 12, 13)};
+    EXPECT_FALSE(check_queue_exact(h).ok);
+}
+
+TEST(ExactCheck, TooLargeHistoryIsRejectedExplicitly) {
+    History h;
+    for (int i = 0; i < 70; ++i) {
+        h.push_back(enq(0, static_cast<value_t>(i + 1),
+                        static_cast<std::uint64_t>(2 * i),
+                        static_cast<std::uint64_t>(2 * i + 1)));
+    }
+    const auto r = check_queue_exact(h);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("64"), std::string::npos);
+}
+
+TEST(ExactCheck, StressAgreesWithFastOnValidHistories) {
+    // Pseudo-random small valid histories: alternating enq/deq patterns.
+    for (int n = 1; n <= 10; ++n) {
+        History h;
+        std::uint64_t t = 0;
+        for (int i = 0; i < n; ++i) {
+            h.push_back(enq(0, static_cast<value_t>(i + 1), t, t + 1));
+            t += 2;
+        }
+        for (int i = 0; i < n; ++i) {
+            h.push_back(deq(1, static_cast<value_t>(i + 1), t, t + 1));
+            t += 2;
+        }
+        EXPECT_TRUE(check_queue_exact(h)) << n;
+        EXPECT_TRUE(check_queue_fast(h)) << n;
+    }
+}
+
+}  // namespace
+}  // namespace lcrq::verify

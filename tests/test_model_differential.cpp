@@ -1,0 +1,96 @@
+// Model-based differential testing: random operation sequences applied,
+// single-threaded, to every registered queue AND to a std::deque reference
+// model must produce byte-identical results — sequential correctness with
+// zero tolerance, across ring wraps, closes, segment switches, and
+// empty/full edges.  Parameterized over (queue, seed, op-mix).
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <tuple>
+
+#include "registry/queue_registry.hpp"
+#include "util/xorshift.hpp"
+
+namespace lcrq {
+namespace {
+
+struct Mix {
+    const char* name;
+    unsigned enqueue_percent;
+};
+
+constexpr Mix kMixes[] = {
+    {"balanced", 50},
+    {"growing", 80},
+    {"draining", 25},
+};
+
+class ModelDifferential
+    : public ::testing::TestWithParam<std::tuple<std::string, int, int>> {};
+
+TEST_P(ModelDifferential, MatchesDequeModel) {
+    const auto& [queue_name, seed, mix_index] = GetParam();
+    const Mix mix = kMixes[mix_index];
+
+    QueueOptions opt;
+    opt.ring_order = 2;  // R = 4: maximal wrap/close churn
+    opt.bounded_order = 14;
+    auto q = make_queue(queue_name, opt);
+    ASSERT_NE(q, nullptr);
+
+    std::deque<value_t> model;
+    Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 2654435761u + 17);
+    value_t next_value = 1;
+
+    for (int step = 0; step < 4'000; ++step) {
+        if (rng.bounded(100) < mix.enqueue_percent) {
+            // Bounded rings cannot grow indefinitely; skip enqueues that
+            // would exceed a safe fill for the "growing" mix.
+            if (model.size() >= 10'000) continue;
+            const value_t v = next_value++;
+            q->enqueue(v);
+            model.push_back(v);
+        } else {
+            const auto got = q->dequeue();
+            if (model.empty()) {
+                ASSERT_FALSE(got.has_value())
+                    << queue_name << " invented a value at step " << step;
+            } else {
+                ASSERT_TRUE(got.has_value())
+                    << queue_name << " lost the front at step " << step;
+                ASSERT_EQ(*got, model.front()) << queue_name << " step " << step;
+                model.pop_front();
+            }
+        }
+    }
+    // Drain and compare the residue exactly.
+    while (!model.empty()) {
+        const auto got = q->dequeue();
+        ASSERT_TRUE(got.has_value()) << queue_name << " lost residue";
+        ASSERT_EQ(*got, model.front());
+        model.pop_front();
+    }
+    ASSERT_FALSE(q->dequeue().has_value()) << queue_name << " has extra items";
+}
+
+std::vector<std::string> all_names() {
+    std::vector<std::string> names;
+    for (const auto& info : queue_catalog()) names.push_back(info.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQueues, ModelDifferential,
+    ::testing::Combine(::testing::ValuesIn(all_names()), ::testing::Values(1, 2, 3),
+                       ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int, int>>& info) {
+        std::string n = std::get<0>(info.param);
+        for (char& c : n) {
+            if (c == '-' || c == '+') c = '_';
+        }
+        return n + "_seed" + std::to_string(std::get<1>(info.param)) + "_" +
+               kMixes[std::get<2>(info.param)].name;
+    });
+
+}  // namespace
+}  // namespace lcrq

@@ -1,0 +1,63 @@
+// Michael–Scott nonblocking queue: FIFO semantics, empty handling, hazard
+// reclamation, and MPMC stress for both backoff variants.
+#include <gtest/gtest.h>
+
+#include "queues/ms_queue.hpp"
+#include "test_support.hpp"
+
+namespace lcrq {
+namespace {
+
+TEST(MsQueue, FifoSingleThread) {
+    MsQueue<> q;
+    for (value_t v = 1; v <= 100; ++v) q.enqueue(v);
+    for (value_t v = 1; v <= 100; ++v) ASSERT_EQ(q.dequeue().value_or(0), v);
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(MsQueue, EmptyThenReusable) {
+    MsQueue<> q;
+    EXPECT_FALSE(q.dequeue().has_value());
+    q.enqueue(1);
+    EXPECT_EQ(q.dequeue().value_or(0), 1u);
+    EXPECT_FALSE(q.dequeue().has_value());
+    q.enqueue(2);
+    EXPECT_EQ(q.dequeue().value_or(0), 2u);
+}
+
+TEST(MsQueue, ConcurrentExchange) {
+    MsQueue<> q;
+    auto received = test::mpmc_exchange(q, 3, 3, 1500);
+    test::expect_exchange_valid(received, 3, 1500);
+}
+
+TEST(MsQueue, NoBackoffVariantConcurrentExchange) {
+    MsQueue<false> q;
+    auto received = test::mpmc_exchange(q, 2, 2, 1000);
+    test::expect_exchange_valid(received, 2, 1000);
+}
+
+TEST(MsQueue, NodesReclaimedAfterDrain) {
+    MsQueue<> q;
+    for (value_t v = 1; v <= 1000; ++v) q.enqueue(v);
+    for (value_t v = 1; v <= 1000; ++v) ASSERT_TRUE(q.dequeue().has_value());
+    q.hazard_domain().scan();
+    EXPECT_EQ(q.hazard_domain().retired_count(), 0u);
+}
+
+TEST(MsQueue, DestructionWithResidentItems) {
+    for (int i = 0; i < 20; ++i) {
+        MsQueue<> q;
+        for (value_t v = 1; v <= 50; ++v) q.enqueue(v);
+        ASSERT_TRUE(q.dequeue().has_value());
+    }
+}
+
+TEST(MsQueue, OversubscribedStress) {
+    MsQueue<> q;
+    auto received = test::mpmc_exchange(q, 5, 5, 400);
+    test::expect_exchange_valid(received, 5, 400);
+}
+
+}  // namespace
+}  // namespace lcrq

@@ -1,0 +1,99 @@
+// perf_event_open wrapper (graceful degradation is the contract) and the
+// cluster-handoff hierarchy policy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "queues/crq.hpp"
+#include "queues/hierarchy.hpp"
+#include "test_support.hpp"
+#include "topology/topology.hpp"
+#include "util/perf_events.hpp"
+
+namespace lcrq {
+namespace {
+
+TEST(PerfCounters, ConstructsEverywhere) {
+    PerfCounters pc;
+    if (!pc.any_available()) {
+        EXPECT_FALSE(pc.unavailable_reason().empty());
+    }
+    SUCCEED();
+}
+
+TEST(PerfCounters, StartStopIsSafeWithoutSupport) {
+    PerfCounters pc;
+    pc.start();
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 100'000; ++i) sink += static_cast<std::uint64_t>(i);
+    const HwCounts counts = pc.stop();
+    if (pc.any_available()) {
+        const auto instr = counts.get(HwEvent::kInstructions);
+        if (instr.has_value()) {
+            EXPECT_GT(*instr, 100'000u) << "at least one instruction per loop";
+        }
+    } else {
+        EXPECT_FALSE(counts.get(HwEvent::kInstructions).has_value());
+    }
+}
+
+TEST(PerfCounters, EventNames) {
+    EXPECT_STREQ(hw_event_name(HwEvent::kInstructions), "instructions");
+    EXPECT_STREQ(hw_event_name(HwEvent::kL1DMisses), "L1d_misses");
+    EXPECT_STREQ(hw_event_name(HwEvent::kLLCMisses), "LLC_misses");
+}
+
+TEST(Hierarchy, NoHierarchyIsFree) {
+    Crq<> crq;
+    NoHierarchy h;
+    h.enter(crq);  // must compile to (almost) nothing and not touch state
+    EXPECT_EQ(crq.cluster.load(), 0);
+}
+
+TEST(Hierarchy, SameClusterEntersImmediately) {
+    Crq<> crq;
+    topo::set_current_cluster(0);
+    ClusterHierarchy h(1'000'000);  // long timeout: would hang if waited
+    const auto t0 = now_ns();
+    h.enter(crq);
+    EXPECT_LT(now_ns() - t0, 100'000'000u);
+    EXPECT_EQ(crq.cluster.load(), 0);
+}
+
+TEST(Hierarchy, ForeignClusterClaimsAfterTimeout) {
+    Crq<> crq;
+    topo::set_current_cluster(1);
+    ClusterHierarchy h(50'000);  // 50 µs
+    h.enter(crq);
+    EXPECT_EQ(crq.cluster.load(), 1) << "claim must follow the timeout";
+    topo::set_current_cluster(0);
+}
+
+TEST(Hierarchy, WaiterProceedsWhenClusterHandsOver) {
+    Crq<> crq;
+    crq.cluster.store(1);
+    std::atomic<bool> entered{false};
+    test::run_threads(2, [&](int id) {
+        if (id == 0) {
+            topo::set_current_cluster(0);
+            ClusterHierarchy h(1'000'000'000);  // 1 s: only handover saves us
+            h.enter(crq);
+            entered.store(true);
+        } else {
+            topo::set_current_cluster(1);
+            // Simulate the owning cluster finishing its batch.
+            spin_for_ns(2'000'000);
+            crq.cluster.store(0);
+        }
+        topo::set_current_cluster(0);
+    });
+    EXPECT_TRUE(entered.load());
+}
+
+TEST(Hierarchy, SuffixNames) {
+    EXPECT_STREQ(NoHierarchy::suffix(), "");
+    EXPECT_STREQ(ClusterHierarchy::suffix(), "+h");
+}
+
+}  // namespace
+}  // namespace lcrq

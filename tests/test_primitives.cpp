@@ -1,0 +1,153 @@
+// Unit tests for the §3 primitive layer: semantics of each primitive,
+// atomicity under contention, and the CAS2 failure contract (expected is
+// refreshed with the observed value).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "arch/faa_policy.hpp"
+#include "arch/primitives.hpp"
+#include "test_support.hpp"
+
+namespace lcrq {
+namespace {
+
+TEST(Primitives, FetchAndAddReturnsPrevious) {
+    std::atomic<std::uint64_t> a{10};
+    EXPECT_EQ(fetch_and_add(a, std::uint64_t{5}), 10u);
+    EXPECT_EQ(a.load(), 15u);
+}
+
+TEST(Primitives, SwapReturnsPrevious) {
+    std::atomic<std::uint64_t> a{3};
+    EXPECT_EQ(swap(a, std::uint64_t{9}), 3u);
+    EXPECT_EQ(a.load(), 9u);
+}
+
+TEST(Primitives, TestAndSetBit) {
+    std::atomic<std::uint64_t> a{0};
+    EXPECT_FALSE(test_and_set_bit(a, 63));
+    EXPECT_EQ(a.load(), std::uint64_t{1} << 63);
+    EXPECT_TRUE(test_and_set_bit(a, 63));
+    EXPECT_FALSE(test_and_set_bit(a, 0));
+    EXPECT_EQ(a.load(), (std::uint64_t{1} << 63) | 1);
+}
+
+TEST(Primitives, CasSuccessAndFailure) {
+    std::atomic<std::uint64_t> a{7};
+    EXPECT_TRUE(cas(a, std::uint64_t{7}, std::uint64_t{8}));
+    EXPECT_EQ(a.load(), 8u);
+    EXPECT_FALSE(cas(a, std::uint64_t{7}, std::uint64_t{9}));
+    EXPECT_EQ(a.load(), 8u);
+}
+
+TEST(Primitives, Cas2SuccessUpdatesBothWords) {
+    U128 w{1, 2};
+    U128 e{1, 2};
+    EXPECT_TRUE(cas2(&w, e, {3, 4}));
+    EXPECT_EQ(w.lo, 3u);
+    EXPECT_EQ(w.hi, 4u);
+}
+
+TEST(Primitives, Cas2FailureRefreshesExpected) {
+    U128 w{3, 4};
+    U128 e{0, 0};
+    EXPECT_FALSE(cas2(&w, e, {5, 5}));
+    EXPECT_EQ(e.lo, 3u);
+    EXPECT_EQ(e.hi, 4u);
+    EXPECT_EQ(w.lo, 3u);  // target untouched
+}
+
+TEST(Primitives, Cas2PartialMatchFails) {
+    U128 w{3, 4};
+    U128 e{3, 99};  // lo matches, hi does not
+    EXPECT_FALSE(cas2(&w, e, {5, 5}));
+    EXPECT_EQ(w.lo, 3u);
+    EXPECT_EQ(w.hi, 4u);
+}
+
+TEST(Primitives, Load2ReadsConsistentPair) {
+    U128 w{11, 22};
+    const U128 v = load2(&w);
+    EXPECT_EQ(v.lo, 11u);
+    EXPECT_EQ(v.hi, 22u);
+    EXPECT_EQ(w.lo, 11u);  // load2 leaves the target unchanged
+}
+
+TEST(Primitives, SupportReportIsX86Complete) {
+    const auto s = primitive_support();
+    EXPECT_TRUE(s.native_cas);
+#if defined(__x86_64__)
+    EXPECT_TRUE(s.native_faa);
+    EXPECT_TRUE(s.native_swap);
+    EXPECT_TRUE(s.native_tas);
+#endif
+}
+
+// A contended counter: no increments may be lost — the Figure 1 scenario.
+TEST(Primitives, ConcurrentFaaCounter) {
+    std::atomic<std::uint64_t> counter{0};
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 20'000;
+    test::run_threads(kThreads, [&](int) {
+        for (int i = 0; i < kIncrements; ++i) fetch_and_add(counter, std::uint64_t{1});
+    });
+    EXPECT_EQ(counter.load(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Primitives, ConcurrentCasLoopCounter) {
+    std::atomic<std::uint64_t> counter{0};
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 10'000;
+    test::run_threads(kThreads, [&](int) {
+        for (int i = 0; i < kIncrements; ++i) CasLoopFaa::fetch_add(counter, 1);
+    });
+    EXPECT_EQ(counter.load(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Primitives, ConcurrentCas2OnOneWordPair) {
+    alignas(16) static U128 word{0, 0};
+    word = {0, 0};
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 5'000;
+    // Each thread increments both halves atomically; halves must stay equal.
+    test::run_threads(kThreads, [&](int) {
+        for (int i = 0; i < kIncrements; ++i) {
+            U128 expected = load2(&word);
+            for (;;) {
+                ASSERT_EQ(expected.lo, expected.hi) << "torn CAS2 state";
+                if (cas2(&word, expected, {expected.lo + 1, expected.hi + 1})) break;
+            }
+        }
+    });
+    EXPECT_EQ(word.lo, static_cast<std::uint64_t>(kThreads) * kIncrements);
+    EXPECT_EQ(word.hi, word.lo);
+}
+
+TEST(FaaPolicy, Names) {
+    EXPECT_STREQ(HardwareFaa::name(), "faa");
+    EXPECT_STREQ(CasLoopFaa::name(), "cas-loop");
+}
+
+TEST(FaaPolicy, BothPoliciesAgreeOnSemantics) {
+    std::atomic<std::uint64_t> a{100};
+    EXPECT_EQ(HardwareFaa::fetch_add(a, 1), 100u);
+    EXPECT_EQ(CasLoopFaa::fetch_add(a, 1), 101u);
+    EXPECT_EQ(a.load(), 102u);
+}
+
+TEST(FaaPolicy, CasLoopCountsFailures) {
+    stats::reset_all();
+    std::atomic<std::uint64_t> counter{0};
+    test::run_threads(4, [&](int) {
+        for (int i = 0; i < 5'000; ++i) CasLoopFaa::fetch_add(counter, 1);
+    });
+    const auto snap = stats::global_snapshot();
+    EXPECT_EQ(counter.load(), 20'000u);
+    // attempts = successes + failures.
+    EXPECT_EQ(snap[stats::Event::kCas],
+              20'000u + snap[stats::Event::kCasFailure]);
+}
+
+}  // namespace
+}  // namespace lcrq

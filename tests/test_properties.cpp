@@ -1,0 +1,141 @@
+// Cross-algorithm property suite: one parameterized fixture runs every
+// registered queue through the same battery of semantic properties —
+// FIFO order, no loss/duplication under MPMC stress, empty behaviour,
+// reusability, burst patterns.  A bug in any implementation shows up as a
+// failure of exactly that queue's parameter instance.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "registry/queue_registry.hpp"
+#include "test_support.hpp"
+
+namespace lcrq {
+namespace {
+
+QueueOptions test_options() {
+    QueueOptions opt;
+    opt.ring_order = 6;     // small enough to wrap, big enough for stress
+    opt.bounded_order = 12; // bounded ring must hold the in-flight items
+    opt.clusters = 2;
+    return opt;
+}
+
+class QueueProperty : public ::testing::TestWithParam<std::string> {
+  protected:
+    std::unique_ptr<AnyQueue> make() {
+        auto q = make_queue(GetParam(), test_options());
+        EXPECT_NE(q, nullptr);
+        return q;
+    }
+};
+
+TEST_P(QueueProperty, SequentialFifo) {
+    auto q = make();
+    for (value_t v = 1; v <= 500; ++v) q->enqueue(v);
+    for (value_t v = 1; v <= 500; ++v) {
+        auto r = q->dequeue();
+        ASSERT_TRUE(r.has_value());
+        ASSERT_EQ(*r, v);
+    }
+    EXPECT_FALSE(q->dequeue().has_value());
+}
+
+TEST_P(QueueProperty, EmptyIsStable) {
+    auto q = make();
+    for (int i = 0; i < 10; ++i) EXPECT_FALSE(q->dequeue().has_value());
+}
+
+TEST_P(QueueProperty, ReusableAfterRepeatedDrains) {
+    auto q = make();
+    for (int round = 0; round < 50; ++round) {
+        for (value_t v = 1; v <= 20; ++v) q->enqueue(v);
+        for (value_t v = 1; v <= 20; ++v) ASSERT_EQ(q->dequeue().value_or(0), v);
+        ASSERT_FALSE(q->dequeue().has_value());
+    }
+}
+
+TEST_P(QueueProperty, AlternatingSingleElement) {
+    auto q = make();
+    for (value_t v = 1; v <= 1000; ++v) {
+        q->enqueue(v);
+        ASSERT_EQ(q->dequeue().value_or(0), v);
+    }
+}
+
+TEST_P(QueueProperty, BurstsOfUnevenSizes) {
+    auto q = make();
+    value_t in = 1, out = 1;
+    for (int round = 0; round < 100; ++round) {
+        const int burst = 1 + (round * 7) % 13;
+        for (int i = 0; i < burst; ++i) q->enqueue(in++);
+        const int drain = 1 + (round * 5) % burst;
+        for (int i = 0; i < drain; ++i) ASSERT_EQ(q->dequeue().value_or(0), out++);
+    }
+    while (out < in) ASSERT_EQ(q->dequeue().value_or(0), out++);
+}
+
+TEST_P(QueueProperty, MpmcExchange) {
+    auto q = make();
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 2;
+    constexpr std::uint64_t kPer = 800;
+    auto received = test::mpmc_exchange(*q, kProducers, kConsumers, kPer);
+    test::expect_exchange_valid(received, kProducers, kPer);
+}
+
+TEST_P(QueueProperty, MpmcManyConsumers) {
+    auto q = make();
+    auto received = test::mpmc_exchange(*q, 2, 4, 600);
+    test::expect_exchange_valid(received, 2, 600);
+}
+
+TEST_P(QueueProperty, ConcurrentPairsWorkload) {
+    // Every thread alternates enqueue/dequeue (the paper's benchmark
+    // pattern); total successful dequeues must equal total enqueues after
+    // a final drain.
+    auto q = make();
+    constexpr int kThreads = 4;
+    constexpr int kPairs = 800;
+    std::atomic<std::uint64_t> got{0};
+    test::run_threads(kThreads, [&](int id) {
+        for (int i = 0; i < kPairs; ++i) {
+            q->enqueue(test::tag(static_cast<unsigned>(id),
+                                 static_cast<std::uint64_t>(i)));
+            if (q->dequeue().has_value()) got.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    while (q->dequeue().has_value()) got.fetch_add(1, std::memory_order_relaxed);
+    EXPECT_EQ(got.load(), static_cast<std::uint64_t>(kThreads) * kPairs);
+}
+
+TEST_P(QueueProperty, ValuesAtRangeBoundaries) {
+    auto q = make();
+    const value_t vals[] = {0, 1, kMaxValue / 2, kMaxValue - 1, kMaxValue};
+    for (value_t v : vals) q->enqueue(v);
+    for (value_t v : vals) {
+        auto r = q->dequeue();
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(*r, v);
+    }
+}
+
+std::vector<std::string> all_queue_names() {
+    std::vector<std::string> names;
+    for (const auto& info : queue_catalog()) names.push_back(info.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueues, QueueProperty,
+                         ::testing::ValuesIn(all_queue_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                             std::string n = info.param;
+                             for (char& c : n) {
+                                 if (c == '-' || c == '+') c = '_';
+                             }
+                             return n;
+                         });
+
+}  // namespace
+}  // namespace lcrq

@@ -1,0 +1,105 @@
+// Compile-time contracts: every queue models the ConcurrentQueue concept,
+// the reserved-value scheme is coherent, cache-line helpers have the
+// layout they promise, and QueueOptions defaults are sane.
+#include <gtest/gtest.h>
+
+#include "arch/cacheline.hpp"
+#include "queues/blocking_queue.hpp"
+#include "queues/bounded_mpmc_queue.hpp"
+#include "queues/cc_queue.hpp"
+#include "queues/fc_queue.hpp"
+#include "queues/h_queue.hpp"
+#include "queues/infinite_array_queue.hpp"
+#include "queues/kp_queue.hpp"
+#include "queues/lcrq.hpp"
+#include "queues/ms_queue.hpp"
+#include "queues/mutex_queue.hpp"
+#include "queues/queue_common.hpp"
+#include "queues/two_lock_queue.hpp"
+
+namespace lcrq {
+namespace {
+
+// Every implementation must model the shared concept.
+static_assert(ConcurrentQueue<LcrqQueue>);
+static_assert(ConcurrentQueue<LcrqCasQueue>);
+static_assert(ConcurrentQueue<LcrqHQueue>);
+static_assert(ConcurrentQueue<LcrqCompactQueue>);
+static_assert(ConcurrentQueue<MsQueue<true>>);
+static_assert(ConcurrentQueue<MsQueue<false>>);
+static_assert(ConcurrentQueue<TwoLockQueue>);
+static_assert(ConcurrentQueue<TwoLockQueueBlind>);
+static_assert(ConcurrentQueue<CcQueue>);
+static_assert(ConcurrentQueue<HQueue>);
+static_assert(ConcurrentQueue<FcQueue>);
+static_assert(ConcurrentQueue<BoundedMpmcQueue>);
+static_assert(ConcurrentQueue<KpQueue>);
+static_assert(ConcurrentQueue<MutexQueue>);
+static_assert(ConcurrentQueue<InfiniteArrayQueue>);
+
+// Queues are pinned in memory: addresses escape into rings/lists/hazard
+// slots, so accidental copies/moves must not compile.
+static_assert(!std::is_copy_constructible_v<LcrqQueue>);
+static_assert(!std::is_move_constructible_v<LcrqQueue>);
+static_assert(!std::is_copy_constructible_v<MsQueue<>>);
+static_assert(!std::is_copy_constructible_v<CcQueue>);
+static_assert(!std::is_copy_constructible_v<BlockingQueue<>>);
+
+TEST(QueueCommon, SentinelsAreAtTheTopOfTheValueSpace) {
+    EXPECT_EQ(kBottom, ~value_t{0});
+    EXPECT_EQ(kTop, ~value_t{0} - 1);
+    EXPECT_EQ(kMaxValue + 1, kTop);
+    EXPECT_TRUE(is_enqueueable(0));
+    EXPECT_TRUE(is_enqueueable(kMaxValue));
+    EXPECT_FALSE(is_enqueueable(kTop));
+    EXPECT_FALSE(is_enqueueable(kBottom));
+}
+
+TEST(QueueCommon, PointersAreAlwaysEnqueueable) {
+    // x86-64 canonical user pointers never collide with the sentinels.
+    int local = 0;
+    const auto p = reinterpret_cast<std::uintptr_t>(&local);
+    EXPECT_TRUE(is_enqueueable(static_cast<value_t>(p)));
+}
+
+TEST(QueueCommon, DefaultOptionsAreUsableEverywhere) {
+    const QueueOptions opt;
+    EXPECT_GE(opt.ring_order, 1u);
+    EXPECT_LT(opt.ring_order, 63u);
+    EXPECT_GT(opt.starvation_limit, 0u);
+    EXPECT_GT(opt.combiner_bound, 0u);
+    EXPECT_GT(opt.cluster_timeout_ns, 0u);
+}
+
+TEST(Cacheline, CacheAlignedLayout) {
+    static_assert(sizeof(CacheAligned<int>) == kCacheLineSize);
+    static_assert(alignof(CacheAligned<int>) == kCacheLineSize);
+    static_assert(sizeof(CacheAligned<std::uint64_t, kDestructivePairSize>) ==
+                  kDestructivePairSize);
+    CacheAligned<int> a{7};
+    EXPECT_EQ(*a, 7);
+    *a = 9;
+    EXPECT_EQ(*a, 9);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&a) % kCacheLineSize, 0u);
+}
+
+TEST(Cacheline, AlignedArrayAllocRespectsAlignment) {
+    for (std::size_t align : {std::size_t{64}, std::size_t{128}}) {
+        auto* p = aligned_array_alloc<std::uint64_t>(100, align);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+        p[0] = 1;
+        p[99] = 2;
+        aligned_array_free(p, align);
+    }
+}
+
+TEST(Cacheline, CrqNodeSizes) {
+    static_assert(sizeof(detail::CrqNode<true>) == kCacheLineSize);
+    static_assert(sizeof(detail::CrqNode<false>) == 16);
+    static_assert(alignof(detail::CrqCell) == 16);
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace lcrq

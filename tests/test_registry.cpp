@@ -1,0 +1,92 @@
+// Queue registry: catalog completeness, factory behaviour, operation
+// counting in the adapter, and the paper line-ups.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "registry/queue_registry.hpp"
+
+namespace lcrq {
+namespace {
+
+TEST(Registry, CatalogHasUniqueNames) {
+    std::set<std::string> names;
+    for (const auto& info : queue_catalog()) {
+        EXPECT_TRUE(names.insert(info.name).second) << "duplicate " << info.name;
+        EXPECT_FALSE(info.description.empty()) << info.name;
+    }
+    EXPECT_GE(names.size(), 12u);
+}
+
+TEST(Registry, EveryCatalogEntryConstructs) {
+    QueueOptions opt;
+    opt.ring_order = 4;
+    opt.bounded_order = 6;
+    for (const auto& info : queue_catalog()) {
+        auto q = make_queue(info.name, opt);
+        ASSERT_NE(q, nullptr) << info.name;
+        EXPECT_EQ(q->name(), info.name);
+    }
+}
+
+TEST(Registry, UnknownNameReturnsNull) {
+    EXPECT_EQ(make_queue("no-such-queue"), nullptr);
+    EXPECT_EQ(make_queue(""), nullptr);
+}
+
+TEST(Registry, RoundTripThroughEveryQueue) {
+    QueueOptions opt;
+    opt.ring_order = 4;
+    opt.bounded_order = 6;
+    for (const auto& info : queue_catalog()) {
+        auto q = make_queue(info.name, opt);
+        ASSERT_NE(q, nullptr);
+        for (value_t v = 1; v <= 20; ++v) q->enqueue(v);
+        for (value_t v = 1; v <= 20; ++v) {
+            auto r = q->dequeue();
+            ASSERT_TRUE(r.has_value()) << info.name;
+            EXPECT_EQ(*r, v) << info.name;
+        }
+        EXPECT_FALSE(q->dequeue().has_value()) << info.name;
+    }
+}
+
+TEST(Registry, AdapterCountsOperations) {
+    stats::reset_all();
+    auto q = make_queue("mutex");
+    ASSERT_NE(q, nullptr);
+    q->enqueue(1);
+    q->enqueue(2);
+    (void)q->dequeue();
+    (void)q->dequeue();
+    (void)q->dequeue();  // EMPTY
+    const auto s = stats::global_snapshot();
+    EXPECT_EQ(s[stats::Event::kEnqueue], 2u);
+    EXPECT_EQ(s[stats::Event::kDequeue], 3u);
+    EXPECT_EQ(s[stats::Event::kDequeueEmpty], 1u);
+}
+
+TEST(Registry, PaperSetsResolve) {
+    for (const auto& name : paper_single_processor_set()) {
+        EXPECT_NE(make_queue(name), nullptr) << name;
+    }
+    for (const auto& name : paper_multi_processor_set()) {
+        QueueOptions opt;
+        opt.clusters = 2;
+        EXPECT_NE(make_queue(name, opt), nullptr) << name;
+    }
+}
+
+TEST(Registry, LcrqVariantsAreDistinctObjects) {
+    auto a = make_queue("lcrq");
+    auto b = make_queue("lcrq-cas");
+    auto c = make_queue("lcrq+h");
+    ASSERT_TRUE(a && b && c);
+    a->enqueue(1);
+    EXPECT_FALSE(b->dequeue().has_value());
+    EXPECT_FALSE(c->dequeue().has_value());
+    EXPECT_EQ(a->dequeue().value_or(0), 1u);
+}
+
+}  // namespace
+}  // namespace lcrq

@@ -1,0 +1,204 @@
+// LCRQ graceful shutdown (close / try_enqueue) and the blocking facade.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "queues/blocking_queue.hpp"
+#include "queues/lcrq.hpp"
+#include "test_support.hpp"
+
+namespace lcrq {
+namespace {
+
+QueueOptions tiny() {
+    QueueOptions opt;
+    opt.ring_order = 2;
+    opt.starvation_limit = 4;
+    return opt;
+}
+
+TEST(LcrqShutdown, CloseStopsNewEnqueues) {
+    LcrqQueue q(tiny());
+    EXPECT_TRUE(q.try_enqueue(1));
+    EXPECT_TRUE(q.try_enqueue(2));
+    EXPECT_FALSE(q.closed());
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.try_enqueue(3));
+    // Pre-close items drain in order; then EMPTY forever.
+    EXPECT_EQ(q.dequeue().value_or(0), 1u);
+    EXPECT_EQ(q.dequeue().value_or(0), 2u);
+    EXPECT_FALSE(q.dequeue().has_value());
+    EXPECT_FALSE(q.try_enqueue(4));
+}
+
+TEST(LcrqShutdown, CloseOnEmptyQueue) {
+    LcrqQueue q(tiny());
+    q.close();
+    EXPECT_FALSE(q.try_enqueue(1));
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(LcrqShutdown, CloseIsIdempotent) {
+    LcrqQueue q(tiny());
+    q.try_enqueue(9);
+    q.close();
+    q.close();
+    EXPECT_EQ(q.dequeue().value_or(0), 9u);
+}
+
+TEST(LcrqShutdown, CloseAcrossManySegments) {
+    LcrqQueue q(tiny());
+    for (value_t v = 1; v <= 200; ++v) ASSERT_TRUE(q.try_enqueue(v));
+    q.close();
+    for (value_t v = 1; v <= 200; ++v) ASSERT_EQ(q.dequeue().value_or(0), v);
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(LcrqShutdown, ConcurrentCloseNothingLostOrLate) {
+    // Producers hammer try_enqueue while one thread closes; every accepted
+    // item must drain, and after close() returns, no acceptance.
+    for (int round = 0; round < 10; ++round) {
+        LcrqQueue q(tiny());
+        std::atomic<std::uint64_t> accepted{0};
+        std::atomic<bool> closed_seen{false};
+        test::run_threads(4, [&](int id) {
+            if (id == 0) {
+                for (volatile int spin = 0; spin < 2000; ++spin) {
+                }
+                q.close();
+                closed_seen.store(true, std::memory_order_release);
+            } else {
+                for (int i = 0; i < 2'000; ++i) {
+                    if (q.try_enqueue(test::tag(static_cast<unsigned>(id),
+                                                static_cast<std::uint64_t>(i)))) {
+                        accepted.fetch_add(1, std::memory_order_relaxed);
+                    } else {
+                        break;  // closed: all later attempts must also fail
+                    }
+                }
+            }
+        });
+        // A try_enqueue starting now must fail.
+        EXPECT_FALSE(q.try_enqueue(12345));
+        std::uint64_t drained = 0;
+        while (q.dequeue().has_value()) ++drained;
+        EXPECT_EQ(drained, accepted.load()) << "round " << round;
+    }
+}
+
+TEST(BlockingQueue, WaitDequeueGetsItem) {
+    BlockingQueue<> q;
+    std::thread producer([&] {
+        spin_for_ns(2'000'000);
+        EXPECT_TRUE(q.enqueue(42));
+    });
+    const auto v = q.wait_dequeue();  // blocks until the producer lands
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42u);
+    producer.join();
+}
+
+TEST(BlockingQueue, TryDequeueNeverBlocks) {
+    BlockingQueue<> q;
+    EXPECT_FALSE(q.try_dequeue().has_value());
+    q.enqueue(7);
+    EXPECT_EQ(q.try_dequeue().value_or(0), 7u);
+}
+
+TEST(BlockingQueue, CloseWakesSleepers) {
+    BlockingQueue<> q;
+    std::atomic<int> woke{0};
+    std::vector<std::thread> sleepers;
+    for (int i = 0; i < 3; ++i) {
+        sleepers.emplace_back([&] {
+            const auto v = q.wait_dequeue();
+            EXPECT_FALSE(v.has_value());  // closed and empty
+            woke.fetch_add(1);
+        });
+    }
+    spin_for_ns(3'000'000);  // give them time to reach the futex
+    q.close();
+    for (auto& t : sleepers) t.join();
+    EXPECT_EQ(woke.load(), 3);
+    EXPECT_FALSE(q.enqueue(1)) << "enqueue after close must be refused";
+}
+
+TEST(BlockingQueue, DrainsBeforeReportingClosed) {
+    BlockingQueue<> q;
+    for (value_t v = 1; v <= 10; ++v) EXPECT_TRUE(q.enqueue(v));
+    q.close();
+    for (value_t v = 1; v <= 10; ++v) {
+        const auto r = q.wait_dequeue();
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(*r, v);
+    }
+    EXPECT_FALSE(q.wait_dequeue().has_value());
+}
+
+TEST(BlockingQueue, ProducerConsumerThroughputWithShutdown) {
+    // The canonical lifecycle: producers produce, the last one out closes,
+    // blocked consumers wake, drain, and see the closed signal.
+    BlockingQueue<> q;
+    constexpr std::uint64_t kItems = 20'000;
+    std::atomic<std::uint64_t> received{0};
+    std::atomic<int> producers_left{2};
+    test::run_threads(4, [&](int id) {
+        if (id < 2) {
+            for (std::uint64_t i = 0; i < kItems / 2; ++i) {
+                ASSERT_TRUE(q.enqueue(test::tag(static_cast<unsigned>(id), i)));
+            }
+            if (producers_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                q.close();
+            }
+        } else {
+            while (auto v = q.wait_dequeue()) {
+                received.fetch_add(1, std::memory_order_acq_rel);
+            }
+            // nullopt: closed and drained (for this consumer's view).
+        }
+    });
+    while (q.try_dequeue().has_value()) received.fetch_add(1);
+    EXPECT_EQ(received.load(), kItems);
+}
+
+TEST(BlockingQueue, WaitForTimesOutWhenIdle) {
+    BlockingQueue<> q;
+    const auto t0 = now_ns();
+    const auto v = q.wait_dequeue_for(3'000'000);  // 3 ms
+    const auto elapsed = now_ns() - t0;
+    EXPECT_FALSE(v.has_value());
+    EXPECT_GE(elapsed, 2'000'000u) << "returned before the deadline";
+}
+
+TEST(BlockingQueue, WaitForReturnsEarlyWithItem) {
+    BlockingQueue<> q;
+    q.enqueue(9);
+    const auto t0 = now_ns();
+    const auto v = q.wait_dequeue_for(1'000'000'000);  // 1 s budget
+    EXPECT_EQ(v.value_or(0), 9u);
+    EXPECT_LT(now_ns() - t0, 500'000'000u) << "did not return promptly";
+}
+
+TEST(BlockingQueue, WaitForSeesConcurrentProducer) {
+    BlockingQueue<> q;
+    std::thread producer([&] {
+        spin_for_ns(1'000'000);
+        q.enqueue(77);
+    });
+    const auto v = q.wait_dequeue_for(2'000'000'000);
+    EXPECT_EQ(v.value_or(0), 77u);
+    producer.join();
+}
+
+TEST(BlockingQueue, WaitForAfterCloseDrainsThenNull) {
+    BlockingQueue<> q;
+    q.enqueue(5);
+    q.close();
+    EXPECT_EQ(q.wait_dequeue_for(1'000'000).value_or(0), 5u);
+    EXPECT_FALSE(q.wait_dequeue_for(1'000'000).has_value());
+}
+
+}  // namespace
+}  // namespace lcrq

@@ -1,0 +1,144 @@
+// Shared helpers for the gtest suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "queues/queue_common.hpp"
+
+namespace lcrq::test {
+
+// Tagged values: (producer id, sequence) packed so every enqueued value in
+// a test is distinct and the producer order is recoverable.
+constexpr value_t tag(unsigned producer, std::uint64_t seq) noexcept {
+    return (static_cast<value_t>(producer) << 40) | (seq + 1);
+}
+constexpr unsigned tag_producer(value_t v) noexcept {
+    return static_cast<unsigned>(v >> 40);
+}
+constexpr std::uint64_t tag_seq(value_t v) noexcept {
+    return (v & ((value_t{1} << 40) - 1)) - 1;
+}
+
+// Run `threads` copies of `body(thread_index)` with a start barrier so
+// they contend for real, and join them all.
+inline void run_threads(int threads, const std::function<void(int)>& body) {
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> ts;
+    ts.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+        ts.emplace_back([&, i] {
+            ready.fetch_add(1);
+            while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+            body(i);
+        });
+    }
+    while (ready.load() < threads) std::this_thread::yield();
+    go.store(true, std::memory_order_release);
+    for (auto& t : ts) t.join();
+}
+
+// An MPMC exchange: `producers` threads enqueue `per_producer` tagged
+// values each; `consumers` threads dequeue until everything was received.
+// Returns the consumed values grouped by consumer, in consumption order.
+template <typename Q>
+std::vector<std::vector<value_t>> mpmc_exchange(Q& q, int producers, int consumers,
+                                                std::uint64_t per_producer) {
+    const std::uint64_t total = static_cast<std::uint64_t>(producers) * per_producer;
+    std::atomic<std::uint64_t> consumed{0};
+    std::vector<std::vector<value_t>> received(static_cast<std::size_t>(consumers));
+
+    run_threads(producers + consumers, [&](int id) {
+        if (id < producers) {
+            for (std::uint64_t i = 0; i < per_producer; ++i) {
+                q.enqueue(tag(static_cast<unsigned>(id), i));
+            }
+        } else {
+            auto& mine = received[static_cast<std::size_t>(id - producers)];
+            while (consumed.load(std::memory_order_acquire) < total) {
+                if (auto v = q.dequeue()) {
+                    mine.push_back(*v);
+                    consumed.fetch_add(1, std::memory_order_acq_rel);
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        }
+    });
+    return received;
+}
+
+// Assertions over an mpmc_exchange result: every tagged value arrives
+// exactly once, and each producer's values are consumed in FIFO order *per
+// consumer* (a consequence of queue linearizability).
+inline void expect_exchange_valid(const std::vector<std::vector<value_t>>& received,
+                                  int producers, std::uint64_t per_producer) {
+    std::vector<std::vector<std::uint64_t>> seen(
+        static_cast<std::size_t>(producers),
+        std::vector<std::uint64_t>());
+    for (const auto& consumer : received) {
+        std::vector<std::uint64_t> last(static_cast<std::size_t>(producers), 0);
+        std::vector<bool> any(static_cast<std::size_t>(producers), false);
+        for (value_t v : consumer) {
+            const unsigned p = tag_producer(v);
+            const std::uint64_t s = tag_seq(v);
+            ASSERT_LT(p, static_cast<unsigned>(producers)) << "alien value " << v;
+            ASSERT_LT(s, per_producer);
+            if (any[p]) {
+                EXPECT_GT(s, last[p])
+                    << "per-producer FIFO violated at producer " << p;
+            }
+            any[p] = true;
+            last[p] = s;
+            seen[p].push_back(s);
+        }
+    }
+    std::uint64_t total = 0;
+    for (int p = 0; p < producers; ++p) {
+        auto& s = seen[static_cast<std::size_t>(p)];
+        total += s.size();
+        std::sort(s.begin(), s.end());
+        for (std::uint64_t i = 0; i < s.size(); ++i) {
+            ASSERT_EQ(s[i], i) << "lost or duplicated value from producer " << p;
+        }
+        EXPECT_EQ(s.size(), per_producer) << "producer " << p;
+    }
+    EXPECT_EQ(total, static_cast<std::uint64_t>(producers) * per_producer);
+}
+
+// Weaker variant for tantrum queues (raw CRQ): values may be missing (the
+// producer gave up after CLOSED) but per-producer order must still hold
+// per consumer and nothing may duplicate across consumers.
+inline void expect_exchange_valid_partial(
+    const std::vector<std::vector<value_t>>& received, int producers) {
+    std::vector<std::vector<std::uint64_t>> seen(static_cast<std::size_t>(producers));
+    for (const auto& consumer : received) {
+        std::vector<std::uint64_t> last(static_cast<std::size_t>(producers), 0);
+        std::vector<bool> any(static_cast<std::size_t>(producers), false);
+        for (value_t v : consumer) {
+            const unsigned p = tag_producer(v);
+            ASSERT_LT(p, static_cast<unsigned>(producers)) << "alien value " << v;
+            const std::uint64_t s = tag_seq(v);
+            if (any[p]) {
+                EXPECT_GT(s, last[p]) << "per-producer FIFO violated at producer " << p;
+            }
+            any[p] = true;
+            last[p] = s;
+            seen[p].push_back(s);
+        }
+    }
+    for (auto& s : seen) {
+        std::sort(s.begin(), s.end());
+        EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end())
+            << "value dequeued twice";
+    }
+}
+
+}  // namespace lcrq::test

@@ -1,0 +1,68 @@
+// Dense thread-id pool: stability within a thread, uniqueness across
+// concurrent threads, and recycling after exit.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "arch/thread_id.hpp"
+#include "test_support.hpp"
+
+namespace lcrq {
+namespace {
+
+TEST(ThreadId, StableWithinThread) {
+    const std::size_t a = thread_index();
+    const std::size_t b = thread_index();
+    EXPECT_EQ(a, b);
+    EXPECT_LT(a, kMaxThreads);
+}
+
+TEST(ThreadId, UniqueAcrossConcurrentThreads) {
+    // Ids are unique among *live* threads only, so hold every thread until
+    // all of them have acquired an id (a finished thread's id is free for
+    // reuse, which is the point of the pool).
+    std::mutex mu;
+    std::set<std::size_t> ids;
+    std::atomic<int> acquired{0};
+    constexpr int kThreads = 8;
+    test::run_threads(kThreads, [&](int) {
+        {
+            const std::size_t id = thread_index();
+            std::lock_guard lock(mu);
+            ids.insert(id);
+        }
+        acquired.fetch_add(1);
+        while (acquired.load() < kThreads) std::this_thread::yield();
+    });
+    EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ThreadId, RecycledAfterExit) {
+    // Sequential short-lived threads should reuse a small id set: ids are
+    // recycled on exit, so 100 threads must not consume 100 distinct ids.
+    std::mutex mu;
+    std::set<std::size_t> ids;
+    for (int i = 0; i < 100; ++i) {
+        std::thread([&] {
+            const std::size_t id = thread_index();
+            std::lock_guard lock(mu);
+            ids.insert(id);
+        }).join();
+    }
+    EXPECT_LE(ids.size(), 4u);
+}
+
+TEST(ThreadId, ManyWavesStayBounded) {
+    for (int wave = 0; wave < 10; ++wave) {
+        test::run_threads(16, [&](int) {
+            const std::size_t id = thread_index();
+            EXPECT_LT(id, kMaxThreads);
+        });
+    }
+}
+
+}  // namespace
+}  // namespace lcrq

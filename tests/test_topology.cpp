@@ -1,0 +1,180 @@
+// Topology discovery, virtual clusters, placement planning, and the
+// per-thread cluster context the hierarchical algorithms read.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_support.hpp"
+#include "topology/pinning.hpp"
+#include "topology/topology.hpp"
+
+namespace lcrq::topo {
+namespace {
+
+TEST(Topology, DiscoverReturnsAtLeastOneCpu) {
+    const Topology t = discover();
+    EXPECT_GE(t.num_cpus(), 1u);
+    EXPECT_GE(t.num_clusters, 1);
+    EXPECT_EQ(t.cluster_of_cpu.size(), t.cpus.size());
+    for (int c : t.cluster_of_cpu) {
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, t.num_clusters);
+    }
+}
+
+TEST(Topology, VirtualClustersPartitionCpus) {
+    Topology base;
+    base.cpus = {0, 1, 2, 3, 4, 5, 6, 7};
+    base.cluster_of_cpu.assign(8, 0);
+    base.num_clusters = 1;
+
+    const Topology v = make_virtual(base, 4);
+    EXPECT_EQ(v.num_clusters, 4);
+    // Contiguous halves of size 2.
+    EXPECT_EQ(v.cluster_of_cpu[0], 0);
+    EXPECT_EQ(v.cluster_of_cpu[1], 0);
+    EXPECT_EQ(v.cluster_of_cpu[2], 1);
+    EXPECT_EQ(v.cluster_of_cpu[7], 3);
+}
+
+TEST(Topology, VirtualClustersWithFewerCpusThanClusters) {
+    Topology base;
+    base.cpus = {0};
+    base.cluster_of_cpu = {0};
+    base.num_clusters = 1;
+    const Topology v = make_virtual(base, 4);
+    EXPECT_EQ(v.num_clusters, 4);
+    EXPECT_EQ(v.cluster_of_cpu[0], 0);  // shared CPU, still 4 clusters
+}
+
+TEST(Topology, CurrentClusterRoundTrips) {
+    set_current_cluster(3);
+    EXPECT_EQ(current_cluster(), 3);
+    set_current_cluster(0);
+    EXPECT_EQ(current_cluster(), 0);
+}
+
+TEST(Topology, CurrentClusterIsThreadLocal) {
+    set_current_cluster(7);
+    test::run_threads(2, [](int id) {
+        EXPECT_EQ(current_cluster(), 0) << "fresh thread must default to 0";
+        set_current_cluster(id + 1);
+        EXPECT_EQ(current_cluster(), id + 1);
+    });
+    EXPECT_EQ(current_cluster(), 7);
+    set_current_cluster(0);
+}
+
+TEST(Topology, DescribeMentionsCounts) {
+    const Topology t = discover();
+    const std::string s = describe(t);
+    EXPECT_NE(s.find("cluster"), std::string::npos);
+}
+
+TEST(Placement, ParseNames) {
+    Placement p;
+    EXPECT_TRUE(parse_placement("single-cluster", p));
+    EXPECT_EQ(p, Placement::kSingleCluster);
+    EXPECT_TRUE(parse_placement("rr", p));
+    EXPECT_EQ(p, Placement::kRoundRobin);
+    EXPECT_TRUE(parse_placement("unpinned", p));
+    EXPECT_EQ(p, Placement::kUnpinned);
+    EXPECT_FALSE(parse_placement("bogus", p));
+}
+
+Topology eight_cpu_two_cluster() {
+    Topology t;
+    t.cpus = {0, 1, 2, 3, 4, 5, 6, 7};
+    t.cluster_of_cpu = {0, 0, 0, 0, 1, 1, 1, 1};
+    t.num_clusters = 2;
+    return t;
+}
+
+TEST(Placement, SingleClusterKeepsAllThreadsOnClusterZero) {
+    const auto plan = plan_placement(eight_cpu_two_cluster(), 6, Placement::kSingleCluster);
+    ASSERT_EQ(plan.size(), 6u);
+    for (const auto& s : plan) {
+        EXPECT_EQ(s.cluster, 0);
+        EXPECT_GE(s.cpu, 0);
+        EXPECT_LE(s.cpu, 3);  // only cluster 0's CPUs
+    }
+}
+
+TEST(Placement, RoundRobinAlternatesClusters) {
+    const auto plan = plan_placement(eight_cpu_two_cluster(), 6, Placement::kRoundRobin);
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_EQ(plan[static_cast<std::size_t>(i)].cluster, i % 2);
+    }
+    // CPUs come from the matching cluster.
+    EXPECT_LE(plan[0].cpu, 3);
+    EXPECT_GE(plan[1].cpu, 4);
+}
+
+TEST(Placement, UnpinnedAssignsClustersButNoCpu) {
+    const auto plan = plan_placement(eight_cpu_two_cluster(), 5, Placement::kUnpinned);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(plan[static_cast<std::size_t>(i)].cpu, -1);
+        EXPECT_EQ(plan[static_cast<std::size_t>(i)].cluster, i % 2);
+    }
+}
+
+TEST(Placement, MoreThreadsThanCpusSharesCpus) {
+    const auto plan = plan_placement(eight_cpu_two_cluster(), 20, Placement::kRoundRobin);
+    ASSERT_EQ(plan.size(), 20u);
+    for (const auto& s : plan) {
+        EXPECT_GE(s.cpu, 0);
+        EXPECT_LT(s.cpu, 8);
+    }
+}
+
+TEST(Placement, PinSelfPublishesCluster) {
+    const Topology t = discover();
+    ThreadSlot slot{t.cpus[0], 2};
+    EXPECT_TRUE(pin_self(slot));
+    EXPECT_EQ(current_cluster(), 2);
+    set_current_cluster(0);
+}
+
+TEST(Placement, PinSelfUnpinnedSucceeds) {
+    ThreadSlot slot{-1, 1};
+    EXPECT_TRUE(pin_self(slot));
+    EXPECT_EQ(current_cluster(), 1);
+    set_current_cluster(0);
+}
+
+TEST(Topology, VirtualClustersUnevenSplit) {
+    Topology base;
+    base.cpus = {0, 1, 2, 3, 4, 5, 6};  // 7 CPUs over 3 clusters
+    base.cluster_of_cpu.assign(7, 0);
+    base.num_clusters = 1;
+    const Topology v = make_virtual(base, 3);
+    EXPECT_EQ(v.num_clusters, 3);
+    // Contiguous blocks of ceil(7/3)=3: [0..2]->0, [3..5]->1, [6]->2.
+    EXPECT_EQ(v.cluster_of_cpu[2], 0);
+    EXPECT_EQ(v.cluster_of_cpu[3], 1);
+    EXPECT_EQ(v.cluster_of_cpu[6], 2);
+    // Every cluster id in range.
+    for (int c : v.cluster_of_cpu) {
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, 3);
+    }
+}
+
+TEST(Topology, DescribeTruncatesLongLists) {
+    Topology t;
+    for (int i = 0; i < 64; ++i) {
+        t.cpus.push_back(i);
+        t.cluster_of_cpu.push_back(0);
+    }
+    t.num_clusters = 1;
+    const std::string s = describe(t);
+    EXPECT_NE(s.find("..."), std::string::npos);
+    EXPECT_LT(s.size(), 400u);
+}
+
+TEST(Placement, ZeroThreadsYieldsEmptyPlan) {
+    EXPECT_TRUE(plan_placement(discover(), 0, Placement::kRoundRobin).empty());
+}
+
+}  // namespace
+}  // namespace lcrq::topo

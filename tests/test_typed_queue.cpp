@@ -1,0 +1,109 @@
+// Typed facade: inline storage for small trivially-copyable types, boxing
+// for everything else, destructor draining, move-only payloads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "queues/ms_queue.hpp"
+#include "queues/typed_queue.hpp"
+#include "test_support.hpp"
+
+namespace lcrq {
+namespace {
+
+TEST(TypedQueue, InlineIntRoundTrip) {
+    static_assert(kInlineStorable<int>);
+    Queue<int> q;
+    q.enqueue(-5);
+    q.enqueue(0);
+    q.enqueue(7);
+    EXPECT_EQ(q.dequeue().value_or(99), -5);
+    EXPECT_EQ(q.dequeue().value_or(99), 0);
+    EXPECT_EQ(q.dequeue().value_or(99), 7);
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(TypedQueue, InlineSmallStruct) {
+    struct Pix {
+        std::uint16_t x, y;
+    };
+    static_assert(kInlineStorable<Pix>);
+    Queue<Pix> q;
+    q.enqueue({3, 4});
+    const auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->x, 3);
+    EXPECT_EQ(p->y, 4);
+}
+
+TEST(TypedQueue, BoxedStringRoundTrip) {
+    static_assert(!kInlineStorable<std::string>);
+    Queue<std::string> q;
+    q.enqueue("hello");
+    q.enqueue(std::string(1000, 'x'));
+    EXPECT_EQ(q.dequeue().value_or(""), "hello");
+    EXPECT_EQ(q.dequeue().value_or("").size(), 1000u);
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(TypedQueue, MoveOnlyPayload) {
+    Queue<std::unique_ptr<int>> q;
+    q.enqueue(std::make_unique<int>(42));
+    auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    ASSERT_NE(*p, nullptr);
+    EXPECT_EQ(**p, 42);
+}
+
+int g_tracked_live = 0;
+
+TEST(TypedQueue, DestructorDrainsBoxes) {
+    struct Tracked {
+        Tracked() { ++g_tracked_live; }
+        Tracked(const Tracked&) { ++g_tracked_live; }
+        Tracked(Tracked&&) noexcept { ++g_tracked_live; }
+        ~Tracked() { --g_tracked_live; }
+    };
+    {
+        Queue<Tracked> q;
+        for (int i = 0; i < 10; ++i) q.enqueue(Tracked{});
+        ASSERT_TRUE(q.dequeue().has_value());
+    }
+    EXPECT_EQ(g_tracked_live, 0) << "destructor must free undequeued boxes";
+}
+
+TEST(TypedQueue, WorksOverOtherBases) {
+    Queue<int, MsQueue<>> q;
+    q.enqueue(1);
+    q.enqueue(2);
+    EXPECT_EQ(q.dequeue().value_or(0), 1);
+    EXPECT_EQ(q.dequeue().value_or(0), 2);
+}
+
+TEST(TypedQueue, ConcurrentBoxedExchange) {
+    Queue<std::string> q;
+    std::atomic<int> got{0};
+    test::run_threads(4, [&](int id) {
+        if (id < 2) {
+            for (int i = 0; i < 500; ++i) {
+                q.enqueue(std::to_string(id) + ":" + std::to_string(i));
+            }
+        } else {
+            while (got.load() < 1000) {
+                if (auto s = q.dequeue()) {
+                    EXPECT_NE(s->find(':'), std::string::npos);
+                    got.fetch_add(1);
+                } else {
+                    std::this_thread::yield();
+                }
+            }
+        }
+    });
+    EXPECT_EQ(got.load(), 1000);
+}
+
+}  // namespace
+}  // namespace lcrq

@@ -1,0 +1,157 @@
+// Utility substrate: RNG determinism and bounds, timing calibration,
+// statistics accumulators, table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+#include "util/xorshift.hpp"
+
+namespace lcrq {
+namespace {
+
+TEST(Xorshift, DeterministicForSeed) {
+    Xoshiro256 a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xorshift, DifferentSeedsDiverge) {
+    Xoshiro256 a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b()) ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Xorshift, BoundedStaysInRange) {
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 10'000; ++i) {
+        EXPECT_LT(rng.bounded(100), 100u);
+    }
+    EXPECT_EQ(rng.bounded(0), 0u);
+    EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xorshift, BoundedCoversRangeRoughlyUniformly) {
+    Xoshiro256 rng(11);
+    int buckets[10] = {};
+    constexpr int kSamples = 100'000;
+    for (int i = 0; i < kSamples; ++i) ++buckets[rng.bounded(10)];
+    for (int b : buckets) {
+        EXPECT_GT(b, kSamples / 10 / 2);
+        EXPECT_LT(b, kSamples / 10 * 2);
+    }
+}
+
+TEST(Xorshift, ZeroSeedIsUsable) {
+    Xoshiro256 rng(0);
+    std::set<std::uint64_t> vals;
+    for (int i = 0; i < 100; ++i) vals.insert(rng());
+    EXPECT_GT(vals.size(), 90u);
+}
+
+TEST(Timing, MonotonicClockAdvances) {
+    const auto a = now_ns();
+    const auto b = now_ns();
+    EXPECT_GE(b, a);
+}
+
+TEST(Timing, TscCalibrationPositive) {
+    EXPECT_GT(tsc_per_ns(), 0.0);
+    // Plausible range for any modern machine: 0.1 .. 10 GHz.
+    EXPECT_GT(tsc_per_ns(), 0.1);
+    EXPECT_LT(tsc_per_ns(), 10.0);
+}
+
+TEST(Timing, SpinForNsWaitsApproximately) {
+    const auto t0 = now_ns();
+    spin_for_ns(2'000'000);  // 2 ms: far above timer noise
+    const auto elapsed = now_ns() - t0;
+    EXPECT_GE(elapsed, 1'000'000u);
+}
+
+TEST(Timing, SpinForZeroReturnsImmediately) {
+    spin_for_ns(0);
+    SUCCEED();
+}
+
+TEST(RunningStats, MeanAndStddev) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-9);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(Table, FormatSi) {
+    EXPECT_EQ(format_si(1'234'567.0, 2), "1.23M");
+    EXPECT_EQ(format_si(999.0, 0), "999");
+    EXPECT_EQ(format_si(2'500.0, 1), "2.5K");
+    EXPECT_EQ(format_si(3.2e9, 1), "3.2G");
+}
+
+TEST(Table, FormatDouble) {
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+TEST(Table, PrintsAlignedRows) {
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(std::uint64_t{42});
+    t.row().cell("b").cell(3.5, 1);
+    // Render to a memstream and sanity-check the shape.
+    char* buf = nullptr;
+    std::size_t len = 0;
+    std::FILE* f = open_memstream(&buf, &len);
+    ASSERT_NE(f, nullptr);
+    t.print(f);
+    std::fclose(f);
+    std::string out(buf, len);
+    free(buf);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("3.5"), std::string::npos);
+    EXPECT_NE(out.find("|"), std::string::npos);
+}
+
+TEST(Table, PrintsCsv) {
+    Table t({"a", "b"});
+    t.row().cell("x").cell(std::int64_t{-1});
+    char* buf = nullptr;
+    std::size_t len = 0;
+    std::FILE* f = open_memstream(&buf, &len);
+    ASSERT_NE(f, nullptr);
+    t.print_csv(f);
+    std::fclose(f);
+    std::string out(buf, len);
+    free(buf);
+    EXPECT_EQ(out, "a,b\nx,-1\n");
+}
+
+}  // namespace
+}  // namespace lcrq
