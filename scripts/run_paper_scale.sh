@@ -30,4 +30,15 @@ run fig9_ring_size   --mode multi  --threads 80 --pairs 1000000 \
 run table2_stats --threads 20 --pairs 10000000
 run table3_stats --threads 80 --pairs 1000000 --clusters 4
 run ablations    --threads 20 --pairs 1000000
+
+# Opt-in batch-amortization sweep (BATCH_SWEEP=1): batched ticket claiming
+# across batch sizes and thread counts, with machine-readable output at
+# $OUT/BENCH_batch.json for tracking the amortization claim over time.
+if [ "${BATCH_SWEEP:-0}" = "1" ]; then
+  run micro_batch_ops --queues lcrq,lcrq-cas,ms,fc-queue \
+                      --threads 1,2,4,8,16,32,64,80 \
+                      --batch 1,2,4,8,16,64 \
+                      --items 1000000 \
+                      --json "$OUT/BENCH_batch.json"
+fi
 echo "results in $OUT/"

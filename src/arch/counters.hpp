@@ -42,6 +42,11 @@ enum class Event : unsigned {
     kCombine,          // operations a combiner applied on behalf of others
     kCombinerAcquire,  // times a thread became combiner
     kClusterHandoff,   // hierarchical cluster ownership changes
+    kBulkEnqueue,      // completed enqueue_bulk operations
+    kBulkDequeue,      // completed dequeue_bulk operations (incl. empty)
+    kBulkFaa,          // batched F&As (one per bulk ticket-claim round)
+    kBulkTickets,      // ring tickets claimed by batched F&As
+    kBulkWasted,       // batch tickets that produced no enqueue/dequeue
     kCount
 };
 
@@ -55,7 +60,8 @@ constexpr std::string_view event_name(Event e) noexcept {
         "dequeue_empty", "crq_close",    "crq_append",
         "ring_retry",    "spin_wait",    "unsafe_transition",
         "empty_transition", "combine",   "combiner_acquire",
-        "cluster_handoff",
+        "cluster_handoff", "bulk_enqueue", "bulk_dequeue",
+        "bulk_faa",      "bulk_tickets", "bulk_wasted",
     };
     return names[static_cast<std::size_t>(e)];
 }

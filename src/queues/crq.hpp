@@ -25,10 +25,13 @@
 // line layout (paper default) vs packed 16-byte nodes (ablation).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "arch/backoff.hpp"
 #include "arch/cacheline.hpp"
@@ -124,25 +127,12 @@ class Crq {
         for (;;) {
             const std::uint64_t traw = Faa::fetch_add(*tail_, 1);
             if ((traw & detail::kMsb) != 0) return EnqueueResult::kClosed;
-            const std::uint64_t t = traw;
-            detail::CrqCell& cell = ring_[t & mask_].cell;
-
-            const std::uint64_t val = cell.val.load(std::memory_order_seq_cst);
-            const std::uint64_t si = cell.si.load(std::memory_order_seq_cst);
-            if (val == kBottom && detail::si_idx(si) <= t &&
-                (detail::si_safe(si) ||
-                 head_->load(std::memory_order_seq_cst) <= t)) {
-                U128 expected{si, kBottom};
-                const U128 desired{detail::make_si(true, t), x};
-                if (counted_cas2(cell.as_u128(), expected, desired)) {
-                    return EnqueueResult::kOk;
-                }
-            }
+            if (try_put(traw, x)) return EnqueueResult::kOk;
 
             // Give up if the ring looks full or we are starving (§4, fig 3d
             // lines 97-101): close and let LCRQ append a fresh CRQ.
             const std::uint64_t h = head_->load(std::memory_order_seq_cst);
-            if (static_cast<std::int64_t>(t - h) >= static_cast<std::int64_t>(size_) ||
+            if (static_cast<std::int64_t>(traw - h) >= static_cast<std::int64_t>(size_) ||
                 ++tries >= starvation_limit_) {
                 close();
                 return EnqueueResult::kClosed;
@@ -151,67 +141,61 @@ class Crq {
         }
     }
 
+    // Batched enqueue: claim a range of consecutive tickets with ONE F&A on
+    // tail and walk the claimed cells with the per-cell protocol.  Returns
+    // how many items from the front of `items` were stored — fewer than
+    // items.size() only once the ring is (now) closed, exactly like a
+    // failed single ticket: a claimed ticket whose cell was unusable is
+    // wasted (dequeuers poison past the hole), and the ring closes under
+    // the same full/starvation policy as the single-op path, so LCRQ can
+    // spill the remainder into a fresh ring.
+    std::size_t enqueue_bulk(std::span<const value_t> items) {
+        std::size_t done = 0;
+        unsigned tries = 0;
+        while (done < items.size()) {
+            // Claim at most R tickets per round: a wasted ticket burns a
+            // ring index, so overclaiming past the capacity only inflates
+            // the hole dequeuers must poison past.
+            const std::uint64_t want = std::min<std::uint64_t>(
+                items.size() - done, size_);
+            const std::uint64_t traw = Faa::fetch_add(*tail_, want);
+            stats::count(stats::Event::kBulkFaa);
+            stats::count(stats::Event::kBulkTickets, want);
+            if ((traw & detail::kMsb) != 0) return done;
+
+            std::uint64_t wasted = 0;
+            for (std::uint64_t t = traw; t != traw + want; ++t) {
+                assert(is_enqueueable(items[done]));
+                if (try_put(t, items[done])) {
+                    ++done;
+                } else {
+                    ++wasted;  // hole: this ticket stores nothing, ever
+                }
+            }
+            if (wasted == 0) continue;  // every claimed ticket landed
+            stats::count(stats::Event::kBulkWasted, wasted);
+
+            // Same give-up policy as the single-op path, applied per claim
+            // round (one F&A == one "try").
+            const std::uint64_t h = head_->load(std::memory_order_seq_cst);
+            if (static_cast<std::int64_t>(traw + want - h) >
+                    static_cast<std::int64_t>(size_) ||
+                ++tries >= starvation_limit_) {
+                close();
+                return done;
+            }
+            stats::count(stats::Event::kRingRetry);
+        }
+        return done;
+    }
+
     // Figure 3b, plus the §4.1.1 bounded wait for a matching in-flight
     // enqueuer before an empty transition.
     std::optional<value_t> dequeue() {
         for (;;) {
             const std::uint64_t h = Faa::fetch_add(*head_, 1);
-            detail::CrqCell& cell = ring_[h & mask_].cell;
-            unsigned spins = 0;
-
-            for (;;) {
-                const std::uint64_t val = cell.val.load(std::memory_order_seq_cst);
-                const std::uint64_t si = cell.si.load(std::memory_order_seq_cst);
-                const std::uint64_t idx = detail::si_idx(si);
-                const bool safe = detail::si_safe(si);
-                if (idx > h) break;  // overtaken: this index is spent
-
-                if (val != kBottom) {
-                    if (idx == h) {
-                        // Dequeue transition: remove val, advance the node
-                        // to the next lap.
-                        U128 expected{si, val};
-                        const U128 desired{detail::make_si(safe, h + size_), kBottom};
-                        if (counted_cas2(cell.as_u128(), expected, desired)) {
-                            return val;
-                        }
-                    } else {
-                        // Occupied by an older lap (idx < h): mark unsafe so
-                        // enq_h cannot store an item we will not be around
-                        // to dequeue.
-                        U128 expected{si, val};
-                        const U128 desired{detail::make_si(false, idx), val};
-                        if (counted_cas2(cell.as_u128(), expected, desired)) {
-                            stats::count(stats::Event::kUnsafeTransition);
-                            break;
-                        }
-                    }
-                } else {
-                    // Empty cell (idx ≤ h).  If the matching enqueuer is
-                    // already active (tail passed h), give it a moment
-                    // before poisoning the node — saves both operations a
-                    // round through the contended F&As (§4.1.1).
-                    if (spins < spin_wait_iters_) {
-                        const std::uint64_t traw =
-                            tail_->load(std::memory_order_seq_cst);
-                        if ((traw & detail::kIdxMask) > h) {
-                            ++spins;
-                            stats::count(stats::Event::kSpinWait);
-                            cpu_relax();
-                            continue;
-                        }
-                    }
-                    // Empty transition: advance the node a lap so no
-                    // operation with index ≤ h can use it.
-                    U128 expected{si, kBottom};
-                    const U128 desired{detail::make_si(safe, h + size_), kBottom};
-                    if (counted_cas2(cell.as_u128(), expected, desired)) {
-                        stats::count(stats::Event::kEmptyTransition);
-                        break;
-                    }
-                }
-                // A CAS2 failed: the node changed under us; re-read.
-            }
+            value_t v;
+            if (try_take(h, v)) return v;
 
             // No item obtained with index h; return EMPTY if the queue is.
             const std::uint64_t traw = tail_->load(std::memory_order_seq_cst);
@@ -221,6 +205,75 @@ class Crq {
             }
             stats::count(stats::Event::kRingRetry);
         }
+    }
+
+    // Batched dequeue: claim a ticket range with ONE F&A on head, then walk
+    // the claimed cells.  Writes up to `max` items into `out` and returns
+    // the count; fewer than `max` are returned ONLY after an empty
+    // observation (tail ≤ some burned ticket + 1), so 0 means EMPTY — the
+    // same contract as the single op, k at a time.
+    //
+    // A batch that hits the empty condition mid-range first tries to hand
+    // its unspent tickets back with a CAS of head from claim-end to the
+    // first unspent ticket (legal exactly when no later ticket was issued,
+    // which the CAS's expected value proves); if another dequeuer already
+    // claimed past us the CAS fails and the remaining tickets are walked —
+    // and thereby spent — normally, so no ticket is ever leaked to strand
+    // an item.
+    std::size_t dequeue_bulk(value_t* out, std::size_t max) {
+        std::size_t n = 0;
+        while (n < max) {
+            const std::uint64_t want =
+                std::min<std::uint64_t>(max - n, size_);
+            const std::uint64_t hraw = Faa::fetch_add(*head_, want);
+            stats::count(stats::Event::kBulkFaa);
+            stats::count(stats::Event::kBulkTickets, want);
+            const std::uint64_t end = hraw + want;
+
+            std::uint64_t wasted = 0;
+            bool empty_seen = false;
+            for (std::uint64_t h = hraw; h != end; ++h) {
+                value_t v;
+                if (try_take(h, v)) {
+                    out[n++] = v;
+                    continue;
+                }
+                ++wasted;
+                // Ticket h burned (cell poisoned or spent).  If the queue
+                // is empty at this point, stop early instead of burning the
+                // rest of the range.
+                const std::uint64_t traw =
+                    tail_->load(std::memory_order_seq_cst);
+                if ((traw & detail::kIdxMask) > h + 1) continue;
+                empty_seen = true;
+                if (h + 1 == end) break;  // nothing left to hand back
+                std::uint64_t expected_head = end;
+                if (counted_cas(*head_, expected_head, h + 1)) {
+                    // Tickets h+1..end-1 were never observed by anyone and
+                    // are re-issued by future F&As: not wasted, not leaked.
+                    break;
+                }
+                // A later dequeuer holds tickets past `end`; ours cannot be
+                // returned, so spend them (mostly empty transitions).
+            }
+            stats::count(stats::Event::kBulkWasted, wasted);
+            if (wasted == 0) continue;  // full round landed; claim more
+            if (!empty_seen) {
+                // Tickets were burned by races, not emptiness; re-check the
+                // single-op EMPTY condition at the end of our range (the
+                // last burned ticket is < end, so tail ≤ end is exactly its
+                // "tail ≤ h + 1").
+                const std::uint64_t traw =
+                    tail_->load(std::memory_order_seq_cst);
+                empty_seen = (traw & detail::kIdxMask) <= end;
+            }
+            if (empty_seen) {
+                if (n == 0) fix_state();
+                return n;
+            }
+            stats::count(stats::Event::kRingRetry);
+        }
+        return n;
     }
 
     // Close to further enqueues (sets tail's MSB; idempotent).
@@ -285,6 +338,87 @@ class Crq {
     }
 
   private:
+    // One enqueue attempt with ticket t (Figure 3d lines 88-96): store x if
+    // the cell is empty, not past t, and safe-or-rescuable.  Returns false
+    // on an unusable cell or a lost CAS2 — the ticket is then wasted and
+    // the caller decides between a fresh ticket and giving up.
+    bool try_put(std::uint64_t t, value_t x) {
+        detail::CrqCell& cell = ring_[t & mask_].cell;
+        const std::uint64_t val = cell.val.load(std::memory_order_seq_cst);
+        const std::uint64_t si = cell.si.load(std::memory_order_seq_cst);
+        if (val == kBottom && detail::si_idx(si) <= t &&
+            (detail::si_safe(si) ||
+             head_->load(std::memory_order_seq_cst) <= t)) {
+            U128 expected{si, kBottom};
+            const U128 desired{detail::make_si(true, t), x};
+            if (counted_cas2(cell.as_u128(), expected, desired)) return true;
+        }
+        return false;
+    }
+
+    // Resolve dequeue ticket h against its cell (Figure 3b lines 55-73):
+    // returns true with the item in `out`, or false once the ticket is
+    // spent (cell advanced past h, marked unsafe, or poisoned by our empty
+    // transition) — after which no item can ever appear for ticket h.
+    bool try_take(std::uint64_t h, value_t& out) {
+        detail::CrqCell& cell = ring_[h & mask_].cell;
+        unsigned spins = 0;
+        for (;;) {
+            const std::uint64_t val = cell.val.load(std::memory_order_seq_cst);
+            const std::uint64_t si = cell.si.load(std::memory_order_seq_cst);
+            const std::uint64_t idx = detail::si_idx(si);
+            const bool safe = detail::si_safe(si);
+            if (idx > h) return false;  // overtaken: this index is spent
+
+            if (val != kBottom) {
+                if (idx == h) {
+                    // Dequeue transition: remove val, advance the node to
+                    // the next lap.
+                    U128 expected{si, val};
+                    const U128 desired{detail::make_si(safe, h + size_), kBottom};
+                    if (counted_cas2(cell.as_u128(), expected, desired)) {
+                        out = val;
+                        return true;
+                    }
+                } else {
+                    // Occupied by an older lap (idx < h): mark unsafe so
+                    // enq_h cannot store an item we will not be around to
+                    // dequeue.
+                    U128 expected{si, val};
+                    const U128 desired{detail::make_si(false, idx), val};
+                    if (counted_cas2(cell.as_u128(), expected, desired)) {
+                        stats::count(stats::Event::kUnsafeTransition);
+                        return false;
+                    }
+                }
+            } else {
+                // Empty cell (idx ≤ h).  If the matching enqueuer is
+                // already active (tail passed h), give it a moment before
+                // poisoning the node — saves both operations a round
+                // through the contended F&As (§4.1.1).
+                if (spins < spin_wait_iters_) {
+                    const std::uint64_t traw =
+                        tail_->load(std::memory_order_seq_cst);
+                    if ((traw & detail::kIdxMask) > h) {
+                        ++spins;
+                        stats::count(stats::Event::kSpinWait);
+                        cpu_relax();
+                        continue;
+                    }
+                }
+                // Empty transition: advance the node a lap so no operation
+                // with index ≤ h can use it.
+                U128 expected{si, kBottom};
+                const U128 desired{detail::make_si(safe, h + size_), kBottom};
+                if (counted_cas2(cell.as_u128(), expected, desired)) {
+                    stats::count(stats::Event::kEmptyTransition);
+                    return false;
+                }
+            }
+            // A CAS2 failed: the node changed under us; re-read.
+        }
+    }
+
     // A dequeuer overshooting an empty queue leaves head > tail; restore
     // head ≤ tail so enqueuers do not burn an extra F&A round per wasted
     // index (Figure 3c).  A closed CRQ takes no further enqueues, so there

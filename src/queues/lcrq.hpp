@@ -27,8 +27,10 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "arch/faa_policy.hpp"
 #include "arch/thread_id.hpp"
@@ -73,9 +75,8 @@ class Lcrq {
     Lcrq& operator=(const Lcrq&) = delete;
 
     void enqueue(value_t x) {
-        const bool ok = try_enqueue(x);
+        [[maybe_unused]] const bool ok = try_enqueue(x);
         assert(ok && "enqueue on a closed queue; use try_enqueue for shutdown");
-        (void)ok;
     }
 
     // Enqueue unless the queue has been close()d.  Identical to enqueue()
@@ -112,6 +113,57 @@ class Lcrq {
             }
             stats::count(stats::Event::kCasFailure);
             delete fresh;  // another appender won; retry in the new tail
+        }
+    }
+
+    // Batched enqueue: every item lands, in order, with one hazard
+    // acquisition and (in the common case) one F&A per batch instead of
+    // one per item.  A batch that hits a CLOSED ring spills its remainder
+    // across the close: the appender seeds the fresh ring with the next
+    // item (as in try_enqueue) and continues the batch there.
+    void enqueue_bulk(std::span<const value_t> items) {
+        [[maybe_unused]] const bool ok = try_enqueue_bulk(items);
+        assert(ok && "enqueue_bulk on a closed queue");
+    }
+
+    // Bulk form of try_enqueue.  The closed flag is checked once, up
+    // front: a batch is one operation for shutdown purposes — either it
+    // started before close() returned (and then every item lands, exactly
+    // like an in-flight single enqueue) or it fails whole.  Returns false
+    // (enqueueing nothing) only in the latter case.
+    bool try_enqueue_bulk(std::span<const value_t> items) {
+        if (items.empty()) return true;
+        if (closed_.load(std::memory_order_acquire)) return false;
+        std::size_t done = 0;
+        for (;;) {
+            CrqT* crq = acquire(*tail_);
+            if (CrqT* next = crq->next.load(std::memory_order_acquire)) {
+                counted_cas_ptr(*tail_, crq, next);
+                continue;
+            }
+            hierarchy_.enter(*crq);
+            done += crq->enqueue_bulk(items.subspan(done));
+            if (done == items.size()) {
+                release();
+                return true;
+            }
+            // Ring closed mid-batch: append a fresh CRQ seeded with the
+            // next item and continue the batch in it.
+            auto* fresh = check_alloc(new (std::nothrow) CrqT(opt_, items[done]));
+            CrqT* expected = nullptr;
+            stats::count(stats::Event::kCas);
+            if (crq->next.compare_exchange_strong(expected, fresh,
+                                                  std::memory_order_seq_cst)) {
+                counted_cas_ptr(*tail_, crq, fresh);
+                stats::count(stats::Event::kCrqAppend);
+                if (++done == items.size()) {
+                    release();
+                    return true;
+                }
+            } else {
+                stats::count(stats::Event::kCasFailure);
+                delete fresh;  // another appender won; retry in the new tail
+            }
         }
     }
 
@@ -168,29 +220,52 @@ class Lcrq {
         }
     }
 
-    // Introspection for tests, benches, and monitoring.
-    std::size_t segment_count() const {
+    // Batched dequeue: up to `max` items into `out`, returning the count;
+    // 0 means the queue was observed empty.  One hazard acquisition per
+    // ring visited (not per item) and one F&A per claim round.  A batch
+    // whose current ring reports empty follows the exact single-op ring-
+    // switch protocol — second attempt (the corrected Fig. 5 retry), then
+    // swing head and retire — and continues filling from the successor.
+    std::size_t dequeue_bulk(value_t* out, std::size_t max) {
+        if (max == 0) return 0;
         std::size_t n = 0;
-        for (CrqT* q = head_->load(std::memory_order_acquire); q != nullptr;
-             q = q->next.load(std::memory_order_acquire)) {
-            ++n;
+        for (;;) {
+            CrqT* crq = acquire(*head_);
+            hierarchy_.enter(*crq);
+            n += crq->dequeue_bulk(out + n, max - n);
+            if (n == max) break;
+            // The ring reported empty (Crq::dequeue_bulk returns short
+            // only on an empty observation).
+            if (crq->next.load(std::memory_order_acquire) == nullptr) break;
+            n += crq->dequeue_bulk(out + n, max - n);
+            if (n == max) break;
+            CrqT* next = crq->next.load(std::memory_order_acquire);
+            if (counted_cas_ptr(*head_, crq, next)) {
+                release();
+                if constexpr (Protected) {
+                    my_hazard().retire(crq);
+                }
+            }
         }
+        release();
         return n;
+    }
+
+    // Introspection for tests, benches, and monitoring.  In the protected
+    // configuration both walks take hazard slots, so they are safe
+    // concurrent with dequeue-driven ring retirement; unprotected builds
+    // keep the plain walk (nothing is reclaimed before destruction there).
+    std::size_t segment_count() {
+        return static_cast<std::size_t>(
+            sum_segments([](CrqT&) { return std::uint64_t{1}; }));
     }
 
     // Item-count estimate: the sum of the live segments' estimates.  Only
     // a snapshot under concurrency (see Crq::approx_size), and closed
     // segments being drained can each over-count by the enqueue tickets
-    // wasted there before they closed.  The walk itself is unprotected, so
-    // call it from contexts where the walked segments cannot be reclaimed
-    // (quiescent, or monitoring where a torn estimate is acceptable).
-    std::uint64_t approx_size() const {
-        std::uint64_t n = 0;
-        for (CrqT* q = head_->load(std::memory_order_acquire); q != nullptr;
-             q = q->next.load(std::memory_order_acquire)) {
-            n += q->approx_size();
-        }
-        return n;
+    // wasted there before they closed.
+    std::uint64_t approx_size() {
+        return sum_segments([](CrqT& q) { return q.approx_size(); });
     }
     HazardDomain& hazard_domain() noexcept { return domain_; }
     static std::string variant_name() {
@@ -212,6 +287,57 @@ class Lcrq {
     }
     void release() {
         if constexpr (Protected) my_hazard().clear(0);
+    }
+
+    // Sum fn(segment) over the live list.  Operations use hazard slot 0;
+    // this walk uses slots 1-3 so it can run concurrently with them from
+    // the same thread's record.
+    //
+    // Safety of the protected walk: segments are retired strictly front to
+    // back, and only after head_ swings past them.  Each step publishes
+    // the next pointer into a spare slot and then revalidates that head_
+    // still equals the anchor read at the start of the attempt.  If it
+    // does, no segment at or behind the anchor has been retired yet — in
+    // particular the just-published one — and (seq_cst publish before the
+    // revalidating load, which precedes the retiring head-swing in the
+    // total order) any future scan must see our slot, so the segment stays
+    // live while we hold it.  If head_ moved, the chain may be stale: the
+    // attempt restarts from the new head.
+    template <typename Fn>
+    std::uint64_t sum_segments(Fn&& fn) {
+        if constexpr (!Protected) {
+            std::uint64_t n = 0;
+            for (CrqT* q = head_->load(std::memory_order_acquire); q != nullptr;
+                 q = q->next.load(std::memory_order_acquire)) {
+                n += fn(*q);
+            }
+            return n;
+        } else {
+            HazardThread& hp = my_hazard();
+            for (;;) {
+                std::uint64_t n = 0;
+                CrqT* const anchor = hp.protect(*head_, 1);
+                CrqT* cur = anchor;
+                std::size_t slot = 2;
+                bool restart = false;
+                for (;;) {
+                    n += fn(*cur);
+                    if (cur->next.load(std::memory_order_acquire) == nullptr) break;
+                    CrqT* next = hp.protect(cur->next, slot);
+                    if (next == nullptr) break;
+                    if (head_->load(std::memory_order_seq_cst) != anchor) {
+                        restart = true;
+                        break;
+                    }
+                    cur = next;
+                    slot = (slot == 2) ? 3 : 2;
+                }
+                hp.clear(1);
+                hp.clear(2);
+                hp.clear(3);
+                if (!restart) return n;
+            }
+        }
     }
 
     HazardThread& my_hazard() {

@@ -14,6 +14,8 @@
 #include <concepts>
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <utility>
 
 namespace lcrq {
 
@@ -35,6 +37,86 @@ concept ConcurrentQueue = requires(Q q, value_t v) {
     { q.enqueue(v) } -> std::same_as<void>;
     { q.dequeue() } -> std::same_as<std::optional<value_t>>;
     { Q::kName } -> std::convertible_to<const char*>;
+};
+
+// Queues with first-class batch operations.  Semantically a bulk op is the
+// sequence of its per-item ops (one linearization point per item, in batch
+// order); what the interface buys is amortization — a native implementation
+// claims all k ring tickets with one F&A instead of k.
+//   enqueue_bulk  appends every item, in order.
+//   dequeue_bulk  removes up to `max` items into `out`, returning the
+//                 count; 0 means the queue was observed empty.  Fewer than
+//                 `max` items are returned only on an empty observation.
+template <typename Q>
+concept BulkConcurrentQueue =
+    ConcurrentQueue<Q> &&
+    requires(Q q, std::span<const value_t> in, value_t* out, std::size_t max) {
+        { q.enqueue_bulk(in) } -> std::same_as<void>;
+        { q.dequeue_bulk(out, max) } -> std::same_as<std::size_t>;
+    };
+
+// Loop fallbacks: the bulk contract, one item at a time.  Baselines without
+// a native batch path get these, so sweeps can compare amortized vs not.
+template <ConcurrentQueue Q>
+void enqueue_bulk_fallback(Q& q, std::span<const value_t> items) {
+    for (value_t v : items) q.enqueue(v);
+}
+
+template <ConcurrentQueue Q>
+std::size_t dequeue_bulk_fallback(Q& q, value_t* out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max) {
+        const auto v = q.dequeue();
+        if (!v.has_value()) break;
+        out[n++] = *v;
+    }
+    return n;
+}
+
+// Uniform entry points: native batch path when the queue has one, loop
+// fallback otherwise.
+template <ConcurrentQueue Q>
+void bulk_enqueue(Q& q, std::span<const value_t> items) {
+    if constexpr (BulkConcurrentQueue<Q>) {
+        q.enqueue_bulk(items);
+    } else {
+        enqueue_bulk_fallback(q, items);
+    }
+}
+
+template <ConcurrentQueue Q>
+std::size_t bulk_dequeue(Q& q, value_t* out, std::size_t max) {
+    if constexpr (BulkConcurrentQueue<Q>) {
+        return q.dequeue_bulk(out, max);
+    } else {
+        return dequeue_bulk_fallback(q, out, max);
+    }
+}
+
+// Adapter conferring the bulk interface on any queue via the loop fallback,
+// so generic code (benches, tests) can require BulkConcurrentQueue and
+// still sweep every baseline.
+template <ConcurrentQueue Q>
+class BulkAdapter {
+  public:
+    static constexpr const char* kName = Q::kName;
+
+    template <typename... Args>
+    explicit BulkAdapter(Args&&... args) : q_(std::forward<Args>(args)...) {}
+
+    void enqueue(value_t x) { q_.enqueue(x); }
+    std::optional<value_t> dequeue() { return q_.dequeue(); }
+    void enqueue_bulk(std::span<const value_t> items) {
+        enqueue_bulk_fallback(q_, items);
+    }
+    std::size_t dequeue_bulk(value_t* out, std::size_t max) {
+        return dequeue_bulk_fallback(q_, out, max);
+    }
+
+    Q& base() noexcept { return q_; }
+
+  private:
+    Q q_;
 };
 
 // Construction-time options shared by the implementations; each queue uses

@@ -13,8 +13,11 @@
 // indices, which is the inline path.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstring>
 #include <optional>
+#include <span>
 #include <type_traits>
 #include <utility>
 
@@ -26,6 +29,9 @@ namespace lcrq {
 template <typename T>
 inline constexpr bool kInlineStorable =
     std::is_trivially_copyable_v<T> && sizeof(T) <= 4;
+
+// Words per batch chunk in the typed facade (1 KiB of stack).
+inline constexpr std::size_t kBulkChunk = 128;
 
 template <typename T, typename Base = LcrqQueue>
 class Queue {
@@ -65,6 +71,53 @@ class Queue {
             delete box;
             return item;
         }
+    }
+
+    // Batched operations, chunked through a stack buffer of words so the
+    // base queue can amortize its ticket claims (one F&A per chunk on the
+    // LCRQ family; loop fallback elsewhere).  Items land in order.
+    void enqueue_bulk(std::span<const T> items) {
+        value_t words[kBulkChunk];
+        std::size_t i = 0;
+        while (i < items.size()) {
+            const std::size_t k = std::min(items.size() - i, kBulkChunk);
+            for (std::size_t j = 0; j < k; ++j) {
+                if constexpr (kInlineStorable<T>) {
+                    value_t w = 0;
+                    std::memcpy(&w, &items[i + j], sizeof(T));
+                    words[j] = w;
+                } else {
+                    words[j] = to_word(new T(items[i + j]));
+                }
+            }
+            bulk_enqueue(base_, std::span<const value_t>(words, k));
+            i += k;
+        }
+    }
+
+    // Fills a prefix of `out`, returning how many items were dequeued; 0
+    // means the queue was observed empty.
+    std::size_t dequeue_bulk(std::span<T> out) {
+        value_t words[kBulkChunk];
+        std::size_t total = 0;
+        while (total < out.size()) {
+            const std::size_t k = std::min(out.size() - total, kBulkChunk);
+            const std::size_t got = bulk_dequeue(base_, words, k);
+            for (std::size_t j = 0; j < got; ++j) {
+                if constexpr (kInlineStorable<T>) {
+                    T item;
+                    std::memcpy(&item, &words[j], sizeof(T));
+                    out[total + j] = item;
+                } else {
+                    T* box = from_word(words[j]);
+                    out[total + j] = std::move(*box);
+                    delete box;
+                }
+            }
+            total += got;
+            if (got < k) break;  // empty observed
+        }
+        return total;
     }
 
     Base& base() noexcept { return base_; }

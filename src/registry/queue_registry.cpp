@@ -38,6 +38,23 @@ class Adapter final : public AnyQueue {
         return v;
     }
 
+    void enqueue_bulk(std::span<const value_t> items) override {
+        for ([[maybe_unused]] value_t v : items) assert(is_enqueueable(v));
+        bulk_enqueue(q_, items);
+        stats::count(stats::Event::kEnqueue, items.size());
+        stats::count(stats::Event::kBulkEnqueue);
+    }
+
+    std::size_t dequeue_bulk(value_t* out, std::size_t max) override {
+        const std::size_t n = bulk_dequeue(q_, out, max);
+        // An empty batch counts as one (EMPTY-returning) dequeue, matching
+        // the single-op accounting.
+        stats::count(stats::Event::kDequeue, n != 0 ? n : 1);
+        if (n == 0) stats::count(stats::Event::kDequeueEmpty);
+        stats::count(stats::Event::kBulkDequeue);
+        return n;
+    }
+
     const std::string& name() const noexcept override { return name_; }
 
   private:

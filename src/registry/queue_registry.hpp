@@ -10,8 +10,10 @@
 // right denominator no matter which algorithm ran.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,25 @@ class AnyQueue {
     virtual ~AnyQueue() = default;
     virtual void enqueue(value_t x) = 0;
     virtual std::optional<value_t> dequeue() = 0;
+
+    // Batch operations with the BulkConcurrentQueue contract: every item of
+    // `items` is appended in order; dequeue_bulk returns fewer than `max`
+    // only on an empty observation.  The defaults loop the single-item
+    // virtuals; the registry adapter overrides them with the queue's native
+    // batch path when it has one.
+    virtual void enqueue_bulk(std::span<const value_t> items) {
+        for (value_t v : items) enqueue(v);
+    }
+    virtual std::size_t dequeue_bulk(value_t* out, std::size_t max) {
+        std::size_t n = 0;
+        while (n < max) {
+            const auto v = dequeue();
+            if (!v.has_value()) break;
+            out[n++] = *v;
+        }
+        return n;
+    }
+
     virtual const std::string& name() const noexcept = 0;
 };
 

@@ -14,7 +14,10 @@
 // because timestamping must not serialize the very races being tested.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
+#include <type_traits>
 #include <vector>
 
 #include "queues/queue_common.hpp"
@@ -62,6 +65,46 @@ class ThreadLog {
         ops_.push_back({Operation::Kind::kDequeue, thread_,
                         v.has_value() ? *v : kEmpty, t0, t1});
         return v.has_value();
+    }
+
+    // Bulk operations record one per-item Operation per accepted item, all
+    // sharing the batch's [invoke, response] window: a bulk op linearizes as
+    // the sequence of its item ops, each free to take any point inside the
+    // window, so the checkers need no new operation kinds.  Returns the
+    // number of items the queue accepted (always items.size() for
+    // void-returning implementations, which complete the whole batch).
+    template <typename Q>
+    std::size_t enqueue_bulk(Q& q, std::span<const value_t> items) {
+        const std::uint64_t t0 = rdtsc();
+        std::size_t n;
+        if constexpr (std::is_void_v<decltype(q.enqueue_bulk(items))>) {
+            q.enqueue_bulk(items);
+            n = items.size();
+        } else {
+            n = q.enqueue_bulk(items);
+        }
+        const std::uint64_t t1 = rdtsc();
+        for (std::size_t i = 0; i < n; ++i) {
+            ops_.push_back({Operation::Kind::kEnqueue, thread_, items[i], t0, t1});
+        }
+        return n;
+    }
+
+    // Records one dequeue Operation per item; an empty batch records a
+    // single EMPTY dequeue (the op did observe the queue empty).
+    template <typename Q>
+    std::size_t dequeue_bulk(Q& q, value_t* out, std::size_t max) {
+        const std::uint64_t t0 = rdtsc();
+        const std::size_t n = q.dequeue_bulk(out, max);
+        const std::uint64_t t1 = rdtsc();
+        if (n == 0) {
+            ops_.push_back({Operation::Kind::kDequeue, thread_, kEmpty, t0, t1});
+            return 0;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            ops_.push_back({Operation::Kind::kDequeue, thread_, out[i], t0, t1});
+        }
+        return n;
     }
 
     const History& ops() const noexcept { return ops_; }

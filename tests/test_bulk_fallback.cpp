@@ -1,0 +1,163 @@
+// Bulk interface over queues WITHOUT a native batch path: the generic
+// loop fallbacks and the BulkAdapter wrapper.
+//
+// Deliberately free of the CRQ family: nothing here executes cmpxchg16b,
+// so the whole binary is eligible for ThreadSanitizer (which cannot
+// instrument the inline-asm CAS2) — this is where bulk semantics get race
+// coverage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "queues/fc_queue.hpp"
+#include "queues/ms_queue.hpp"
+#include "queues/queue_common.hpp"
+#include "queues/two_lock_queue.hpp"
+#include "test_support.hpp"
+#include "verify/history.hpp"
+#include "verify/lin_check.hpp"
+
+namespace lcrq {
+namespace {
+
+// The adapter confers the bulk interface; the bare queues don't have it.
+static_assert(BulkConcurrentQueue<BulkAdapter<MsQueue<true>>>);
+static_assert(BulkConcurrentQueue<BulkAdapter<FcQueue>>);
+static_assert(BulkConcurrentQueue<BulkAdapter<TwoLockQueue>>);
+static_assert(!BulkConcurrentQueue<MsQueue<true>>);
+static_assert(!BulkConcurrentQueue<TwoLockQueue>);
+
+std::vector<value_t> tags(unsigned producer, std::uint64_t n) {
+    std::vector<value_t> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(test::tag(producer, i));
+    return v;
+}
+
+TEST(BulkFallback, FreeFunctionsRoundTripOnBareQueue) {
+    MsQueue<true> q;
+    const auto items = tags(0, 10);
+    bulk_enqueue(q, items);  // dispatches to the loop fallback
+    value_t out[16];
+    ASSERT_EQ(bulk_dequeue(q, out, 16), 10u);
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(out[i], items[i]);
+    EXPECT_EQ(bulk_dequeue(q, out, 16), 0u);
+}
+
+TEST(BulkFallback, AdapterForwardsSingleOps) {
+    BulkAdapter<TwoLockQueue> q{QueueOptions{}};
+    q.enqueue(7);
+    q.enqueue(8);
+    EXPECT_EQ(q.dequeue(), std::optional<value_t>{7});
+    const auto items = tags(0, 3);
+    q.enqueue_bulk(items);
+    EXPECT_EQ(q.dequeue(), std::optional<value_t>{8});
+    value_t out[8];
+    ASSERT_EQ(q.dequeue_bulk(out, 8), 3u);
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(out[i], items[i]);
+}
+
+// Mixed single/bulk MPMC exchange on each fallback baseline: nothing lost,
+// nothing duplicated, per-producer FIFO preserved.
+template <typename Q>
+void mixed_exchange() {
+    Q q{QueueOptions{}};
+    constexpr int kProducers = 2;
+    constexpr int kConsumers = 2;
+    constexpr std::uint64_t kPer = 2'000;
+    const std::uint64_t total = kProducers * kPer;
+    std::atomic<std::uint64_t> consumed{0};
+    std::vector<std::vector<value_t>> received(kConsumers);
+
+    test::run_threads(kProducers + kConsumers, [&](int id) {
+        if (id < kProducers) {
+            const auto mine = tags(static_cast<unsigned>(id), kPer);
+            std::size_t done = 0;
+            bool single = false;
+            while (done < mine.size()) {
+                if (single && done < mine.size()) {
+                    q.enqueue(mine[done++]);
+                } else {
+                    const std::size_t k =
+                        std::min<std::size_t>(5, mine.size() - done);
+                    q.enqueue_bulk(std::span<const value_t>(mine).subspan(done, k));
+                    done += k;
+                }
+                single = !single;
+            }
+        } else {
+            auto& mine = received[static_cast<std::size_t>(id - kProducers)];
+            value_t out[9];
+            bool single = false;
+            while (consumed.load(std::memory_order_acquire) < total) {
+                std::size_t got = 0;
+                if (single) {
+                    if (auto v = q.dequeue()) {
+                        out[0] = *v;
+                        got = 1;
+                    }
+                } else {
+                    got = q.dequeue_bulk(out, 9);
+                }
+                single = !single;
+                if (got == 0) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                mine.insert(mine.end(), out, out + got);
+                consumed.fetch_add(got, std::memory_order_acq_rel);
+            }
+        }
+    });
+    test::expect_exchange_valid(received, kProducers, kPer);
+}
+
+TEST(BulkFallback, MixedExchangeMsQueue) { mixed_exchange<BulkAdapter<MsQueue<true>>>(); }
+TEST(BulkFallback, MixedExchangeFcQueue) { mixed_exchange<BulkAdapter<FcQueue>>(); }
+TEST(BulkFallback, MixedExchangeTwoLock) { mixed_exchange<BulkAdapter<TwoLockQueue>>(); }
+
+// Mixed single/bulk histories on two loop-fallback baselines, fast-checked
+// (the "≥ 2 fallback baselines" linearizability requirement).
+template <typename Q>
+void mixed_history() {
+    Q q{QueueOptions{}};
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kRounds = 300;
+    std::vector<verify::ThreadLog> logs;
+    for (int t = 0; t < kThreads; ++t) logs.emplace_back(t, 16 * kRounds);
+
+    test::run_threads(kThreads, [&](int id) {
+        auto& log = logs[static_cast<std::size_t>(id)];
+        const auto u = static_cast<unsigned>(id);
+        value_t out[4];
+        std::uint64_t seq = 0;
+        std::vector<value_t> batch(3);
+        for (std::uint64_t r = 0; r < kRounds; ++r) {
+            for (auto& v : batch) v = test::tag(u, seq++);
+            log.enqueue_bulk(q, batch);
+            log.enqueue(q, test::tag(u, seq++));
+            log.dequeue(q);
+            log.dequeue_bulk(q, out, 4);
+        }
+    });
+
+    const auto result = verify::check_queue_fast(verify::merge(logs));
+    EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST(BulkFallbackLinearizability, MsQueueMixedHistory) {
+    mixed_history<BulkAdapter<MsQueue<true>>>();
+}
+TEST(BulkFallbackLinearizability, TwoLockMixedHistory) {
+    mixed_history<BulkAdapter<TwoLockQueue>>();
+}
+TEST(BulkFallbackLinearizability, FcQueueMixedHistory) {
+    mixed_history<BulkAdapter<FcQueue>>();
+}
+
+}  // namespace
+}  // namespace lcrq

@@ -5,8 +5,10 @@
 // empty/full edges.  Parameterized over (queue, seed, op-mix).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <deque>
 #include <tuple>
+#include <vector>
 
 #include "registry/queue_registry.hpp"
 #include "util/xorshift.hpp"
@@ -73,11 +75,88 @@ TEST_P(ModelDifferential, MatchesDequeModel) {
     ASSERT_FALSE(q->dequeue().has_value()) << queue_name << " has extra items";
 }
 
+// Same differential discipline for the batch interface: random mixes of
+// single and bulk ops (bulk sizes crossing the R = 4 ring repeatedly) must
+// match the deque model exactly — items in batch order, short dequeues
+// only when the model agrees the queue ran dry.
+class ModelDifferentialBulk
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(ModelDifferentialBulk, MatchesDequeModel) {
+    const auto& [queue_name, seed] = GetParam();
+
+    QueueOptions opt;
+    opt.ring_order = 2;
+    opt.bounded_order = 14;
+    auto q = make_queue(queue_name, opt);
+    ASSERT_NE(q, nullptr);
+
+    std::deque<value_t> model;
+    Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ull + 3);
+    value_t next_value = 1;
+    std::vector<value_t> buf;
+
+    for (int step = 0; step < 2'000; ++step) {
+        const unsigned roll = rng.bounded(100);
+        const std::size_t k = 1 + rng.bounded(11);  // 1..11: straddles R=4
+        if (roll < 50) {
+            if (model.size() >= 10'000) continue;
+            buf.clear();
+            for (std::size_t i = 0; i < k; ++i) {
+                buf.push_back(next_value++);
+                model.push_back(buf.back());
+            }
+            q->enqueue_bulk(buf);
+        } else if (roll < 75) {
+            buf.assign(k, 0);
+            const std::size_t got = q->dequeue_bulk(buf.data(), k);
+            const std::size_t want = std::min(k, model.size());
+            ASSERT_EQ(got, want) << queue_name << " step " << step;
+            for (std::size_t i = 0; i < got; ++i) {
+                ASSERT_EQ(buf[i], model.front()) << queue_name << " step " << step;
+                model.pop_front();
+            }
+        } else if (roll < 88) {
+            if (model.size() >= 10'000) continue;
+            const value_t v = next_value++;
+            q->enqueue(v);
+            model.push_back(v);
+        } else {
+            const auto got = q->dequeue();
+            if (model.empty()) {
+                ASSERT_FALSE(got.has_value()) << queue_name << " step " << step;
+            } else {
+                ASSERT_TRUE(got.has_value()) << queue_name << " step " << step;
+                ASSERT_EQ(*got, model.front());
+                model.pop_front();
+            }
+        }
+    }
+    while (!model.empty()) {
+        const auto got = q->dequeue();
+        ASSERT_TRUE(got.has_value()) << queue_name << " lost residue";
+        ASSERT_EQ(*got, model.front());
+        model.pop_front();
+    }
+    ASSERT_FALSE(q->dequeue().has_value()) << queue_name << " has extra items";
+}
+
 std::vector<std::string> all_names() {
     std::vector<std::string> names;
     for (const auto& info : queue_catalog()) names.push_back(info.name);
     return names;
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQueues, ModelDifferentialBulk,
+    ::testing::Combine(::testing::ValuesIn(all_names()), ::testing::Values(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+        std::string n = std::get<0>(info.param);
+        for (char& c : n) {
+            if (c == '-' || c == '+') c = '_';
+        }
+        return n + "_seed" + std::to_string(std::get<1>(info.param));
+    });
 
 INSTANTIATE_TEST_SUITE_P(
     AllQueues, ModelDifferential,
