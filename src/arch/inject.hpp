@@ -1,0 +1,88 @@
+// Named schedule-injection points for the queue hot paths.
+//
+// The step models (verify/explore.hpp) can enumerate every interleaving of
+// the *modeled* algorithms, but the production CRQ/LCRQ/hazard code is only
+// exercised by whatever schedules the OS happens to produce — on a small
+// host the narrow windows (ring close racing a bulk claim, hazard
+// retirement racing a segment walk, the starvation→tantrum transition) are
+// hit by luck, not by construction.  This header plants *named points* at
+// those windows; verify/schedule_injection.hpp drives them with seeded
+// delays, targeted holds, and thread kills so the windows are reachable on
+// demand and replayable from a seed.
+//
+// Cost model: the LCRQ_INJECT CMake option (default OFF) gates everything.
+// When OFF, LCRQ_INJECT_POINT(p) expands to ((void)0) — no call, no load,
+// no code — so release binaries are bit-for-bit free of the harness.  When
+// ON, each point is one call into the controller, which returns after a
+// single relaxed load while the controller is disarmed.
+//
+// This header stays dependency-free (the queue headers include it); the
+// controller lives in verify/schedule_injection.{hpp,cpp}.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace lcrq::inject {
+
+// Catalog of instrumented sites.  Every point is placed so that "thread T
+// passed point P" has a crisp meaning for window forcing:
+//   *AfterFaa    — the F&A completed; the ticket (or ticket range) is held.
+//   *BeforeCas2  — the cell was validated; the CAS2 has not executed.
+//   kEnqPublished / kListAppend / kRingCloseCas — the publishing RMW
+//                  *succeeded*; the effect is globally visible.
+enum class Point : std::uint8_t {
+    kEnqAfterFaa = 0,      // Crq::enqueue, single ticket obtained
+    kEnqBeforeCas2,        // Crq::try_put, cell checked, about to publish
+    kEnqPublished,         // Crq::try_put, CAS2 succeeded (item visible)
+    kDeqAfterFaa,          // Crq::dequeue, single ticket obtained
+    kDeqBeforeCas2,        // Crq::try_take, before the dequeue transition
+    kDeqBeforeEmptyCas2,   // Crq::try_take, before the empty transition
+    kDeqBeforeUnsafeCas2,  // Crq::try_take, before the unsafe transition
+    kRingCloseCas,         // Crq::close, CLOSED bit now set
+    kBulkEnqAfterFaa,      // Crq::enqueue_bulk, ticket range claimed
+    kBulkDeqAfterFaa,      // Crq::dequeue_bulk, ticket range claimed
+    kBulkTicketReturn,     // Crq::dequeue_bulk, before the handback CAS
+    kListEmptyObserved,    // Lcrq::dequeue[_bulk], ring reported EMPTY
+    kListAppend,           // Lcrq, fresh ring linked (append CAS succeeded)
+    kListHeadSwing,        // Lcrq, before the head-swing CAS
+    kApproxSizeWalk,       // Lcrq::sum_segments, next segment protected
+    kHazardRetire,         // HazardThread::retire_impl, object handed over
+    kHazardScan,           // HazardDomain::drain, reclamation pass starting
+    kCount
+};
+
+inline constexpr std::size_t kPointCount = static_cast<std::size_t>(Point::kCount);
+
+constexpr std::string_view point_name(Point p) noexcept {
+    constexpr std::array<std::string_view, kPointCount> names = {
+        "enq_after_faa",         "enq_before_cas2",  "enq_published",
+        "deq_after_faa",         "deq_before_cas2",  "deq_before_empty_cas2",
+        "deq_before_unsafe_cas2", "ring_close_cas",  "bulk_enq_after_faa",
+        "bulk_deq_after_faa",    "bulk_ticket_return", "list_empty_observed",
+        "list_append",           "list_head_swing",  "approx_size_walk",
+        "hazard_retire",         "hazard_scan",
+    };
+    return names[static_cast<std::size_t>(p)];
+}
+
+#if defined(LCRQ_INJECT)
+
+// Defined in verify/schedule_injection.cpp.  May throw ThreadKilled when a
+// kill rule fires, so instrumented functions must not be noexcept.
+void on_point(Point p);
+
+#define LCRQ_INJECT_POINT(p) ::lcrq::inject::on_point(::lcrq::inject::Point::p)
+// Functions that contain (or call through to) injection points drop their
+// noexcept in instrumented builds so kill injection can unwind out of them.
+#define LCRQ_INJECT_NOEXCEPT
+
+#else
+
+#define LCRQ_INJECT_POINT(p) ((void)0)
+#define LCRQ_INJECT_NOEXCEPT noexcept
+
+#endif
+
+}  // namespace lcrq::inject

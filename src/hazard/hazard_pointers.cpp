@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "arch/inject.hpp"
+
 namespace lcrq {
 
 [[noreturn]] void alloc_failure() {
@@ -69,6 +71,7 @@ void HazardDomain::collect_protected(std::vector<void*>& out) const {
 
 void HazardDomain::drain(std::vector<detail::RetiredObject>& objs) {
     if (objs.empty()) return;
+    LCRQ_INJECT_POINT(kHazardScan);
     std::vector<void*> protected_ptrs;
     collect_protected(protected_ptrs);
     std::size_t kept = 0;
@@ -84,6 +87,7 @@ void HazardDomain::drain(std::vector<detail::RetiredObject>& objs) {
 
 void HazardThread::retire_impl(void* ptr, void (*deleter)(void*)) {
     record_->retired.push_back({ptr, deleter});
+    LCRQ_INJECT_POINT(kHazardRetire);
     const std::size_t threshold =
         2 * detail::HazardRecord::kSlots *
             std::max<std::size_t>(domain_->record_estimate_.load(std::memory_order_relaxed),

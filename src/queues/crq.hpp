@@ -36,6 +36,7 @@
 #include "arch/backoff.hpp"
 #include "arch/cacheline.hpp"
 #include "arch/faa_policy.hpp"
+#include "arch/inject.hpp"
 #include "arch/primitives.hpp"
 #include "queues/queue_common.hpp"
 
@@ -127,6 +128,7 @@ class Crq {
         for (;;) {
             const std::uint64_t traw = Faa::fetch_add(*tail_, 1);
             if ((traw & detail::kMsb) != 0) return EnqueueResult::kClosed;
+            LCRQ_INJECT_POINT(kEnqAfterFaa);
             if (try_put(traw, x)) return EnqueueResult::kOk;
 
             // Give up if the ring looks full or we are starving (§4, fig 3d
@@ -162,6 +164,7 @@ class Crq {
             stats::count(stats::Event::kBulkFaa);
             stats::count(stats::Event::kBulkTickets, want);
             if ((traw & detail::kMsb) != 0) return done;
+            LCRQ_INJECT_POINT(kBulkEnqAfterFaa);
 
             std::uint64_t wasted = 0;
             for (std::uint64_t t = traw; t != traw + want; ++t) {
@@ -194,6 +197,7 @@ class Crq {
     std::optional<value_t> dequeue() {
         for (;;) {
             const std::uint64_t h = Faa::fetch_add(*head_, 1);
+            LCRQ_INJECT_POINT(kDeqAfterFaa);
             value_t v;
             if (try_take(h, v)) return v;
 
@@ -228,6 +232,7 @@ class Crq {
             const std::uint64_t hraw = Faa::fetch_add(*head_, want);
             stats::count(stats::Event::kBulkFaa);
             stats::count(stats::Event::kBulkTickets, want);
+            LCRQ_INJECT_POINT(kBulkDeqAfterFaa);
             const std::uint64_t end = hraw + want;
 
             std::uint64_t wasted = 0;
@@ -247,6 +252,7 @@ class Crq {
                 if ((traw & detail::kIdxMask) > h + 1) continue;
                 empty_seen = true;
                 if (h + 1 == end) break;  // nothing left to hand back
+                LCRQ_INJECT_POINT(kBulkTicketReturn);
                 std::uint64_t expected_head = end;
                 if (counted_cas(*head_, expected_head, h + 1)) {
                     // Tickets h+1..end-1 were never observed by anyone and
@@ -277,8 +283,9 @@ class Crq {
     }
 
     // Close to further enqueues (sets tail's MSB; idempotent).
-    void close() noexcept {
+    void close() LCRQ_INJECT_NOEXCEPT {
         counted_test_and_set_bit(*tail_, 63);
+        LCRQ_INJECT_POINT(kRingCloseCas);
         stats::count(stats::Event::kCrqClose);
     }
 
@@ -349,9 +356,13 @@ class Crq {
         if (val == kBottom && detail::si_idx(si) <= t &&
             (detail::si_safe(si) ||
              head_->load(std::memory_order_seq_cst) <= t)) {
+            LCRQ_INJECT_POINT(kEnqBeforeCas2);
             U128 expected{si, kBottom};
             const U128 desired{detail::make_si(true, t), x};
-            if (counted_cas2(cell.as_u128(), expected, desired)) return true;
+            if (counted_cas2(cell.as_u128(), expected, desired)) {
+                LCRQ_INJECT_POINT(kEnqPublished);
+                return true;
+            }
         }
         return false;
     }
@@ -374,6 +385,7 @@ class Crq {
                 if (idx == h) {
                     // Dequeue transition: remove val, advance the node to
                     // the next lap.
+                    LCRQ_INJECT_POINT(kDeqBeforeCas2);
                     U128 expected{si, val};
                     const U128 desired{detail::make_si(safe, h + size_), kBottom};
                     if (counted_cas2(cell.as_u128(), expected, desired)) {
@@ -384,6 +396,7 @@ class Crq {
                     // Occupied by an older lap (idx < h): mark unsafe so
                     // enq_h cannot store an item we will not be around to
                     // dequeue.
+                    LCRQ_INJECT_POINT(kDeqBeforeUnsafeCas2);
                     U128 expected{si, val};
                     const U128 desired{detail::make_si(false, idx), val};
                     if (counted_cas2(cell.as_u128(), expected, desired)) {
@@ -408,6 +421,7 @@ class Crq {
                 }
                 // Empty transition: advance the node a lap so no operation
                 // with index ≤ h can use it.
+                LCRQ_INJECT_POINT(kDeqBeforeEmptyCas2);
                 U128 expected{si, kBottom};
                 const U128 desired{detail::make_si(safe, h + size_), kBottom};
                 if (counted_cas2(cell.as_u128(), expected, desired)) {

@@ -33,6 +33,7 @@
 #include <span>
 
 #include "arch/faa_policy.hpp"
+#include "arch/inject.hpp"
 #include "arch/thread_id.hpp"
 #include "hazard/hazard_pointers.hpp"
 #include "queues/crq.hpp"
@@ -106,6 +107,7 @@ class Lcrq {
             stats::count(stats::Event::kCas);
             if (crq->next.compare_exchange_strong(expected, fresh,
                                                   std::memory_order_seq_cst)) {
+                LCRQ_INJECT_POINT(kListAppend);
                 counted_cas_ptr(*tail_, crq, fresh);
                 stats::count(stats::Event::kCrqAppend);
                 release();
@@ -154,6 +156,7 @@ class Lcrq {
             stats::count(stats::Event::kCas);
             if (crq->next.compare_exchange_strong(expected, fresh,
                                                   std::memory_order_seq_cst)) {
+                LCRQ_INJECT_POINT(kListAppend);
                 counted_cas_ptr(*tail_, crq, fresh);
                 stats::count(stats::Event::kCrqAppend);
                 if (++done == items.size()) {
@@ -196,6 +199,7 @@ class Lcrq {
                 release();
                 return v;
             }
+            LCRQ_INJECT_POINT(kListEmptyObserved);
             if (crq->next.load(std::memory_order_acquire) == nullptr) {
                 release();
                 return std::nullopt;
@@ -209,6 +213,7 @@ class Lcrq {
                 return v;
             }
             CrqT* next = crq->next.load(std::memory_order_acquire);
+            LCRQ_INJECT_POINT(kListHeadSwing);
             if (counted_cas_ptr(*head_, crq, next)) {
                 release();
                 if constexpr (Protected) {
@@ -236,10 +241,12 @@ class Lcrq {
             if (n == max) break;
             // The ring reported empty (Crq::dequeue_bulk returns short
             // only on an empty observation).
+            LCRQ_INJECT_POINT(kListEmptyObserved);
             if (crq->next.load(std::memory_order_acquire) == nullptr) break;
             n += crq->dequeue_bulk(out + n, max - n);
             if (n == max) break;
             CrqT* next = crq->next.load(std::memory_order_acquire);
+            LCRQ_INJECT_POINT(kListHeadSwing);
             if (counted_cas_ptr(*head_, crq, next)) {
                 release();
                 if constexpr (Protected) {
@@ -325,6 +332,7 @@ class Lcrq {
                     if (cur->next.load(std::memory_order_acquire) == nullptr) break;
                     CrqT* next = hp.protect(cur->next, slot);
                     if (next == nullptr) break;
+                    LCRQ_INJECT_POINT(kApproxSizeWalk);
                     if (head_->load(std::memory_order_seq_cst) != anchor) {
                         restart = true;
                         break;

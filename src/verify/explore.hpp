@@ -68,6 +68,20 @@ struct ExploreResult {
     std::uint64_t pruned = 0;             // schedules cut at max_steps
 
     bool ok() const noexcept { return violations == 0 && !truncated; }
+
+    // One-line budget/coverage digest for failure messages.  A plain
+    // "violations == 0" pass can silently mean "explored almost nothing"
+    // when the budget truncated the enumeration or max_steps pruned the
+    // interesting branches — surface both so a failing (or vacuous) run
+    // says which budget to raise.
+    std::string summary() const {
+        std::string s = "schedules=" + std::to_string(schedules) +
+                        " violations=" + std::to_string(violations) +
+                        " pruned=" + std::to_string(pruned);
+        if (truncated) s += " TRUNCATED(hit max_schedules)";
+        if (!first_error.empty()) s += " first_error=\"" + first_error + "\"";
+        return s;
+    }
 };
 
 // --- model families --------------------------------------------------------

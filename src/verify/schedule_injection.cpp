@@ -1,0 +1,151 @@
+#include "verify/schedule_injection.hpp"
+
+#include <thread>
+
+#include "util/xorshift.hpp"
+
+namespace lcrq::inject {
+
+namespace {
+
+// Per-thread controller attachment.  The logical id is test-assigned (not
+// the global dense thread id) so schedules name threads by role and the
+// RNG stream is a pure function of (seed, role) — independent of how many
+// threads any earlier test spawned.
+struct TlsState {
+    int id = -1;
+    std::uint64_t epoch = 0;  // binding is valid only for this controller epoch
+    Xoshiro256 rng;
+};
+
+TlsState& tls() {
+    thread_local TlsState state;
+    return state;
+}
+
+}  // namespace
+
+Controller& Controller::instance() {
+    static Controller c;
+    return c;
+}
+
+void Controller::reset() {
+    active_.store(false, std::memory_order_seq_cst);
+    // Void every thread binding: TLS from a previous test must not alias
+    // this run's logical ids.
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    random_ = false;
+    seed_ = 0;
+    delay_per_256_ = 64;
+    focus_.reset();
+    holds_.clear();
+    kills_.clear();
+    hold_deadline_ = std::chrono::milliseconds{5000};
+    for (auto& per_thread : visits_) {
+        for (auto& v : per_thread) v.store(0, std::memory_order_relaxed);
+    }
+    kills_fired_.store(0, std::memory_order_relaxed);
+    hold_timeouts_.store(0, std::memory_order_relaxed);
+    delays_injected_.store(0, std::memory_order_relaxed);
+}
+
+void Controller::arm_random(std::uint64_t seed, unsigned delay_per_256,
+                            std::optional<Point> focus) {
+    random_ = true;
+    seed_ = seed;
+    delay_per_256_ = delay_per_256;
+    focus_ = focus;
+    active_.store(true, std::memory_order_seq_cst);
+}
+
+void Controller::arm() { active_.store(true, std::memory_order_seq_cst); }
+
+void Controller::hold_until(int thread, Point at, std::uint64_t occurrence,
+                            int until_thread, Point until, std::uint64_t until_count) {
+    holds_.push_back({thread, at, occurrence, until_thread, until, until_count});
+}
+
+void Controller::kill_at(int thread, Point at, std::uint64_t occurrence) {
+    kills_.push_back({thread, at, occurrence});
+}
+
+void Controller::bind_thread(int logical_id) {
+    TlsState& state = tls();
+    state.id = logical_id;
+    state.epoch = epoch_.load(std::memory_order_seq_cst);
+    // Stream = f(seed, role): xor with a role-dependent odd constant, then
+    // let xoshiro's splitmix seeding decorrelate the streams.
+    state.rng.reseed(seed_ ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(logical_id) + 1)));
+}
+
+std::uint64_t Controller::visits(int thread, Point p) const {
+    return visits_[static_cast<std::size_t>(thread)][static_cast<std::size_t>(p)].load(
+        std::memory_order_acquire);
+}
+
+std::string Controller::replay_hint() const {
+    std::string hint = "--inject-seed=" + std::to_string(seed_);
+    if (focus_.has_value()) {
+        hint += " --inject-point=";
+        hint += point_name(*focus_);
+    }
+    return hint;
+}
+
+void Controller::wait_for(const HoldRule& rule) {
+    const auto deadline = std::chrono::steady_clock::now() + hold_deadline_;
+    const auto& counter = visits_[static_cast<std::size_t>(rule.until_thread)]
+                                 [static_cast<std::size_t>(rule.until)];
+    while (counter.load(std::memory_order_seq_cst) < rule.until_count) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+            hold_timeouts_.fetch_add(1, std::memory_order_acq_rel);
+            return;
+        }
+        // Single-CPU hosts need the release condition's thread to run.
+        std::this_thread::yield();
+    }
+}
+
+void Controller::on_point(Point p) {
+    if (!active_.load(std::memory_order_relaxed)) return;
+    TlsState& state = tls();
+    if (state.id < 0 || state.id >= static_cast<int>(kMaxInjectThreads)) return;
+    if (state.epoch != epoch_.load(std::memory_order_relaxed)) return;  // stale binding
+
+    // seq_cst so "thread B passed Q" (a hold's release condition) is
+    // ordered after the RMW the point certifies.
+    const std::uint64_t n =
+        visits_[static_cast<std::size_t>(state.id)][static_cast<std::size_t>(p)]
+            .fetch_add(1, std::memory_order_seq_cst) +
+        1;
+
+    for (const KillRule& k : kills_) {
+        if (k.thread == state.id && k.at == p && k.occurrence == n) {
+            kills_fired_.fetch_add(1, std::memory_order_acq_rel);
+            throw ThreadKilled{};
+        }
+    }
+    for (const HoldRule& h : holds_) {
+        if (h.thread == state.id && h.at == p && h.occurrence == n) {
+            wait_for(h);
+        }
+    }
+    if (random_ && (!focus_.has_value() || *focus_ == p)) {
+        if ((state.rng() & 0xff) < delay_per_256_) {
+            delays_injected_.fetch_add(1, std::memory_order_acq_rel);
+            // 1-3 yields: long enough to invite a preemption-sized window,
+            // short enough that sweeps stay fast.
+            const std::uint64_t yields = 1 + state.rng.bounded(3);
+            for (std::uint64_t i = 0; i < yields; ++i) std::this_thread::yield();
+        }
+    }
+}
+
+// Free-function hook the LCRQ_INJECT_POINT macro calls (declared in
+// arch/inject.hpp so the queue headers need no controller include).
+#if defined(LCRQ_INJECT)
+void on_point(Point p) { Controller::instance().on_point(p); }
+#endif
+
+}  // namespace lcrq::inject

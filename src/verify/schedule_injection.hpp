@@ -1,0 +1,151 @@
+// Seeded controller for the schedule-injection points (arch/inject.hpp).
+//
+// Three drive modes, combinable, all configured from a quiescent state
+// (before worker threads start, or after they join):
+//
+//  * Random perturbation — each *bound* thread gets a private xoshiro256**
+//    stream derived from (seed, logical id), and at every point it visits
+//    draws whether to yield/spin and for how long.  Decisions depend only
+//    on the seed and the thread's own visit sequence, so a failing seed
+//    replays the same per-thread decision stream exactly (the interleaving
+//    itself is still the scheduler's, but the perturbation that provoked
+//    it is reproduced).  An optional focus point restricts delays to one
+//    named site.
+//
+//  * Targeted window forcing — hold_until(A, P, n, B, Q, m): the n-th time
+//    thread A reaches point P it blocks (yielding) until thread B has
+//    passed point Q at least m times.  Points are placed so "passed Q"
+//    means the racing effect is globally visible (see arch/inject.hpp), so
+//    a hold deterministically constructs the straddle being tested.  A
+//    deadline (default 5 s) turns a mis-specified schedule into a counted
+//    timeout instead of a hung test; determinism-sensitive tests assert
+//    hold_timeouts() == 0.
+//
+//  * Thread-kill injection — kill_at(A, P, n): the n-th time thread A
+//    reaches P, ThreadKilled is thrown.  The stack unwinds out of the
+//    queue operation and the thread never touches the ring again — from
+//    the algorithm's point of view this is exactly a thread that was
+//    descheduled forever mid-operation (the adversary of the nonblocking
+//    theorems): its F&A ticket is never resolved and survivors must
+//    poison past it.  The instrumented sites hold no resources at their
+//    points (LCRQ's hazard slot stays published, which is precisely what
+//    a dead thread would leave behind), so unwinding is safe.
+//
+// Threads participate by calling Controller::bind_thread(logical_id)
+// before touching the queue; unbound threads sail through every point.
+// Visit counters are per (logical thread, point) and readable afterwards,
+// so tests can assert a forced window actually happened rather than
+// trusting that it did.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/inject.hpp"
+
+namespace lcrq::inject {
+
+// Thrown by on_point when a kill rule fires; worker bodies catch it and
+// return, modeling permanent mid-operation death.
+struct ThreadKilled {};
+
+// Logical thread slots the controller tracks.  Tests bind small dense ids.
+inline constexpr std::size_t kMaxInjectThreads = 64;
+
+class Controller {
+  public:
+    static Controller& instance();
+
+    // --- configuration (quiescent only) -----------------------------------
+
+    // Disarm and forget all rules, visit counts, and diagnostics.
+    void reset();
+
+    // Arm random perturbation.  `delay_per_256` is the per-point delay
+    // probability in 1/256ths; `focus` restricts delays to one point.
+    void arm_random(std::uint64_t seed, unsigned delay_per_256 = 64,
+                    std::optional<Point> focus = std::nullopt);
+
+    // Arm rule-driven forcing (no background randomness unless arm_random
+    // was also called — rules are checked in either mode once armed).
+    void arm();
+
+    // The n-th visit (1-based) of `thread` to `at` blocks until
+    // `until_thread` has visited `until` at least `until_count` times.
+    void hold_until(int thread, Point at, std::uint64_t occurrence, int until_thread,
+                    Point until, std::uint64_t until_count = 1);
+
+    // The n-th visit (1-based) of `thread` to `at` throws ThreadKilled.
+    void kill_at(int thread, Point at, std::uint64_t occurrence = 1);
+
+    void set_hold_deadline(std::chrono::milliseconds d) { hold_deadline_ = d; }
+
+    // --- worker-side -------------------------------------------------------
+
+    // Adopt a logical id for the calling thread (reseeds its RNG stream
+    // from the armed seed).  Ids are per-controller-run: reset() bumps an
+    // epoch that invalidates every existing binding, so a thread bound
+    // during an earlier test is unbound again until it rebinds.
+    void bind_thread(int logical_id);
+
+    void on_point(Point p);
+
+    // --- post-run inspection -----------------------------------------------
+
+    std::uint64_t visits(int thread, Point p) const;
+    std::uint64_t kills_fired() const { return kills_fired_.load(std::memory_order_acquire); }
+    // Random-mode delays actually taken; a pure function of (seed, per-
+    // thread visit sequences), which is what "seed-replayable" promises.
+    std::uint64_t delays_injected() const {
+        return delays_injected_.load(std::memory_order_acquire);
+    }
+    std::uint64_t hold_timeouts() const {
+        return hold_timeouts_.load(std::memory_order_acquire);
+    }
+    std::uint64_t seed() const { return seed_; }
+
+    // "seed=S point=P" replay line for failure messages; pairs with the
+    // --inject-seed / --inject-point flags of the injection test binaries.
+    std::string replay_hint() const;
+
+  private:
+    Controller() = default;
+
+    struct HoldRule {
+        int thread;
+        Point at;
+        std::uint64_t occurrence;
+        int until_thread;
+        Point until;
+        std::uint64_t until_count;
+    };
+    struct KillRule {
+        int thread;
+        Point at;
+        std::uint64_t occurrence;
+    };
+
+    void wait_for(const HoldRule& rule);
+
+    std::atomic<bool> active_{false};
+    // Bindings from before the last reset() are void (see bind_thread).
+    std::atomic<std::uint64_t> epoch_{1};
+    bool random_ = false;
+    std::uint64_t seed_ = 0;
+    unsigned delay_per_256_ = 64;
+    std::optional<Point> focus_;
+    std::vector<HoldRule> holds_;
+    std::vector<KillRule> kills_;
+    std::chrono::milliseconds hold_deadline_{5000};
+
+    std::atomic<std::uint64_t> visits_[kMaxInjectThreads][kPointCount] = {};
+    std::atomic<std::uint64_t> kills_fired_{0};
+    std::atomic<std::uint64_t> hold_timeouts_{0};
+    std::atomic<std::uint64_t> delays_injected_{0};
+};
+
+}  // namespace lcrq::inject

@@ -1,0 +1,15 @@
+// gtest entry point for the injection suites.  gtest_main cannot carry the
+// replay flags, so these binaries parse them after InitGoogleTest has
+// consumed (and removed) the gtest-owned arguments:
+//   --inject-seed=N    replay one seed (sweeps shrink to it)
+//   --inject-point=P   focus random delays on one named point
+//   --inject-sweep=N   seeds per sweep test
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+int main(int argc, char** argv) {
+    ::testing::InitGoogleTest(&argc, argv);
+    lcrq::test::parse_inject_flags(argc, argv);
+    return RUN_ALL_TESTS();
+}

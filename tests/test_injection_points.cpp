@@ -1,0 +1,272 @@
+// The injection layer itself: point catalog, controller modes (random /
+// hold / kill), determinism of the seeded streams, and the replay flags.
+//
+// Deliberately queue-free — everything here is plain std::atomic code, so
+// this is the one injection binary TSan can check (the queue-level suites
+// execute cmpxchg16b inline asm TSan cannot instrument).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+
+#include "test_support.hpp"
+#include "verify/schedule_injection.hpp"
+
+namespace lcrq::inject {
+namespace {
+
+using test::inject_options;
+using test::inject_point_from_name;
+using test::inject_seeds;
+using test::parse_inject_flags;
+using test::run_threads;
+
+Controller& ctl() { return Controller::instance(); }
+
+// Every suite leaves the controller disarmed for the next one.
+struct ControllerReset : ::testing::Test {
+    void SetUp() override { ctl().reset(); }
+    void TearDown() override { ctl().reset(); }
+};
+
+TEST(InjectCatalog, PointNamesAreUniqueAndRoundTrip) {
+    std::set<std::string_view> seen;
+    for (std::size_t i = 0; i < kPointCount; ++i) {
+        const auto p = static_cast<Point>(i);
+        const std::string_view name = point_name(p);
+        EXPECT_FALSE(name.empty());
+        EXPECT_TRUE(seen.insert(name).second) << "duplicate point name " << name;
+        // Names are the CLI vocabulary (--inject-point=...): round-trip.
+        const auto back = inject_point_from_name(name);
+        ASSERT_TRUE(back.has_value()) << name;
+        EXPECT_EQ(*back, p);
+    }
+    EXPECT_FALSE(inject_point_from_name("no_such_point").has_value());
+    EXPECT_FALSE(inject_point_from_name("").has_value());
+}
+
+using InjectController = ControllerReset;
+
+TEST_F(InjectController, DisarmedPointsAreInvisible) {
+    ctl().bind_thread(0);
+    LCRQ_INJECT_POINT(kEnqAfterFaa);
+    EXPECT_EQ(ctl().visits(0, Point::kEnqAfterFaa), 0u)
+        << "a disarmed controller must not count visits";
+}
+
+TEST_F(InjectController, UnboundThreadsSailThrough) {
+    ctl().arm();
+    // This thread never bound an id after reset(): points are no-ops.
+    LCRQ_INJECT_POINT(kDeqAfterFaa);
+    for (std::size_t t = 0; t < kMaxInjectThreads; ++t) {
+        EXPECT_EQ(ctl().visits(static_cast<int>(t), Point::kDeqAfterFaa), 0u);
+    }
+}
+
+TEST_F(InjectController, VisitsCountPerThreadPerPoint) {
+    ctl().arm();
+    run_threads(2, [&](int id) {
+        ctl().bind_thread(id);
+        for (int i = 0; i <= id; ++i) ctl().on_point(Point::kEnqAfterFaa);
+        ctl().on_point(Point::kHazardRetire);
+    });
+    EXPECT_EQ(ctl().visits(0, Point::kEnqAfterFaa), 1u);
+    EXPECT_EQ(ctl().visits(1, Point::kEnqAfterFaa), 2u);
+    EXPECT_EQ(ctl().visits(0, Point::kHazardRetire), 1u);
+    EXPECT_EQ(ctl().visits(1, Point::kHazardRetire), 1u);
+    EXPECT_EQ(ctl().visits(0, Point::kRingCloseCas), 0u);
+}
+
+TEST_F(InjectController, HoldReleasesOnceTargetPasses) {
+    // Thread 0's first kEnqBeforeCas2 must wait until thread 1 has passed
+    // kEnqPublished twice; after release, thread 1's progress is visible.
+    ctl().hold_until(0, Point::kEnqBeforeCas2, 1, 1, Point::kEnqPublished, 2);
+    ctl().arm();
+    std::atomic<std::uint64_t> seen_at_release{0};
+    run_threads(2, [&](int id) {
+        ctl().bind_thread(id);
+        if (id == 0) {
+            ctl().on_point(Point::kEnqBeforeCas2);  // blocks here
+            seen_at_release.store(ctl().visits(1, Point::kEnqPublished),
+                                  std::memory_order_release);
+        } else {
+            ctl().on_point(Point::kEnqPublished);
+            ctl().on_point(Point::kEnqPublished);
+        }
+    });
+    EXPECT_GE(seen_at_release.load(), 2u)
+        << "hold released before the window was constructed";
+    EXPECT_EQ(ctl().hold_timeouts(), 0u);
+}
+
+TEST_F(InjectController, HoldOnlyFiresAtItsOccurrence) {
+    // Rule is for occurrence 2; visit 1 must pass straight through even
+    // though the release condition can never be satisfied.
+    ctl().set_hold_deadline(std::chrono::milliseconds{50});
+    ctl().hold_until(0, Point::kDeqAfterFaa, 2, 1, Point::kRingCloseCas, 1);
+    ctl().arm();
+    ctl().bind_thread(0);
+    const auto t0 = std::chrono::steady_clock::now();
+    ctl().on_point(Point::kDeqAfterFaa);  // occurrence 1: no hold
+    EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds{50});
+    EXPECT_EQ(ctl().hold_timeouts(), 0u);
+    ctl().on_point(Point::kDeqAfterFaa);  // occurrence 2: times out
+    EXPECT_EQ(ctl().hold_timeouts(), 1u);
+}
+
+TEST_F(InjectController, MisspecifiedHoldTimesOutInsteadOfHanging) {
+    ctl().set_hold_deadline(std::chrono::milliseconds{20});
+    ctl().hold_until(0, Point::kListHeadSwing, 1, 1, Point::kListAppend, 1);
+    ctl().arm();
+    ctl().bind_thread(0);
+    ctl().on_point(Point::kListHeadSwing);  // nobody will ever pass kListAppend
+    EXPECT_EQ(ctl().hold_timeouts(), 1u)
+        << "a hold whose release never happens must become a counted timeout";
+}
+
+TEST_F(InjectController, KillThrowsAtItsOccurrenceOnly) {
+    ctl().kill_at(0, Point::kEnqBeforeCas2, 2);
+    ctl().arm();
+    ctl().bind_thread(0);
+    EXPECT_NO_THROW(ctl().on_point(Point::kEnqBeforeCas2));
+    EXPECT_THROW(ctl().on_point(Point::kEnqBeforeCas2), ThreadKilled);
+    EXPECT_EQ(ctl().kills_fired(), 1u);
+    // The killed thread's earlier visits stay recorded for post-mortems.
+    EXPECT_EQ(ctl().visits(0, Point::kEnqBeforeCas2), 2u);
+}
+
+TEST_F(InjectController, KillTargetsOneThreadOnly) {
+    ctl().kill_at(1, Point::kDeqBeforeCas2, 1);
+    ctl().arm();
+    std::atomic<int> killed{0};
+    std::atomic<int> survived{0};
+    run_threads(2, [&](int id) {
+        ctl().bind_thread(id);
+        try {
+            ctl().on_point(Point::kDeqBeforeCas2);
+            survived.fetch_add(1);
+        } catch (const ThreadKilled&) {
+            killed.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(killed.load(), 1);
+    EXPECT_EQ(survived.load(), 1);
+    EXPECT_EQ(ctl().kills_fired(), 1u);
+}
+
+// The seed-replayability contract: delays taken are a pure function of
+// (seed, per-thread visit sequence).  Replay the same visit sequence under
+// the same seed and the decision stream is identical.
+TEST_F(InjectController, RandomDelaysAreSeedDeterministic) {
+    const auto run_once = [&](std::uint64_t seed) {
+        ctl().reset();
+        ctl().arm_random(seed, /*delay_per_256=*/128);
+        ctl().bind_thread(0);
+        for (int i = 0; i < 400; ++i) {
+            ctl().on_point(static_cast<Point>(i % static_cast<int>(kPointCount)));
+        }
+        return ctl().delays_injected();
+    };
+    const std::uint64_t a = run_once(42);
+    EXPECT_GT(a, 0u) << "p=1/2 over 400 visits produced no delay";
+    EXPECT_LT(a, 400u) << "p=1/2 over 400 visits delayed every visit";
+    EXPECT_EQ(run_once(42), a) << "same seed, same visit sequence, different delays";
+}
+
+TEST_F(InjectController, RandomStreamsArePerThread) {
+    // Two threads with the same seed draw from distinct streams: binding
+    // different logical ids must not replay thread 0's decisions.  (Checked
+    // single-threadedly so the visit sequences are exactly equal.)
+    const auto run_as = [&](int logical_id) {
+        ctl().reset();
+        ctl().arm_random(7, 128);
+        ctl().bind_thread(logical_id);
+        for (int i = 0; i < 400; ++i) ctl().on_point(Point::kEnqAfterFaa);
+        return ctl().delays_injected();
+    };
+    // Equal counts are possible but full equality of the decision streams
+    // is not what we can observe here; counts differing is the cheap
+    // witness and holds for this (seed, length) choice.
+    EXPECT_NE(run_as(0), run_as(1));
+}
+
+TEST_F(InjectController, FocusRestrictsRandomDelays) {
+    ctl().arm_random(9, /*delay_per_256=*/256, Point::kRingCloseCas);
+    ctl().bind_thread(0);
+    for (int i = 0; i < 50; ++i) ctl().on_point(Point::kEnqAfterFaa);
+    EXPECT_EQ(ctl().delays_injected(), 0u) << "delay fired off the focus point";
+    for (int i = 0; i < 5; ++i) ctl().on_point(Point::kRingCloseCas);
+    EXPECT_EQ(ctl().delays_injected(), 5u)
+        << "probability 256/256 must delay every focused visit";
+}
+
+TEST_F(InjectController, ReplayHintNamesSeedAndFocus) {
+    ctl().arm_random(1234);
+    EXPECT_EQ(ctl().replay_hint(), "--inject-seed=1234");
+    ctl().reset();
+    ctl().arm_random(99, 64, Point::kBulkTicketReturn);
+    EXPECT_EQ(ctl().replay_hint(), "--inject-seed=99 --inject-point=bulk_ticket_return");
+}
+
+TEST_F(InjectController, ResetForgetsRulesAndCounters) {
+    ctl().kill_at(0, Point::kEnqAfterFaa, 1);
+    ctl().arm_random(5, 256);
+    ctl().bind_thread(0);
+    EXPECT_THROW(ctl().on_point(Point::kEnqAfterFaa), ThreadKilled);
+    ctl().reset();
+    ctl().arm();
+    ctl().bind_thread(0);
+    EXPECT_NO_THROW(ctl().on_point(Point::kEnqAfterFaa));
+    EXPECT_EQ(ctl().kills_fired(), 0u);
+    EXPECT_EQ(ctl().delays_injected(), 0u);
+    EXPECT_EQ(ctl().visits(0, Point::kEnqAfterFaa), 1u)
+        << "counters must restart from zero after reset";
+}
+
+// --- the replay flags themselves -------------------------------------------
+
+struct OptionsGuard {
+    test::InjectOptions saved = inject_options();
+    ~OptionsGuard() { inject_options() = saved; }
+};
+
+TEST(InjectFlags, ParseOverridesAndSeedList) {
+    OptionsGuard guard;
+    inject_options() = {};
+    std::string a0 = "binary";
+    std::string a1 = "--inject-seed=77";
+    std::string a2 = "--inject-point=hazard_scan";
+    std::string a3 = "--inject-sweep=3";
+    char* argv[] = {a0.data(), a1.data(), a2.data(), a3.data()};
+    parse_inject_flags(4, argv);
+    ASSERT_TRUE(inject_options().seed.has_value());
+    EXPECT_EQ(*inject_options().seed, 77u);
+    ASSERT_TRUE(inject_options().point.has_value());
+    EXPECT_EQ(*inject_options().point, Point::kHazardScan);
+    ASSERT_TRUE(inject_options().sweep.has_value());
+    EXPECT_EQ(*inject_options().sweep, 3u);
+
+    // A forced seed shrinks every sweep to exactly that seed.
+    const auto pinned = inject_seeds(1, 20);
+    ASSERT_EQ(pinned.size(), 1u);
+    EXPECT_EQ(pinned[0], 77u);
+
+    // Without a forced seed, --inject-sweep controls the count and the
+    // derivation is deterministic in the base.
+    inject_options().seed.reset();
+    const auto swept = inject_seeds(1, 20);
+    EXPECT_EQ(swept.size(), 3u);
+    EXPECT_EQ(swept, inject_seeds(1, 20));
+    EXPECT_NE(inject_seeds(1, 20), inject_seeds(2, 20));
+}
+
+TEST(InjectFlags, DefaultSweepSizeAppliesWithoutOverrides) {
+    OptionsGuard guard;
+    inject_options() = {};
+    EXPECT_EQ(inject_seeds(123, 8).size(), 8u);
+}
+
+}  // namespace
+}  // namespace lcrq::inject

@@ -1,0 +1,274 @@
+// Queue<T> under schedule injection: non-trivially-copyable payloads ride
+// the boxed path (heap box per element), so the forced ring churn also
+// audits ownership — every box constructed is destroyed exactly once, no
+// payload is duplicated or lost, and move-only / throwing-move types
+// compile and behave.  (No kill injection here: a kill mid-operation
+// abandons the in-flight box by design — dead threads leak their box, which
+// is correct for the algorithm but would fail the leak checker.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "queues/typed_queue.hpp"
+#include "test_support.hpp"
+#include "verify/schedule_injection.hpp"
+
+namespace lcrq {
+namespace {
+
+using inject::Controller;
+using test::run_threads;
+
+Controller& ctl() { return Controller::instance(); }
+
+struct InjectTyped : ::testing::Test {
+    void SetUp() override { ctl().reset(); }
+    void TearDown() override { ctl().reset(); }
+};
+
+QueueOptions churny() {
+    QueueOptions opt;
+    opt.ring_order = 2;  // R = 4: batches straddle rings constantly
+    opt.starvation_limit = 4;
+    opt.spin_wait_iters = 0;
+    return opt;
+}
+
+// Payload whose move operations are not noexcept (like std::string pre-
+// C++11-ABI or user types with allocating moves): the facade must neither
+// require nothrow moves nor lose instances.  Instances are counted so the
+// test can prove box ownership is exact.
+class ThrowingMove {
+  public:
+    ThrowingMove() : v_(0) { live().fetch_add(1, std::memory_order_relaxed); }
+    explicit ThrowingMove(std::uint64_t v) : v_(v) {
+        live().fetch_add(1, std::memory_order_relaxed);
+    }
+    ThrowingMove(const ThrowingMove& o) : v_(o.v_) {
+        live().fetch_add(1, std::memory_order_relaxed);
+    }
+    ThrowingMove(ThrowingMove&& o) noexcept(false) : v_(o.v_) {
+        o.v_ = kMoved;
+        live().fetch_add(1, std::memory_order_relaxed);
+    }
+    ThrowingMove& operator=(const ThrowingMove& o) {
+        v_ = o.v_;
+        return *this;
+    }
+    ThrowingMove& operator=(ThrowingMove&& o) noexcept(false) {
+        v_ = o.v_;
+        o.v_ = kMoved;
+        return *this;
+    }
+    ~ThrowingMove() { live().fetch_sub(1, std::memory_order_relaxed); }
+
+    std::uint64_t value() const { return v_; }
+    static std::atomic<std::int64_t>& live() {
+        static std::atomic<std::int64_t> n{0};
+        return n;
+    }
+
+  private:
+    static constexpr std::uint64_t kMoved = ~std::uint64_t{0};
+    std::uint64_t v_;
+};
+static_assert(!kInlineStorable<ThrowingMove>);
+static_assert(!std::is_nothrow_move_constructible_v<ThrowingMove>);
+
+TEST_F(InjectTyped, ThrowingMovePayloadSurvivesPerturbedMpmc) {
+    constexpr int kProducers = 2;
+    constexpr int kConsumers = 2;
+    constexpr std::uint64_t kPerProducer = 80;
+    constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+    const std::int64_t live_before = ThrowingMove::live().load();
+
+    for (const std::uint64_t seed : test::inject_seeds(0x717ed, 6)) {
+        ctl().reset();
+        ctl().arm_random(seed, 64);
+        {
+            Queue<ThrowingMove> q(churny());
+            std::atomic<std::uint64_t> consumed{0};
+            std::vector<std::vector<value_t>> received(kConsumers);
+
+            run_threads(kProducers + kConsumers, [&](int id) {
+                ctl().bind_thread(id);
+                if (id < kProducers) {
+                    for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+                        q.enqueue(ThrowingMove(
+                            test::tag(static_cast<unsigned>(id), i)));
+                    }
+                } else {
+                    auto& mine = received[static_cast<std::size_t>(id - kProducers)];
+                    while (consumed.load(std::memory_order_acquire) < kTotal) {
+                        if (auto v = q.dequeue()) {
+                            mine.push_back(v->value());
+                            consumed.fetch_add(1, std::memory_order_acq_rel);
+                        } else {
+                            std::this_thread::yield();
+                        }
+                    }
+                }
+            });
+
+            SCOPED_TRACE("replay: " + ctl().replay_hint());
+            test::expect_exchange_valid(received, kProducers, kPerProducer);
+        }
+        EXPECT_EQ(ThrowingMove::live().load(), live_before)
+            << "payload instances leaked or double-freed (replay: "
+            << ctl().replay_hint() << ")";
+    }
+}
+
+TEST_F(InjectTyped, MoveOnlyPayloadSingleOpsAndBulkDequeueSpans) {
+    using Ptr = std::unique_ptr<std::uint64_t>;
+    static_assert(!kInlineStorable<Ptr>);
+    constexpr std::uint64_t kPerProducer = 96;
+    constexpr std::uint64_t kTotal = 2 * kPerProducer;
+
+    for (const std::uint64_t seed : test::inject_seeds(0x30b1, 6)) {
+        ctl().reset();
+        ctl().arm_random(seed, 64);
+        Queue<Ptr> q(churny());
+        std::atomic<std::uint64_t> consumed{0};
+        std::vector<std::vector<value_t>> received(2);
+
+        run_threads(4, [&](int id) {
+            ctl().bind_thread(id);
+            if (id < 2) {
+                // enqueue_bulk copies its span, so a move-only T uses the
+                // single-op path; dequeue side still exercises bulk spans.
+                for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+                    q.enqueue(std::make_unique<std::uint64_t>(
+                        test::tag(static_cast<unsigned>(id), i)));
+                }
+            } else {
+                auto& mine = received[static_cast<std::size_t>(id - 2)];
+                std::vector<Ptr> out(12);
+                while (consumed.load(std::memory_order_acquire) < kTotal) {
+                    const std::size_t n = q.dequeue_bulk(std::span<Ptr>(out));
+                    if (n == 0) {
+                        std::this_thread::yield();
+                        continue;
+                    }
+                    for (std::size_t j = 0; j < n; ++j) {
+                        ASSERT_TRUE(out[j] != nullptr);
+                        mine.push_back(*out[j]);
+                        out[j].reset();
+                    }
+                    consumed.fetch_add(n, std::memory_order_acq_rel);
+                }
+            }
+        });
+
+        SCOPED_TRACE("replay: " + ctl().replay_hint());
+        test::expect_exchange_valid(received, 2, kPerProducer);
+    }
+}
+
+// Copyable, non-trivially-copyable payload through the *bulk* spans on
+// both sides: enqueue_bulk boxes each span element, dequeue_bulk unboxes
+// into the caller's span; chunking through kBulkChunk plus R = 4 rings
+// means every batch straddles ring closes under perturbation.
+TEST_F(InjectTyped, BoxedPayloadBulkSpansBothSides) {
+    struct Payload {
+        std::uint64_t key = 0;
+        std::string blob;
+    };
+    static_assert(!kInlineStorable<Payload>);
+    constexpr std::uint64_t kPerProducer = 90;
+    constexpr std::size_t kBatch = 30;
+    constexpr std::uint64_t kTotal = 2 * kPerProducer;
+
+    for (const std::uint64_t seed : test::inject_seeds(0xb0c5, 6)) {
+        ctl().reset();
+        ctl().arm_random(seed, 64);
+        Queue<Payload> q(churny());
+        std::atomic<std::uint64_t> consumed{0};
+        std::vector<std::vector<value_t>> received(2);
+        std::atomic<std::uint64_t> blob_mismatches{0};
+
+        run_threads(4, [&](int id) {
+            ctl().bind_thread(id);
+            if (id < 2) {
+                std::vector<Payload> batch(kBatch);
+                for (std::uint64_t i = 0; i < kPerProducer; i += kBatch) {
+                    for (std::size_t j = 0; j < kBatch; ++j) {
+                        const value_t v = test::tag(static_cast<unsigned>(id), i + j);
+                        batch[j].key = v;
+                        batch[j].blob = std::to_string(v);
+                    }
+                    q.enqueue_bulk(std::span<const Payload>(batch));
+                }
+            } else {
+                auto& mine = received[static_cast<std::size_t>(id - 2)];
+                std::vector<Payload> out(kBatch);
+                while (consumed.load(std::memory_order_acquire) < kTotal) {
+                    const std::size_t n = q.dequeue_bulk(std::span<Payload>(out));
+                    if (n == 0) {
+                        std::this_thread::yield();
+                        continue;
+                    }
+                    for (std::size_t j = 0; j < n; ++j) {
+                        if (out[j].blob != std::to_string(out[j].key)) {
+                            blob_mismatches.fetch_add(1);
+                        }
+                        mine.push_back(out[j].key);
+                    }
+                    consumed.fetch_add(n, std::memory_order_acq_rel);
+                }
+            }
+        });
+
+        SCOPED_TRACE("replay: " + ctl().replay_hint());
+        EXPECT_EQ(blob_mismatches.load(), 0u) << "payload torn across the box";
+        test::expect_exchange_valid(received, 2, kPerProducer);
+    }
+}
+
+// Deterministic boxed-path window: a dequeuer parks between its head F&A
+// and the box unwrap while the producer keeps going; the box must still be
+// owned exactly once.  (The simplest typed analogue of the raw-queue
+// window tests — proves the facade adds no ownership hazard around the
+// injection points.)
+TEST_F(InjectTyped, BoxOwnershipExactAcrossForcedWindow) {
+    const std::int64_t live_before = ThrowingMove::live().load();
+    {
+        Queue<ThrowingMove> q(churny());
+        ctl().set_hold_deadline(std::chrono::seconds{10});
+        ctl().hold_until(1, inject::Point::kDeqAfterFaa, 1, 0,
+                         inject::Point::kEnqPublished, 4);
+        ctl().arm();
+
+        std::optional<std::uint64_t> got;
+        run_threads(2, [&](int id) {
+            ctl().bind_thread(id);
+            if (id == 1) {
+                // Parks holding dequeue ticket 0 until 4 items are published.
+                if (auto v = q.dequeue()) got = v->value();
+            } else {
+                for (std::uint64_t i = 1; i <= 4; ++i) q.enqueue(ThrowingMove(i));
+            }
+        });
+
+        EXPECT_EQ(ctl().hold_timeouts(), 0u);
+        ASSERT_TRUE(got.has_value()) << "parked dequeuer lost its box";
+        EXPECT_EQ(*got, 1u) << "FIFO violated across the forced window";
+        std::uint64_t rest = 0;
+        while (auto v = q.dequeue()) ++rest;
+        EXPECT_EQ(rest, 3u);
+    }
+    EXPECT_EQ(ThrowingMove::live().load(), live_before)
+        << "boxes leaked across the forced window";
+}
+
+}  // namespace
+}  // namespace lcrq

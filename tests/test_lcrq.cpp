@@ -202,8 +202,11 @@ TEST(Lcrq, ApproxSizeDuringRetirementStress) {
             }
             done.store(true, std::memory_order_release);
         } else {
+            // do-while: on a 1-CPU host the consumers can finish before an
+            // observer is ever scheduled, so at least one walk is forced
+            // (over a drained queue it still exercises the protected walk).
             std::uint64_t walks = 0;
-            while (!done.load(std::memory_order_acquire)) {
+            do {
                 const std::uint64_t size = q.approx_size();
                 const std::size_t segments = q.segment_count();
                 ASSERT_GE(segments, 1u);
@@ -211,7 +214,7 @@ TEST(Lcrq, ApproxSizeDuringRetirementStress) {
                 // closed segment) plus in-flight items.
                 ASSERT_LE(size, total + 4 * segments);
                 ++walks;
-            }
+            } while (!done.load(std::memory_order_acquire));
             EXPECT_GT(walks, 0u);
         }
     });

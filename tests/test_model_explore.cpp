@@ -117,21 +117,27 @@ ExploreConfig tiny(std::uint64_t ring = 2, unsigned limit = 1) {
 
 TEST(Explore, ExhaustiveOneEnqOneDeq) {
     const auto r = explore_exhaustive({{enq_op(1)}, {deq_op()}}, tiny());
-    EXPECT_FALSE(r.truncated) << "grew past the exhaustive budget";
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
-    EXPECT_GT(r.schedules, 50u) << "suspiciously few interleavings";
+    EXPECT_FALSE(r.truncated) << "grew past the exhaustive budget: " << r.summary();
+    // pruned == 0 proves "every interleaving" means *every*: the CRQ model
+    // has no livelock, so any pruning would mean max_steps silently cut
+    // branches out of the proof.
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_GT(r.schedules, 50u) << "suspiciously few interleavings: " << r.summary();
 }
 
 TEST(Explore, ExhaustiveTwoEnqueuersOneSlotEach) {
     const auto r = explore_exhaustive({{enq_op(1)}, {enq_op(2)}}, tiny());
-    EXPECT_FALSE(r.truncated);
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
+    EXPECT_FALSE(r.truncated) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
 }
 
 TEST(Explore, ExhaustiveTwoDequeuersOnEmpty) {
     const auto r = explore_exhaustive({{deq_op()}, {deq_op()}}, tiny());
-    EXPECT_FALSE(r.truncated);
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
+    EXPECT_FALSE(r.truncated) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
 }
 
 TEST(Explore, ExhaustiveEnqDeqPairVsDequeuer) {
@@ -139,9 +145,10 @@ TEST(Explore, ExhaustiveEnqDeqPairVsDequeuer) {
     // can overtake the enqueuer that owns its index.
     const auto r =
         explore_exhaustive({{enq_op(1), deq_op()}, {deq_op()}}, tiny());
-    EXPECT_FALSE(r.truncated);
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
-    EXPECT_GT(r.schedules, 1'000u);
+    EXPECT_FALSE(r.truncated) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_GT(r.schedules, 1'000u) << r.summary();
 }
 
 TEST(Explore, ExhaustiveTwoEnqueuersThenDrain) {
@@ -150,9 +157,10 @@ TEST(Explore, ExhaustiveTwoEnqueuersThenDrain) {
     // inside the enumerated window.
     const auto r =
         explore_exhaustive({{enq_op(1)}, {enq_op(2), deq_op()}}, tiny(2, 1));
-    EXPECT_FALSE(r.truncated);
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
-    EXPECT_GT(r.schedules, 1'000u);
+    EXPECT_FALSE(r.truncated) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_GT(r.schedules, 1'000u) << r.summary();
 }
 
 TEST(Explore, DenseSamplingRingOfOneLapThreeThreads) {
@@ -162,8 +170,8 @@ TEST(Explore, DenseSamplingRingOfOneLapThreeThreads) {
     cfg.samples = 100'000;
     cfg.seed = 3;
     const auto r = explore_random({{enq_op(1)}, {enq_op(2)}, {deq_op()}}, cfg);
-    EXPECT_EQ(r.schedules, 100'000u);
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
+    EXPECT_EQ(r.schedules, 100'000u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
 }
 
 // --- random sampling for larger configurations ----------------------------
@@ -174,8 +182,8 @@ TEST(Explore, RandomSamplingLargerScripts) {
     cfg.seed = 7;
     const auto r = explore_random(
         {{enq_op(1), enq_op(2), deq_op()}, {deq_op(), enq_op(3), deq_op()}}, cfg);
-    EXPECT_EQ(r.schedules, 20'000u);
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
+    EXPECT_EQ(r.schedules, 20'000u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
 }
 
 TEST(Explore, RandomSamplingThreeThreads) {
@@ -186,7 +194,7 @@ TEST(Explore, RandomSamplingThreeThreads) {
                                    {enq_op(2), deq_op()},
                                    {deq_op(), enq_op(3)}},
                                   cfg);
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
+    EXPECT_EQ(r.violations, 0u) << r.summary();
 }
 
 // --- the explorer must be able to see a bug -------------------------------
@@ -232,10 +240,10 @@ TEST(Explore, CoverageCountersProveCornerPathsAreEnumerated) {
     dense.seed = 11;
     const auto c = explore_random(
         {{enq_op(1), enq_op(2)}, {deq_op(), deq_op()}, {deq_op()}}, dense);
-    EXPECT_EQ(c.violations, 0u) << c.first_error;
+    EXPECT_EQ(c.violations, 0u) << c.summary();
     EXPECT_GT(c.unsafe_transitions, 0u)
-        << "sampling never reached the unsafe transition";
-    EXPECT_GT(c.enq_rescues + c.empty_transitions, 0u);
+        << "sampling never reached the unsafe transition: " << c.summary();
+    EXPECT_GT(c.enq_rescues + c.empty_transitions, 0u) << c.summary();
 }
 
 // --- LCRQ layer: the December-2013 fix, demonstrated -----------------------
@@ -250,9 +258,9 @@ TEST(ExploreLcrq, CorrectedDequeueSurvivesSampling) {
     cfg.seed = 5;
     const auto r = explore_lcrq_random(
         {{enq_op(1), enq_op(2), enq_op(3)}, {deq_op(), deq_op(), deq_op()}}, cfg);
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
-    EXPECT_GT(r.appended_segments, 0u) << "no schedule split the queue";
-    EXPECT_GT(r.closes, 0u);
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_GT(r.appended_segments, 0u) << "no schedule split the queue: " << r.summary();
+    EXPECT_GT(r.closes, 0u) << r.summary();
 }
 
 TEST(ExploreLcrq, CorrectedDequeueSurvivesExhaustiveTinyConfig) {
@@ -261,9 +269,10 @@ TEST(ExploreLcrq, CorrectedDequeueSurvivesExhaustiveTinyConfig) {
     ExploreConfig cfg = tiny(2, 1);
     cfg.corrected = true;
     const auto r = explore_lcrq_exhaustive({{enq_op(1)}, {deq_op()}}, cfg);
-    EXPECT_FALSE(r.truncated);
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
-    EXPECT_GT(r.appended_segments, 0u) << "no schedule appended a segment";
+    EXPECT_FALSE(r.truncated) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_GT(r.appended_segments, 0u) << "no schedule appended a segment: " << r.summary();
 }
 
 TEST(ExploreLcrq, ProceedingsVersionLosesItems) {
@@ -281,14 +290,15 @@ TEST(ExploreLcrq, ProceedingsVersionLosesItems) {
     const auto r = explore_lcrq_random(
         {{enq_op(1)}, {deq_op(), deq_op()}, {enq_op(2), enq_op(3)}}, cfg);
     EXPECT_GT(r.violations, 0u)
-        << "the proceedings-version bug should be discoverable by sampling";
+        << "the proceedings-version bug should be discoverable by sampling: "
+        << r.summary();
 
     // And the identical configuration with the fix survives.
     ExploreConfig fixed = cfg;
     fixed.corrected = true;
     const auto ok = explore_lcrq_random(
         {{enq_op(1)}, {deq_op(), deq_op()}, {enq_op(2), enq_op(3)}}, fixed);
-    EXPECT_EQ(ok.violations, 0u) << ok.first_error;
+    EXPECT_EQ(ok.violations, 0u) << ok.summary();
 }
 
 TEST(ExploreLcrq, EnqueueAlwaysSucceedsAtListLevel) {
@@ -298,8 +308,8 @@ TEST(ExploreLcrq, EnqueueAlwaysSucceedsAtListLevel) {
     cfg.seed = 23;
     const auto r = explore_lcrq_random(
         {{enq_op(1), enq_op(2), enq_op(3), enq_op(4)}, {enq_op(5)}}, cfg);
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
-    EXPECT_GT(r.appended_segments, 0u);
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_GT(r.appended_segments, 0u) << r.summary();
 }
 
 // --- Figure 2 infinite-array queue (the paper omitted its proof) -----------
@@ -316,10 +326,12 @@ TEST(ExploreInfArray, ExhaustiveSmallConfigs) {
              std::vector<ThreadScript>{{enq_op(1), enq_op(2)}, {deq_op(), deq_op()}},
              std::vector<ThreadScript>{{enq_op(1), deq_op()}, {deq_op(), enq_op(2)}},
          }) {
+        // No pruned == 0 here: the infinite-array queue genuinely livelocks
+        // (footnote 4), so max_steps cutting branches is expected.
         const auto r = explore_infarray_exhaustive(scripts, cfg);
-        EXPECT_FALSE(r.truncated);
-        EXPECT_EQ(r.violations, 0u) << r.first_error;
-        EXPECT_GT(r.schedules, 10u);
+        EXPECT_FALSE(r.truncated) << r.summary();
+        EXPECT_EQ(r.violations, 0u) << r.summary();
+        EXPECT_GT(r.schedules, 10u) << r.summary();
     }
     // Three single-op threads explode combinatorially (retry chains x 3
     // schedulable threads); sample that shape densely instead.
@@ -329,7 +341,7 @@ TEST(ExploreInfArray, ExhaustiveSmallConfigs) {
     dense.seed = 13;
     const auto r3 =
         explore_infarray_random({{enq_op(1)}, {enq_op(2)}, {deq_op()}}, dense);
-    EXPECT_EQ(r3.violations, 0u) << r3.first_error;
+    EXPECT_EQ(r3.violations, 0u) << r3.summary();
 }
 
 TEST(ExploreInfArray, LivelockBranchesExistAndArePruned) {
@@ -339,8 +351,9 @@ TEST(ExploreInfArray, LivelockBranchesExistAndArePruned) {
     cfg.max_steps = 40;
     const auto r = explore_infarray_exhaustive(
         {{enq_op(1), enq_op(2)}, {deq_op(), deq_op()}}, cfg);
-    EXPECT_GT(r.pruned, 0u) << "expected livelocked schedules to be cut";
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
+    EXPECT_GT(r.pruned, 0u) << "expected livelocked schedules to be cut: "
+                            << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
 }
 
 TEST(ExploreInfArray, RandomSamplingLargerScripts) {
@@ -352,7 +365,7 @@ TEST(ExploreInfArray, RandomSamplingLargerScripts) {
         {{enq_op(1), enq_op(2), deq_op()}, {deq_op(), enq_op(3), deq_op()},
          {deq_op(), deq_op()}},
         cfg);
-    EXPECT_EQ(r.violations, 0u) << r.first_error;
+    EXPECT_EQ(r.violations, 0u) << r.summary();
 }
 
 }  // namespace

@@ -6,11 +6,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "arch/inject.hpp"
 #include "queues/queue_common.hpp"
+#include "util/xorshift.hpp"
 
 namespace lcrq::test {
 
@@ -139,6 +146,96 @@ inline void expect_exchange_valid_partial(
         EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end())
             << "value dequeued twice";
     }
+}
+
+// --- schedule-injection replay flags ---------------------------------------
+//
+// The injection suites (built with -DLCRQ_INJECT=ON) sweep random seeds;
+// when a seed fails, the test prints a replay line and the binary accepts
+//   --inject-seed=N    re-run exactly that seed (sweep shrinks to it)
+//   --inject-point=P   focus random delays on one named point
+//   --inject-sweep=N   seeds per sweep test (nightly runs crank this up)
+// with LCRQ_INJECT_SEED / LCRQ_INJECT_POINT / LCRQ_INJECT_SWEEP environment
+// fallbacks so ctest-driven CI runs can set them fleet-wide.  Parsed by
+// injection_main.cpp after gtest consumes its own flags.
+
+struct InjectOptions {
+    std::optional<std::uint64_t> seed;
+    std::optional<inject::Point> point;
+    std::optional<std::uint64_t> sweep;
+};
+
+inline InjectOptions& inject_options() {
+    static InjectOptions opts;
+    return opts;
+}
+
+inline std::optional<inject::Point> inject_point_from_name(std::string_view name) {
+    for (std::size_t i = 0; i < inject::kPointCount; ++i) {
+        const auto p = static_cast<inject::Point>(i);
+        if (inject::point_name(p) == name) return p;
+    }
+    return std::nullopt;
+}
+
+inline void parse_inject_flags(int argc, char** argv) {
+    auto& opts = inject_options();
+    const auto parse_u64 = [](std::string_view v) {
+        return static_cast<std::uint64_t>(std::strtoull(std::string(v).c_str(), nullptr, 0));
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        constexpr std::string_view kSeed = "--inject-seed=";
+        constexpr std::string_view kPoint = "--inject-point=";
+        constexpr std::string_view kSweep = "--inject-sweep=";
+        if (arg.substr(0, kSeed.size()) == kSeed) {
+            opts.seed = parse_u64(arg.substr(kSeed.size()));
+        } else if (arg.substr(0, kPoint.size()) == kPoint) {
+            const std::string_view name = arg.substr(kPoint.size());
+            opts.point = inject_point_from_name(name);
+            if (!opts.point.has_value()) {
+                // A typo'd focus must not silently replay unfocused.
+                std::fprintf(stderr, "unknown --inject-point '%.*s'; valid names:\n",
+                             static_cast<int>(name.size()), name.data());
+                for (std::size_t p = 0; p < inject::kPointCount; ++p) {
+                    const auto n = point_name(static_cast<inject::Point>(p));
+                    std::fprintf(stderr, "  %.*s\n", static_cast<int>(n.size()), n.data());
+                }
+                std::exit(2);
+            }
+        } else if (arg.substr(0, kSweep.size()) == kSweep) {
+            opts.sweep = parse_u64(arg.substr(kSweep.size()));
+        }
+    }
+    // Environment fallbacks lose to explicit flags.
+    if (!opts.seed.has_value()) {
+        if (const char* s = std::getenv("LCRQ_INJECT_SEED")) opts.seed = parse_u64(s);
+    }
+    if (!opts.point.has_value()) {
+        if (const char* s = std::getenv("LCRQ_INJECT_POINT")) {
+            opts.point = inject_point_from_name(s);
+            if (!opts.point.has_value()) {
+                std::fprintf(stderr, "unknown LCRQ_INJECT_POINT '%s'\n", s);
+                std::exit(2);
+            }
+        }
+    }
+    if (!opts.sweep.has_value()) {
+        if (const char* s = std::getenv("LCRQ_INJECT_SWEEP")) opts.sweep = parse_u64(s);
+    }
+}
+
+// The seeds a sweep test runs: the --inject-seed override alone when given,
+// otherwise `dflt` (or --inject-sweep=N) seeds derived from `base`.
+inline std::vector<std::uint64_t> inject_seeds(std::uint64_t base, std::uint64_t dflt) {
+    const auto& opts = inject_options();
+    if (opts.seed.has_value()) return {*opts.seed};
+    std::vector<std::uint64_t> seeds;
+    std::uint64_t state = base;
+    for (std::uint64_t i = 0; i < opts.sweep.value_or(dflt); ++i) {
+        seeds.push_back(splitmix64(state));
+    }
+    return seeds;
 }
 
 }  // namespace lcrq::test
