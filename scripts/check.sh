@@ -15,7 +15,7 @@ ctest --test-dir build-asan --output-on-failure
 cmake -B build-tsan -G Ninja -DLCRQ_ENABLE_TSAN=ON -DLCRQ_ENABLE_BENCH=OFF -DLCRQ_ENABLE_EXAMPLES=OFF
 cmake --build build-tsan
 ctest --test-dir build-tsan --output-on-failure -R \
-  "test_hazard|test_ms_queue|test_two_lock|test_combining|test_kp_queue|test_counters|test_thread_id|test_bounded_and_infinite"
+  "test_hazard|test_ms_queue|test_two_lock|test_combining|test_kp_queue|test_counters|test_thread_id|test_bounded_and_infinite|test_scq"
 
 # Schedule-injection build (docs/TESTING.md §5): the forced-window, kill,
 # and seeded-sweep suites need the instrumented hot paths.

@@ -26,6 +26,7 @@ enum class Event : unsigned {
     kFaa = 0,          // hardware fetch-and-add executed
     kSwap,             // hardware swap executed
     kTas,              // hardware test-and-set executed
+    kFetchOr,          // hardware fetch-or executed (SCQ consume)
     kCas,              // single-word CAS attempts
     kCasFailure,       // single-word CAS attempts that failed
     kCas2,             // double-width CAS attempts
@@ -55,7 +56,7 @@ inline constexpr std::size_t kEventCount = static_cast<std::size_t>(Event::kCoun
 constexpr std::string_view event_name(Event e) noexcept {
     constexpr std::array<std::string_view, kEventCount> names = {
         "faa",           "swap",         "tas",
-        "cas",           "cas_failure",  "cas2",
+        "fetch_or",      "cas",          "cas_failure",  "cas2",
         "cas2_failure",  "enqueue",      "dequeue",
         "dequeue_empty", "crq_close",    "crq_append",
         "ring_retry",    "spin_wait",    "unsafe_transition",
@@ -90,7 +91,7 @@ struct Snapshot {
     // "Atomic operations" row of Tables 2/3: every lock-prefixed RMW.
     std::uint64_t atomic_ops() const noexcept {
         return (*this)[Event::kFaa] + (*this)[Event::kSwap] + (*this)[Event::kTas] +
-               (*this)[Event::kCas] + (*this)[Event::kCas2];
+               (*this)[Event::kFetchOr] + (*this)[Event::kCas] + (*this)[Event::kCas2];
     }
 };
 

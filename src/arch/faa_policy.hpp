@@ -87,4 +87,12 @@ inline bool counted_test_and_set_bit(std::atomic<std::uint64_t>& a, unsigned bit
     return test_and_set_bit(a, bit);
 }
 
+// SCQ's consume step: a single `lock or` that stamps the entry's index
+// field to ⊥ without disturbing the cycle.  Returns the pre-or value.
+inline std::uint64_t counted_fetch_or(std::atomic<std::uint64_t>& a,
+                                      std::uint64_t bits) noexcept {
+    stats::count(stats::Event::kFetchOr);
+    return a.fetch_or(bits, std::memory_order_seq_cst);
+}
+
 }  // namespace lcrq

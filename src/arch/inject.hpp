@@ -50,6 +50,13 @@ enum class Point : std::uint8_t {
     kApproxSizeWalk,       // Lcrq::sum_segments, next segment protected
     kHazardRetire,         // HazardThread::retire_impl, object handed over
     kHazardScan,           // HazardDomain::drain, reclamation pass starting
+    kScqEnqAfterFaa,       // ScqRing::enqueue, ticket obtained
+    kScqAfterCycleLoad,    // ScqRing enqueue/dequeue, entry loaded, not yet acted on
+    kScqBeforeEntryCas,    // ScqRing, entry validated, single-word CAS pending
+    kScqEnqPublished,      // ScqRing::enqueue, entry CAS succeeded (index visible)
+    kScqDeqAfterFaa,       // ScqRing::dequeue, ticket obtained
+    kScqThresholdDecrement,// ScqRing::dequeue, about to decrement the threshold
+    kScqCatchup,           // ScqRing::catchup, tail repair loop entered
     kCount
 };
 
@@ -62,7 +69,9 @@ constexpr std::string_view point_name(Point p) noexcept {
         "deq_before_unsafe_cas2", "ring_close_cas",  "bulk_enq_after_faa",
         "bulk_deq_after_faa",    "bulk_ticket_return", "list_empty_observed",
         "list_append",           "list_head_swing",  "approx_size_walk",
-        "hazard_retire",         "hazard_scan",
+        "hazard_retire",         "hazard_scan",      "scq_enq_after_faa",
+        "scq_after_cycle_load",  "scq_before_entry_cas", "scq_enq_published",
+        "scq_deq_after_faa",     "scq_threshold_decrement", "scq_catchup",
     };
     return names[static_cast<std::size_t>(p)];
 }

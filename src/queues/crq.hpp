@@ -85,8 +85,6 @@ constexpr std::uint64_t si_idx(std::uint64_t si) noexcept { return si & kIdxMask
 
 }  // namespace detail
 
-enum class EnqueueResult { kOk, kClosed };
-
 template <class Faa = HardwareFaa, bool Padded = true>
 class Crq {
   public:

@@ -31,6 +31,11 @@ inline constexpr value_t kMaxValue = ~value_t{0} - 2;
 
 constexpr bool is_enqueueable(value_t v) noexcept { return v <= kMaxValue; }
 
+// Result of an enqueue into a *tantrum* segment (CRQ, SCQ): the ring may
+// refuse and return kClosed, after which every enqueue on it returns
+// kClosed and the list layer (LCRQ/LSCQ) appends a fresh segment.
+enum class EnqueueResult { kOk, kClosed };
+
 // The duck-typed interface all queues implement.
 template <typename Q>
 concept ConcurrentQueue = requires(Q q, value_t v) {

@@ -11,7 +11,9 @@
 #include "queues/infinite_array_queue.hpp"
 #include "queues/kp_queue.hpp"
 #include "queues/lcrq.hpp"
+#include "queues/lscq.hpp"
 #include "queues/ms_queue.hpp"
+#include "queues/scq.hpp"
 #include "queues/mutex_queue.hpp"
 #include "queues/two_lock_queue.hpp"
 
@@ -93,6 +95,14 @@ const std::vector<Entry>& entries() {
                                   "LCRQ without hazard protection (footnote-6 ablation; "
                                   "reclaims at destruction)",
                                   true, false, false, /*deferred_reclamation=*/true),
+        entry<LscqQueue>("lscq",
+                         "LSCQ: SCQ ring-list queue, single-word CAS + threshold "
+                         "(DISC'19; second segment backend)",
+                         true, false, false),
+        entry<ScqQueue>("scq",
+                        "Bounded SCQ ring pair (allocated/free queues over a data "
+                        "array; no CAS2)",
+                        true, false, true),
         entry<MsQueue<true>>("ms", "Michael-Scott nonblocking queue (PODC'96), with backoff",
                              true, false, false),
         entry<MsQueue<false>>("ms-nobackoff",
@@ -139,11 +149,11 @@ const std::vector<QueueInfo>& queue_catalog() {
 }
 
 std::vector<std::string> paper_single_processor_set() {
-    return {"lcrq", "lcrq-cas", "cc-queue", "fc-queue", "ms"};
+    return {"lcrq", "lcrq-cas", "lscq", "cc-queue", "fc-queue", "ms"};
 }
 
 std::vector<std::string> paper_multi_processor_set() {
-    return {"lcrq+h", "lcrq", "lcrq-cas", "h-queue", "cc-queue"};
+    return {"lcrq+h", "lcrq", "lcrq-cas", "lscq", "h-queue", "cc-queue"};
 }
 
 std::unique_ptr<AnyQueue> make_queue(const std::string& name, const QueueOptions& opt) {

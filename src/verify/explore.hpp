@@ -24,6 +24,7 @@
 #include "verify/infinite_array_model.hpp"
 #include "verify/lcrq_model.hpp"
 #include "verify/lin_check.hpp"
+#include "verify/scq_model.hpp"
 
 namespace lcrq::verify {
 
@@ -65,6 +66,8 @@ struct ExploreResult {
     std::uint64_t closes = 0;
     std::uint64_t enq_rescues = 0;
     std::uint64_t appended_segments = 0;  // LCRQ family only
+    std::uint64_t catchups = 0;           // SCQ family only: tail repairs
+    std::uint64_t threshold_empties = 0;  // SCQ family only: EMPTY via threshold
     std::uint64_t pruned = 0;             // schedules cut at max_steps
 
     bool ok() const noexcept { return violations == 0 && !truncated; }
@@ -118,6 +121,25 @@ struct LcrqFamily {
         }
         out.closes += s.total_closes();
         out.appended_segments += s.appended_segments();
+    }
+};
+
+struct ScqFamily {
+    using State = ScqModelState;
+    using Op = ScqModelOp;
+
+    // cfg.ring_size is the SCQ *capacity* n (the modeled ring has 2n
+    // entries), so CRQ and SCQ configs describe the same logical size.
+    static State make_state(const ExploreConfig& cfg) { return State(cfg.ring_size); }
+    static Op make_op(const ScriptOp& s, const ExploreConfig&) {
+        return make_scq_model_op(s.kind, s.arg);
+    }
+    static void accumulate(const State& s, ExploreResult& out) {
+        out.unsafe_transitions += s.unsafe_transitions;
+        out.empty_transitions += s.empty_transitions;
+        out.enq_rescues += s.enq_rescues;
+        out.catchups += s.catchups;
+        out.threshold_empties += s.threshold_empties;
     }
 };
 
@@ -316,6 +338,21 @@ inline ExploreResult explore_infarray_exhaustive(
 inline ExploreResult explore_infarray_random(const std::vector<ThreadScript>& scripts,
                                              const ExploreConfig& cfg = {}) {
     return detail_explore::run_random<InfArrayFamily>(scripts, cfg);
+}
+
+// SCQ ring (cycle/safe/threshold protocol; scq_model.hpp).  Keep ring
+// occupancy (live items + in-flight enqueues) ≤ cfg.ring_size — easiest
+// via total enqueues ≤ capacity.  Overfilled rings burn enqueue tickets
+// by design (pruned schedules) and can exhaust the threshold into a
+// false EMPTY the checker rightly flags; see the scq_model.hpp caveat.
+inline ExploreResult explore_scq_exhaustive(const std::vector<ThreadScript>& scripts,
+                                            const ExploreConfig& cfg = {}) {
+    return detail_explore::run_exhaustive<ScqFamily>(scripts, cfg);
+}
+
+inline ExploreResult explore_scq_random(const std::vector<ThreadScript>& scripts,
+                                        const ExploreConfig& cfg = {}) {
+    return detail_explore::run_random<ScqFamily>(scripts, cfg);
 }
 
 // LCRQ-layer variants (unbounded queue over CRQ segments).

@@ -1,0 +1,326 @@
+// A small-step executable model of the SCQ ring protocol (verify
+// substrate; companion of crq_model.hpp).
+//
+// Mirrors `queues/scq.hpp`'s ScqRing with *every shared-memory access as
+// one atomic step*, so the explorer (explore.hpp) can enumerate the
+// interleavings the cycle/safe/threshold protocol exists for: an enqueuer
+// stalled between its F&A and its entry CAS while dequeuers lap the ring,
+// the threshold draining to a correct EMPTY under a racing slow enqueuer,
+// and the catchup repair of head > tail.
+//
+// The model is the *value-carrying ring*: entries hold script values
+// directly (⊥ = kBottom), where the production ring holds slot indices and
+// pairs two rings over a data array.  The pairing adds no new transition
+// kind — aq and fq are both this protocol — so the ring model is the part
+// worth enumerating, and the model-vs-real differential runs against a raw
+// ScqRing holding small integers.
+//
+// Fidelity notes (kept in sync with scq.hpp by the differential test):
+//   * entries are modeled unpacked (cycle, safe, idx) — the packing is
+//     bijective, so one modeled CAS is one real CAS.
+//   * the cache remap is modeled as identity; it permutes slots without
+//     changing the protocol (and is identity for tiny real rings anyway).
+//   * there is no closed bit: ScqRing never closes itself, and the close
+//     path is one T&S exercised by the LSCQ-level tests, not a ring
+//     transition worth enumerating.
+//
+// Contract caveat for script authors: the ring is correct only while its
+// *occupancy* — live items plus in-flight enqueues — stays ≤ capacity,
+// the invariant the fq/aq pairing enforces in the full Scq (fq can hand
+// out at most n indices).  Overfilled scripts make enqueuers burn tickets
+// forever (pruned schedules) and can legitimately drive the 3n-1
+// threshold to a false EMPTY — the explorer will report those as real
+// linearizability violations, because they are: that is SCQ outside its
+// operating envelope, not a model bug.  The simplest safe script shape is
+// total enqueues ≤ capacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "queues/queue_common.hpp"
+#include "verify/crq_model.hpp"  // Kind/Status vocabulary shared by all op models
+#include "verify/history.hpp"    // kEmpty
+
+namespace lcrq::verify {
+
+// Shared SCQ ring state: capacity n, ring of N = 2n entries, head/tail
+// starting one full lap in (cycle 1) as in ScqRing, threshold -1 (empty).
+struct ScqModelState {
+    std::uint64_t head = 0;
+    std::uint64_t tail = 0;
+    std::int64_t threshold = -1;
+    struct Cell {
+        std::uint64_t cycle;
+        bool safe;
+        value_t idx;  // stored value, or kBottom (⊥)
+        friend bool operator==(const Cell&, const Cell&) = default;
+    };
+    std::vector<Cell> ring;
+
+    // Coverage counters (not protocol state); cf. CrqModelState.
+    std::uint32_t unsafe_transitions = 0;
+    std::uint32_t empty_transitions = 0;
+    std::uint32_t enq_rescues = 0;  // enqueue into an unsafe entry via head<=t
+    std::uint32_t catchups = 0;     // tail pulled forward past burned tickets
+    std::uint32_t threshold_empties = 0;  // EMPTY via threshold exhaustion
+
+    explicit ScqModelState(std::uint64_t capacity = 2) {
+        ring.resize(capacity * 2);
+        for (auto& c : ring) c = {0, true, kBottom};
+        head = tail = ring.size();
+    }
+
+    std::uint64_t N() const noexcept { return ring.size(); }
+    std::uint64_t capacity() const noexcept { return ring.size() / 2; }
+    std::int64_t threshold_full() const noexcept {
+        return static_cast<std::int64_t>(3 * capacity() - 1);
+    }
+    std::uint64_t cycle_of_ticket(std::uint64_t t) const noexcept {
+        return t / N();
+    }
+
+    std::uint64_t hash() const noexcept {
+        std::uint64_t h = head * 0x9e3779b97f4a7c15ULL ^ tail;
+        h = (h ^ static_cast<std::uint64_t>(threshold)) * 0x100000001b3ULL;
+        for (const Cell& c : ring) {
+            h = (h ^ c.cycle) * 0x100000001b3ULL;
+            h = (h ^ (c.safe ? 1u : 0u)) * 0x100000001b3ULL;
+            h = (h ^ c.idx) * 0x100000001b3ULL;
+        }
+        return h;
+    }
+};
+
+// One ring operation as a resumable step machine; shares the Kind/Status
+// vocabulary of CrqModelOp so the explorer's World drives either family.
+class ScqModelOp {
+  public:
+    using Kind = CrqModelOp::Kind;
+    using Status = CrqModelOp::Status;
+
+    ScqModelOp(Kind kind, value_t arg) : kind_(kind), arg_(arg) {}
+
+    Status step(ScqModelState& s) {
+        return kind_ == Kind::kEnqueue ? step_enq(s) : step_deq(s);
+    }
+
+    bool done() const noexcept { return done_; }
+    // Enqueue: arg (the ring model never closes).  Dequeue: value or kEmpty.
+    value_t result() const noexcept { return result_; }
+    Kind kind() const noexcept { return kind_; }
+    value_t arg() const noexcept { return arg_; }
+
+    friend bool operator==(const ScqModelOp&, const ScqModelOp&) = default;
+
+    std::uint64_t hash() const noexcept {
+        std::uint64_t h = static_cast<std::uint64_t>(pc_);
+        h = h * 31 + t_;
+        h = h * 31 + cyc_;
+        h = h * 31 + idx_;
+        h = h * 31 + static_cast<std::uint64_t>(safe_);
+        h = h * 31 + static_cast<std::uint64_t>(done_);
+        return h;
+    }
+
+  private:
+    Status finish(value_t r) {
+        done_ = true;
+        result_ = r;
+        return Status::kDone;
+    }
+
+    ScqModelState::Cell& cell(ScqModelState& s) const { return s.ring[t_ % s.N()]; }
+
+    // --- enqueue: mirrors ScqRing::enqueue / put_at -----------------------
+    //  pc 0: F&A(tail) -> t
+    //  pc 1: load entry; branch on (cycle, idx, safe)
+    //  pc 2: read head (the "unsafe, head <= t" rescue check)
+    //  pc 3: CAS entry -> (cycle(t), safe=1, arg)
+    //  pc 4: read threshold
+    //  pc 5: store threshold = 3n-1
+    Status step_enq(ScqModelState& s) {
+        switch (pc_) {
+            case 0:
+                t_ = s.tail;
+                s.tail += 1;
+                pc_ = 1;
+                return Status::kRunning;
+            case 1: {
+                const ScqModelState::Cell& c = cell(s);
+                cyc_ = c.cycle;
+                safe_ = c.safe;
+                idx_ = c.idx;
+                if (cyc_ >= s.cycle_of_ticket(t_) || idx_ != kBottom) {
+                    pc_ = 0;  // entry unusable: new ticket
+                } else {
+                    pc_ = safe_ ? 3 : 2;
+                }
+                return Status::kRunning;
+            }
+            case 2:
+                if (s.head <= t_) {
+                    ++s.enq_rescues;
+                    pc_ = 3;
+                } else {
+                    pc_ = 0;
+                }
+                return Status::kRunning;
+            case 3: {
+                ScqModelState::Cell& c = cell(s);
+                if (c == ScqModelState::Cell{cyc_, safe_, idx_}) {
+                    c = {s.cycle_of_ticket(t_), true, arg_};
+                    pc_ = 4;
+                } else {
+                    pc_ = 1;  // lost the CAS: re-read and re-decide
+                }
+                return Status::kRunning;
+            }
+            case 4:
+                if (s.threshold != s.threshold_full()) {
+                    pc_ = 5;
+                    return Status::kRunning;
+                }
+                return finish(arg_);
+            case 5:
+                s.threshold = s.threshold_full();
+                return finish(arg_);
+            default: return finish(arg_);
+        }
+    }
+
+    // --- dequeue: mirrors ScqRing::dequeue / take_at / catchup ------------
+    //  pc 10: read threshold (EMPTY fast path)
+    //  pc 11: F&A(head) -> h
+    //  pc 12: load entry; branch on cycle vs cycle(h)
+    //  pc 13: fetch-or consume (idx -> ⊥; always succeeds)
+    //  pc 14: CAS unsafe transition (clear safe)
+    //  pc 15: CAS empty transition (advance cycle to cycle(h))
+    //  pc 16: read tail (EMPTY check)
+    //  catchup: pc 17 CAS tail, pc 18 read head, pc 19 read tail
+    //  pc 20: threshold -= 1, EMPTY          (post-catchup)
+    //  pc 21: threshold -= 1, EMPTY iff ≤ 0  (threshold exhaustion)
+    Status step_deq(ScqModelState& s) {
+        switch (pc_) {
+            case 10:
+                if (s.threshold < 0) return finish(kEmpty);
+                pc_ = 11;
+                return Status::kRunning;
+            case 11:
+                t_ = s.head;  // t_ doubles as h for dequeues
+                s.head += 1;
+                pc_ = 12;
+                return Status::kRunning;
+            case 12: {
+                const ScqModelState::Cell& c = cell(s);
+                cyc_ = c.cycle;
+                safe_ = c.safe;
+                idx_ = c.idx;
+                const std::uint64_t hc = s.cycle_of_ticket(t_);
+                if (cyc_ == hc) {
+                    pc_ = 13;
+                } else if (cyc_ > hc) {
+                    pc_ = 16;  // overtaken: ticket spent
+                } else if (idx_ != kBottom) {
+                    pc_ = safe_ ? 14 : 16;  // already-unsafe entries are spent
+                } else {
+                    pc_ = 15;
+                }
+                return Status::kRunning;
+            }
+            case 13: {
+                // Fetch-or: stamp idx to ⊥ on the *current* entry (cycle and
+                // safe bits untouched), return the idx we read at pc 12 —
+                // concurrent transitions can only have flipped safe.
+                cell(s).idx = kBottom;
+                return finish(idx_);
+            }
+            case 14: {
+                ScqModelState::Cell& c = cell(s);
+                if (c == ScqModelState::Cell{cyc_, safe_, idx_}) {
+                    c.safe = false;
+                    ++s.unsafe_transitions;
+                    pc_ = 16;
+                } else {
+                    pc_ = 12;
+                }
+                return Status::kRunning;
+            }
+            case 15: {
+                ScqModelState::Cell& c = cell(s);
+                if (c == ScqModelState::Cell{cyc_, safe_, idx_}) {
+                    c = {s.cycle_of_ticket(t_), safe_, kBottom};
+                    ++s.empty_transitions;
+                    pc_ = 16;
+                } else {
+                    pc_ = 12;
+                }
+                return Status::kRunning;
+            }
+            case 16:
+                cyc_ = s.tail;  // reuse cyc_ as the tail snapshot
+                if (cyc_ <= t_ + 1) {
+                    idx_ = t_ + 1;  // reuse idx_ as the catchup target
+                    pc_ = 17;
+                } else {
+                    pc_ = 21;
+                }
+                return Status::kRunning;
+            case 17:
+                // catchup: local guard, then CAS tail from snapshot to target.
+                if (cyc_ >= idx_) {
+                    pc_ = 20;
+                } else if (s.tail == cyc_) {
+                    s.tail = idx_;
+                    ++s.catchups;
+                    pc_ = 20;
+                } else {
+                    pc_ = 18;
+                }
+                return Status::kRunning;
+            case 18:
+                idx_ = s.head;  // new target: current head
+                pc_ = 19;
+                return Status::kRunning;
+            case 19:
+                cyc_ = s.tail;  // new snapshot
+                pc_ = 17;
+                return Status::kRunning;
+            case 20:
+                s.threshold -= 1;
+                return finish(kEmpty);
+            case 21:
+                if (s.threshold-- <= 0) {
+                    ++s.threshold_empties;
+                    return finish(kEmpty);
+                }
+                pc_ = 11;
+                return Status::kRunning;
+            default: return finish(kEmpty);
+        }
+    }
+
+    Kind kind_;
+    value_t arg_;
+    unsigned pc_ = 0;
+    std::uint64_t t_ = 0;    // ticket (enqueue t / dequeue h)
+    std::uint64_t cyc_ = 0;  // last cycle read (or tail snapshot in catchup)
+    value_t idx_ = 0;        // last idx read (or catchup target)
+    bool safe_ = false;      // last safe bit read
+    bool done_ = false;
+    value_t result_ = 0;
+
+  public:
+    // Dequeue ops start at pc 10.
+    void init_pc() noexcept {
+        if (kind_ == Kind::kDequeue) pc_ = 10;
+    }
+};
+
+inline ScqModelOp make_scq_model_op(ScqModelOp::Kind kind, value_t arg) {
+    ScqModelOp op(kind, arg);
+    op.init_pc();
+    return op;
+}
+
+}  // namespace lcrq::verify

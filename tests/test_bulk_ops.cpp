@@ -23,6 +23,8 @@
 #include "arch/counters.hpp"
 #include "queues/crq.hpp"
 #include "queues/lcrq.hpp"
+#include "queues/lscq.hpp"
+#include "queues/scq.hpp"
 #include "queues/typed_queue.hpp"
 #include "registry/queue_registry.hpp"
 #include "test_support.hpp"
@@ -34,6 +36,8 @@ namespace {
 
 static_assert(BulkConcurrentQueue<LcrqQueue>);
 static_assert(BulkConcurrentQueue<LcrqCasQueue>);
+static_assert(BulkConcurrentQueue<ScqQueue>);
+static_assert(BulkConcurrentQueue<LscqQueue>);
 
 QueueOptions small_ring() {
     QueueOptions opt;
@@ -283,6 +287,87 @@ TEST(LcrqBulk, MpmcBulkExchangeAllVariants) {
     }
 }
 
+// --- LSCQ batches across segments ----------------------------------------
+
+TEST(LscqBulk, BatchSpillsAcrossClosedSegmentsInOrder) {
+    LscqQueue q(small_ring());  // capacity-4 segments force many appends
+    constexpr std::uint64_t kItems = 50;
+    q.enqueue_bulk(tags(0, kItems));
+    EXPECT_GT(q.segment_count(), 1u);
+
+    value_t out[kItems];
+    ASSERT_EQ(q.dequeue_bulk(out, kItems), kItems);
+    for (std::uint64_t i = 0; i < kItems; ++i) EXPECT_EQ(out[i], test::tag(0, i));
+    EXPECT_EQ(q.dequeue_bulk(out, 4), 0u);
+}
+
+TEST(LscqBulk, TryEnqueueBulkFailsWholeAfterClose) {
+    LscqQueue q;
+    q.enqueue_bulk(tags(0, 4));
+    q.close();
+    EXPECT_FALSE(q.try_enqueue_bulk(tags(1, 4)));
+    value_t out[8];
+    EXPECT_EQ(q.dequeue_bulk(out, 8), 4u);
+    EXPECT_EQ(q.dequeue_bulk(out, 8), 0u);
+}
+
+TEST(LscqBulk, MpmcBulkExchangeAllVariantsAndBoundedScq) {
+    // Same shape as the LCRQ variant sweep: capacity-4 segments, awkward
+    // batch sizes, constant segment turnover.  The bounded ScqQueue joins
+    // with a ring big enough that producers never deadlock on full.
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    constexpr std::uint64_t kPer = 3'000;
+    auto run = [&](auto& q) {
+        const std::uint64_t total = kProducers * kPer;
+        std::atomic<std::uint64_t> consumed{0};
+        std::vector<std::vector<value_t>> received(kConsumers);
+        test::run_threads(kProducers + kConsumers, [&](int id) {
+            if (id < kProducers) {
+                const auto mine = tags(static_cast<unsigned>(id), kPer);
+                std::size_t done = 0;
+                while (done < mine.size()) {
+                    const std::size_t k = std::min<std::size_t>(
+                        7, mine.size() - done);
+                    q.enqueue_bulk(std::span<const value_t>(mine).subspan(done, k));
+                    done += k;
+                }
+            } else {
+                auto& mine = received[static_cast<std::size_t>(id - kProducers)];
+                value_t out[13];
+                while (consumed.load(std::memory_order_acquire) < total) {
+                    const std::size_t got = q.dequeue_bulk(out, 13);
+                    if (got == 0) {
+                        std::this_thread::yield();
+                        continue;
+                    }
+                    mine.insert(mine.end(), out, out + got);
+                    consumed.fetch_add(got, std::memory_order_acq_rel);
+                }
+            }
+        });
+        test::expect_exchange_valid(received, kProducers, kPer);
+    };
+    {
+        LscqQueue q(small_ring());
+        run(q);
+    }
+    {
+        LscqCasQueue q(small_ring());
+        run(q);
+    }
+    {
+        LscqNoReclaimQueue q(small_ring());
+        run(q);
+    }
+    {
+        QueueOptions opt;
+        opt.bounded_order = 8;  // capacity 256 >> producers' max in-flight
+        ScqQueue q(opt);
+        run(q);
+    }
+}
+
 // --- linearizability of mixed single/bulk histories ----------------------
 
 TEST(BulkLinearizability, LcrqMixedSingleAndBulkHistoryPassesFastCheck) {
@@ -435,6 +520,26 @@ TEST(RegistryBulk, AdapterCountsBulkAndPerItemOps) {
     // Native path: one claim F&A per side.
     EXPECT_EQ(snap[stats::Event::kBulkFaa], 2u);
     EXPECT_EQ(snap[stats::Event::kBulkTickets], 32u);
+}
+
+TEST(RegistryBulk, LscqAdapterUsesNativeBulkClaims) {
+    // SCQ segments pair two rings (fq for free slots, aq for the queue), so
+    // the native batch path costs two bulk claims per side instead of one —
+    // still O(1) F&As per batch, never one per item.
+    auto q = make_queue("lscq");
+    ASSERT_NE(q, nullptr);
+    const auto items = tags(0, 16);
+    stats::reset_all();
+    q->enqueue_bulk(items);
+    std::vector<value_t> out(16);
+    ASSERT_EQ(q->dequeue_bulk(out.data(), out.size()), 16u);
+    const auto snap = stats::global_snapshot();
+    EXPECT_EQ(snap[stats::Event::kBulkEnqueue], 1u);
+    EXPECT_EQ(snap[stats::Event::kBulkDequeue], 1u);
+    EXPECT_EQ(snap[stats::Event::kBulkFaa], 4u);
+    EXPECT_EQ(snap[stats::Event::kBulkTickets], 64u);
+    EXPECT_EQ(snap[stats::Event::kCas2], 0u);
+    for (std::size_t i = 0; i < items.size(); ++i) EXPECT_EQ(out[i], items[i]);
 }
 
 }  // namespace

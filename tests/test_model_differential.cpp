@@ -10,6 +10,8 @@
 #include <tuple>
 #include <vector>
 
+#include "queues/crq.hpp"
+#include "queues/scq.hpp"
 #include "registry/queue_registry.hpp"
 #include "util/xorshift.hpp"
 
@@ -139,6 +141,53 @@ TEST_P(ModelDifferentialBulk, MatchesDequeModel) {
         model.pop_front();
     }
     ASSERT_FALSE(q->dequeue().has_value()) << queue_name << " has extra items";
+}
+
+// Three-way differential on the raw backends: the same op stream through a
+// bare Scq (cycle/threshold protocol), a bare Crq (CAS2 protocol, sized and
+// starvation-limited so it never closes), and the deque reference must agree
+// byte-for-byte — the two ring disciplines are interchangeable FIFOs.
+TEST(RawBackendDifferential, ScqAndCrqAgreeWithDeque) {
+    Scq<> scq(10);  // capacity 1024
+    QueueOptions crq_opt;
+    crq_opt.ring_order = 11;  // 2048 nodes: never full at <= 1000 occupancy
+    crq_opt.starvation_limit = 1'000'000;
+    Crq<> crq(crq_opt);
+    std::deque<value_t> model;
+
+    Xoshiro256 rng(0x5cc1d1ffull);
+    value_t next_value = 1;
+    for (int step = 0; step < 6'000; ++step) {
+        if (rng.bounded(100) < 55 && model.size() < 1'000) {
+            const value_t v = next_value++;
+            ASSERT_EQ(scq.try_enqueue(v), ScqPutResult::kOk) << "step " << step;
+            ASSERT_EQ(crq.enqueue(v), EnqueueResult::kOk) << "step " << step;
+            model.push_back(v);
+        } else {
+            const auto s = scq.dequeue();
+            const auto c = crq.dequeue();
+            if (model.empty()) {
+                ASSERT_FALSE(s.has_value()) << "scq invented a value, step " << step;
+                ASSERT_FALSE(c.has_value()) << "crq invented a value, step " << step;
+            } else {
+                ASSERT_TRUE(s.has_value()) << "scq lost the front, step " << step;
+                ASSERT_TRUE(c.has_value()) << "crq lost the front, step " << step;
+                ASSERT_EQ(*s, model.front()) << "step " << step;
+                ASSERT_EQ(*c, model.front()) << "step " << step;
+                model.pop_front();
+            }
+        }
+    }
+    while (!model.empty()) {
+        const auto s = scq.dequeue();
+        const auto c = crq.dequeue();
+        ASSERT_TRUE(s.has_value() && c.has_value());
+        ASSERT_EQ(*s, model.front());
+        ASSERT_EQ(*c, model.front());
+        model.pop_front();
+    }
+    ASSERT_FALSE(scq.dequeue().has_value());
+    ASSERT_FALSE(crq.dequeue().has_value());
 }
 
 std::vector<std::string> all_names() {

@@ -7,6 +7,7 @@
 
 #include "queues/crq.hpp"
 #include "queues/lcrq.hpp"
+#include "queues/scq.hpp"
 #include "verify/lcrq_model.hpp"
 #include "verify/explore.hpp"
 
@@ -366,6 +367,243 @@ TEST(ExploreInfArray, RandomSamplingLargerScripts) {
          {deq_op(), deq_op()}},
         cfg);
     EXPECT_EQ(r.violations, 0u) << r.summary();
+}
+
+// --- SCQ ring model (scq_model.hpp) ---------------------------------------
+
+TEST(ScqModel, MatchesRealScqRingSequentially) {
+    // Random op sequences through the step model and the real ScqRing must
+    // agree on every result AND on the shared head/tail/threshold state.
+    // Occupancy is kept ≤ capacity, the invariant the ring is used under.
+    Xoshiro256 rng(77);
+    for (int round = 0; round < 50; ++round) {
+        const unsigned order = 1 + static_cast<unsigned>(rng.bounded(2));  // n=2/4
+        const std::uint64_t cap = std::uint64_t{1} << order;
+        ScqRing<> real(order);
+        ScqModelState model(cap);
+
+        std::uint64_t size = 0;
+        for (int i = 0; i < 60; ++i) {
+            const bool is_enq = size < cap && rng.bounded(2) == 0;
+            if (is_enq) {
+                const value_t v = rng.bounded(cap);  // ring stores indices < n
+                ScqModelOp op = make_scq_model_op(ScqModelOp::Kind::kEnqueue, v);
+                while (op.step(model) == ScqModelOp::Status::kRunning) {
+                }
+                ASSERT_EQ(op.result(), v) << "the ring model never closes";
+                ASSERT_EQ(real.enqueue(v), EnqueueResult::kOk)
+                    << "round " << round << " op " << i;
+                ++size;
+            } else {
+                ScqModelOp op = make_scq_model_op(ScqModelOp::Kind::kDequeue, 0);
+                while (op.step(model) == ScqModelOp::Status::kRunning) {
+                }
+                const auto got = real.dequeue();
+                if (op.result() == kEmpty) {
+                    ASSERT_FALSE(got.has_value()) << "round " << round << " op " << i;
+                } else {
+                    ASSERT_TRUE(got.has_value()) << "round " << round << " op " << i;
+                    ASSERT_EQ(*got, op.result());
+                    --size;
+                }
+            }
+            // Shared state must track the real ring exactly, including the
+            // threshold (the livelock-bound half of the protocol).
+            ASSERT_EQ(model.head, real.head_index()) << "round " << round;
+            ASSERT_EQ(model.tail, real.tail_index()) << "round " << round;
+            ASSERT_EQ(model.threshold, real.threshold()) << "round " << round;
+        }
+    }
+}
+
+TEST(ScqModel, ThresholdExhaustionEmptyIsReachable) {
+    // Hand-driven schedule for the one corner the catchup exit hides from
+    // small scripts: EMPTY via the threshold draining to below zero while
+    // tail is still ahead (DISC'19 §4.3).  Four enqueuers park forever
+    // after their F&A (tail = published + 5) — dead-enqueuer tickets, the
+    // model analogue of debug_take_enqueue_ticket in the injection suite;
+    // the ops never complete, so the EMPTY stays linearizable.  The
+    // dequeuer's sweep then burns three tickets whose "has tail passed
+    // us" check stays false.
+    ScqModelState s(1);  // n = 1: ring of 2, threshold_full = 2
+    ScqModelOp enq = make_scq_model_op(ScqModelOp::Kind::kEnqueue, 1);
+    while (enq.step(s) == ScqModelOp::Status::kRunning) {
+    }
+    std::vector<ScqModelOp> parked;
+    for (int i = 0; i < 4; ++i) {
+        parked.push_back(make_scq_model_op(ScqModelOp::Kind::kEnqueue, 2));
+        ASSERT_EQ(parked.back().step(s), ScqModelOp::Status::kRunning);  // F&A only
+    }
+    ASSERT_EQ(s.tail, s.N() + 5);
+
+    ScqModelOp deq1 = make_scq_model_op(ScqModelOp::Kind::kDequeue, 0);
+    while (deq1.step(s) == ScqModelOp::Status::kRunning) {
+    }
+    EXPECT_EQ(deq1.result(), 1u);
+
+    ScqModelOp deq2 = make_scq_model_op(ScqModelOp::Kind::kDequeue, 0);
+    while (deq2.step(s) == ScqModelOp::Status::kRunning) {
+    }
+    EXPECT_EQ(deq2.result(), kEmpty);
+    EXPECT_EQ(s.threshold_empties, 1u)
+        << "EMPTY must have come from exhaustion, not the catchup exit";
+    EXPECT_EQ(s.catchups, 0u);
+    EXPECT_LT(s.threshold, 0);
+}
+
+TEST(ScqModel, CatchupRepairsHeadPastTail) {
+    // The other EMPTY exit: a burned ticket with tail ≤ h+1 pulls tail
+    // forward (head > tail would otherwise cost enqueuers a wasted F&A
+    // round each).
+    ScqModelState s(1);
+    ScqModelOp enq = make_scq_model_op(ScqModelOp::Kind::kEnqueue, 1);
+    while (enq.step(s) == ScqModelOp::Status::kRunning) {
+    }
+    ScqModelOp deq1 = make_scq_model_op(ScqModelOp::Kind::kDequeue, 0);
+    while (deq1.step(s) == ScqModelOp::Status::kRunning) {
+    }
+    EXPECT_EQ(deq1.result(), 1u);
+    ScqModelOp deq2 = make_scq_model_op(ScqModelOp::Kind::kDequeue, 0);
+    while (deq2.step(s) == ScqModelOp::Status::kRunning) {
+    }
+    EXPECT_EQ(deq2.result(), kEmpty);
+    EXPECT_EQ(s.catchups, 1u);
+    EXPECT_EQ(s.tail, s.head) << "catchup must leave tail == head";
+}
+
+TEST(ScqModel, EnqueueRescueRevivesUnsafeEntry) {
+    // Hand-driven in-contract schedule for the rarest enqueue branch: an
+    // entry marked unsafe by an overtaking dequeuer, then consumed by its
+    // parked owner, leaves (cycle, safe=0, ⊥).  The next enqueuer to draw
+    // that slot may only publish over the dead safe bit after proving
+    // head <= t — the rescue check.  Occupancy never exceeds 1 on n = 2.
+    ScqModelState s(2);  // N = 4, threshold_full = 5
+    auto run = [&s](ScqModelOp op) {
+        while (op.step(s) == ScqModelOp::Status::kRunning) {
+        }
+        return op.result();
+    };
+    ASSERT_EQ(run(make_scq_model_op(ScqModelOp::Kind::kEnqueue, 7)), 7u);
+
+    // The item's own dequeuer parks right after its F&A (holding ticket 4)…
+    ScqModelOp d0 = make_scq_model_op(ScqModelOp::Kind::kDequeue, 0);
+    ASSERT_EQ(d0.step(s), ScqModelOp::Status::kRunning);  // threshold gate
+    ASSERT_EQ(d0.step(s), ScqModelOp::Status::kRunning);  // F&A(head) -> 4
+    // …while four more dequeuers sweep an empty-looking ring.  The fourth
+    // laps back onto slot 0 (ticket 8, cycle 2 > 1) and must take the
+    // unsafe transition on the still-occupied entry.
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_EQ(run(make_scq_model_op(ScqModelOp::Kind::kDequeue, 0)), kEmpty);
+    }
+    ASSERT_EQ(s.unsafe_transitions, 1u);
+    ASSERT_EQ(s.catchups, 4u) << "each sweep pulls tail up behind itself";
+
+    // The parked owner still consumes: cycle matches its ticket, and the
+    // fetch-or does not care that safe was cleared underneath it.
+    while (d0.step(s) == ScqModelOp::Status::kRunning) {
+    }
+    ASSERT_EQ(d0.result(), 7u);
+
+    // Three clean enqueue/dequeue pairs walk tail around to slot 0…
+    for (value_t v : {9u, 11u, 13u}) {
+        ASSERT_EQ(run(make_scq_model_op(ScqModelOp::Kind::kEnqueue, v)), v);
+        ASSERT_EQ(run(make_scq_model_op(ScqModelOp::Kind::kDequeue, 0)), v);
+    }
+    ASSERT_EQ(s.enq_rescues, 0u);
+    // …and the enqueue that draws ticket 12 (slot 0, cycle 3) finds the
+    // unsafe ⊥ entry and rescues it: head == 12 <= t.
+    ASSERT_EQ(run(make_scq_model_op(ScqModelOp::Kind::kEnqueue, 15)), 15u);
+    EXPECT_EQ(s.enq_rescues, 1u) << "publish must have gone through the rescue check";
+    ASSERT_EQ(run(make_scq_model_op(ScqModelOp::Kind::kDequeue, 0)), 15u);
+}
+
+// --- SCQ exhaustive interleaving enumeration ------------------------------
+//
+// Scripts keep ring *occupancy* (live items + in-flight enqueues) ≤ the
+// capacity `tiny(n)` configures — the contract the fq/aq pairing enforces
+// in the full queue.  Overfilled rings burn enqueue tickets ad infinitum
+// (pruned schedules) and can legitimately exhaust the 3n-1 threshold into
+// a false EMPTY: not a model bug, but SCQ outside its operating envelope.
+// Within the invariant, pruned == 0 is assertable: the protocol has no
+// livelock, and any pruning would mean max_steps silently cut branches
+// out of the proof.
+
+TEST(ExploreScq, ExhaustiveOneEnqOneDeq) {
+    const auto r = explore_scq_exhaustive({{enq_op(1)}, {deq_op()}}, tiny());
+    EXPECT_FALSE(r.truncated) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    // The enumeration is tiny and exactly countable: the uncontended
+    // enqueue takes 5 steps (F&A, read, publish CAS, threshold check +
+    // store), and the dequeue either lands its single-step threshold<0
+    // fast path in one of the 5 gaps (EMPTY, linearized before the
+    // publish) or runs after completion and consumes.  5 + 1 = 6.
+    EXPECT_EQ(r.schedules, 6u) << r.summary();
+}
+
+TEST(ExploreScq, ExhaustiveTwoEnqueuersTwoSlots) {
+    const auto r = explore_scq_exhaustive({{enq_op(1)}, {enq_op(2)}}, tiny());
+    EXPECT_FALSE(r.truncated) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+}
+
+TEST(ExploreScq, ExhaustiveEnqDeqPairVsDequeuer) {
+    const auto r =
+        explore_scq_exhaustive({{enq_op(1), deq_op()}, {deq_op()}}, tiny());
+    EXPECT_FALSE(r.truncated) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    // Both EMPTY-answer shapes are inside this enumeration.
+    EXPECT_GT(r.empty_transitions, 0u) << r.summary();
+    EXPECT_GT(r.catchups, 0u) << r.summary();
+}
+
+TEST(ExploreScq, ExhaustiveUnsafeTransitionOnCapacityOne) {
+    // n = 1 and three dequeue tickets: a dequeuer parked on ticket h while
+    // head advances past h + 2n laps the ring, and the overtaker must take
+    // the unsafe transition on the still-occupied entry — the safe-bit
+    // analogue of the CRQ §4.1.2 corner, exhaustively enumerated.
+    const auto r = explore_scq_exhaustive(
+        {{enq_op(1), deq_op()}, {deq_op(), deq_op()}}, tiny(1));
+    EXPECT_FALSE(r.truncated) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_GT(r.unsafe_transitions, 0u)
+        << "the lapping window was never enumerated: " << r.summary();
+}
+
+TEST(ExploreScq, RandomSamplingThreeThreads) {
+    // One enqueue and five dequeuers on a capacity-1 ring: total enqueues
+    // never exceed capacity, so every sampled schedule is in-contract and
+    // must linearize — while the dequeuer pile-up reaches every dequeue-
+    // side transition kind, including the full-lap unsafe marking.
+    ExploreConfig cfg = tiny(1);
+    cfg.samples = 100'000;
+    cfg.seed = 7;
+    const auto r = explore_scq_random(
+        {{enq_op(1), deq_op()}, {deq_op(), deq_op()}, {deq_op(), deq_op()}},
+        cfg);
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_GT(r.unsafe_transitions, 0u) << r.summary();
+    EXPECT_GT(r.empty_transitions, 0u) << r.summary();
+    EXPECT_GT(r.catchups, 0u) << r.summary();
+}
+
+TEST(ExploreScq, RandomSamplingReachesThresholdExhaustion) {
+    // EMPTY via threshold exhaustion needs tail ≥ 2 tickets past a
+    // sweeping dequeuer — reachable in-contract when the lone enqueuer's
+    // publish CAS loses to an empty transition and its retry F&A runs
+    // ahead of the sweep.  Same scripts as above, independent seed.
+    ExploreConfig cfg = tiny(1);
+    cfg.samples = 100'000;
+    cfg.seed = 19;
+    const auto r = explore_scq_random(
+        {{enq_op(1), deq_op()}, {deq_op(), deq_op()}, {deq_op(), deq_op()}},
+        cfg);
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_GT(r.threshold_empties, 0u) << r.summary();
 }
 
 }  // namespace

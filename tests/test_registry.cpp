@@ -15,7 +15,26 @@ TEST(Registry, CatalogHasUniqueNames) {
         EXPECT_TRUE(names.insert(info.name).second) << "duplicate " << info.name;
         EXPECT_FALSE(info.description.empty()) << info.name;
     }
-    EXPECT_GE(names.size(), 12u);
+    EXPECT_GE(names.size(), 18u);
+}
+
+TEST(Registry, CatalogIncludesScqFamily) {
+    // The SCQ backends are first-class registry citizens: present, correctly
+    // classified, and distinct from the CRQ family.
+    bool saw_scq = false, saw_lscq = false;
+    for (const auto& info : queue_catalog()) {
+        if (info.name == "scq") {
+            saw_scq = true;
+            EXPECT_TRUE(info.bounded) << "scq is a bounded ring";
+            EXPECT_TRUE(info.nonblocking);
+        } else if (info.name == "lscq") {
+            saw_lscq = true;
+            EXPECT_FALSE(info.bounded) << "lscq is an unbounded list of rings";
+            EXPECT_TRUE(info.nonblocking);
+        }
+    }
+    EXPECT_TRUE(saw_scq);
+    EXPECT_TRUE(saw_lscq);
 }
 
 TEST(Registry, EveryCatalogEntryConstructs) {

@@ -14,12 +14,20 @@
 
 #include "arch/counters.hpp"
 #include "queues/lcrq.hpp"
+#include "queues/lscq.hpp"
 #include "registry/queue_registry.hpp"
 #include "test_support.hpp"
 #include "util/xorshift.hpp"
 
 namespace lcrq {
 namespace {
+
+// The list-of-rings stress tests run identically over both segment
+// disciplines: LCRQ (CAS2 rings) and LSCQ (cycle/threshold rings).
+template <typename Q>
+class ListQueueStress : public ::testing::Test {};
+using ListQueueTypes = ::testing::Types<LcrqQueue, LscqQueue>;
+TYPED_TEST_SUITE(ListQueueStress, ListQueueTypes);
 
 TEST(Stress, TinyRingDrivesAllTransitions) {
     // Under real contention on an R=4 ring, the overtaken/unsafe/empty
@@ -64,13 +72,57 @@ TEST(Stress, TinyRingDrivesAllTransitions) {
     EXPECT_GT(snap[stats::Event::kRingRetry], 0u);
 }
 
-TEST(Stress, TokenConservationBetweenTwoQueues) {
+TEST(Stress, TinyScqSegmentsDriveAllTransitions) {
+    // The LSCQ analogue of the canary above: capacity-4 SCQ segments under
+    // the same contention must exercise the empty transition, fetch-or
+    // consumes, segment closes, and list appends.  (No kSpinWait here —
+    // the unbounded list never backpressures; and no kRingRetry — the fq
+    // caps occupancy, so enqueue tickets essentially never burn, which is
+    // the point of the pairing.)
+    stats::reset_all();
+    QueueOptions opt;
+    opt.ring_order = 2;  // capacity 4 per segment
+
+    for (int round = 0; round < 50; ++round) {
+        LscqQueue q(opt);
+        std::atomic<std::uint64_t> remaining{2000};  // 2 producers x 1000
+        test::run_threads(4, [&](int id) {
+            if (id % 2 == 0) {
+                for (int i = 0; i < 1000; ++i) {
+                    q.enqueue(test::tag(static_cast<unsigned>(id),
+                                        static_cast<std::uint64_t>(i)));
+                }
+            } else {
+                while (remaining.load(std::memory_order_acquire) > 0) {
+                    if (q.dequeue().has_value()) {
+                        remaining.fetch_sub(1, std::memory_order_acq_rel);
+                    }
+                }
+            }
+        });
+        const auto snap = stats::global_snapshot();
+        if (snap[stats::Event::kEmptyTransition] > 0 &&
+            snap[stats::Event::kCrqClose] > 0 &&
+            snap[stats::Event::kCrqAppend] > 0 &&
+            snap[stats::Event::kFetchOr] > 0) {
+            break;
+        }
+    }
+    const auto snap = stats::global_snapshot();
+    EXPECT_GT(snap[stats::Event::kEmptyTransition], 0u);
+    EXPECT_GT(snap[stats::Event::kCrqClose], 0u);
+    EXPECT_GT(snap[stats::Event::kCrqAppend], 0u);
+    EXPECT_GT(snap[stats::Event::kFetchOr], 0u);
+    EXPECT_EQ(snap[stats::Event::kCas2], 0u) << "SCQ path must stay CAS2-free";
+}
+
+TYPED_TEST(ListQueueStress, TokenConservationBetweenTwoQueues) {
     // kTokens distinct tokens circulate A -> B -> A ... through racing
     // mover threads.  Any loss, duplication, or invention breaks the
     // final census.
     QueueOptions opt;
     opt.ring_order = 3;
-    LcrqQueue a(opt), b(opt);
+    TypeParam a(opt), b(opt);
     constexpr std::uint64_t kTokens = 64;
     constexpr std::uint64_t kMoves = 20'000;
 
@@ -78,8 +130,8 @@ TEST(Stress, TokenConservationBetweenTwoQueues) {
 
     std::atomic<std::uint64_t> moves{0};
     test::run_threads(4, [&](int id) {
-        LcrqQueue& from = (id % 2 == 0) ? a : b;
-        LcrqQueue& to = (id % 2 == 0) ? b : a;
+        TypeParam& from = (id % 2 == 0) ? a : b;
+        TypeParam& to = (id % 2 == 0) ? b : a;
         while (moves.load(std::memory_order_relaxed) < kMoves) {
             if (auto v = from.dequeue()) {
                 to.enqueue(*v);
@@ -132,7 +184,7 @@ TEST(Stress, EveryQueueSurvivesHighChurnPairs) {
     }
 }
 
-TEST(Stress, QueueConstructionChurnAcrossThreads) {
+TYPED_TEST(ListQueueStress, QueueConstructionChurnAcrossThreads) {
     // Hundreds of short-lived queues built and torn down on worker
     // threads: exercises hazard-record reuse, thread-id recycling, and
     // destructor paths under the dirtiest realistic lifecycle.
@@ -140,7 +192,7 @@ TEST(Stress, QueueConstructionChurnAcrossThreads) {
         for (int i = 0; i < 50; ++i) {
             QueueOptions opt;
             opt.ring_order = 2;
-            LcrqQueue q(opt);
+            TypeParam q(opt);
             for (value_t v = 1; v <= 20; ++v) {
                 q.enqueue(test::tag(static_cast<unsigned>(id), v));
             }
@@ -149,12 +201,12 @@ TEST(Stress, QueueConstructionChurnAcrossThreads) {
     });
 }
 
-TEST(Stress, LongRunSegmentTurnover) {
-    // One long-lived LCRQ with tiny rings cycles through thousands of
-    // segments; reclamation must keep the live list short throughout.
+TYPED_TEST(ListQueueStress, LongRunSegmentTurnover) {
+    // One long-lived list queue with tiny rings cycles through thousands
+    // of segments; reclamation must keep the live list short throughout.
     QueueOptions opt;
     opt.ring_order = 2;
-    LcrqQueue q(opt);
+    TypeParam q(opt);
     std::atomic<bool> ok{true};
     test::run_threads(2, [&](int id) {
         if (id == 0) {
