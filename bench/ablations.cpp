@@ -10,6 +10,7 @@
 //   A4 MS-queue backoff — CAS retry storm with and without backoff.
 #include <cstdio>
 
+#include "bench_framework/json_report.hpp"
 #include "bench_framework/report.hpp"
 #include "util/table.hpp"
 
@@ -28,9 +29,11 @@ struct Measured {
 };
 
 Measured measure(const std::string& queue, const QueueOptions& qopt,
-                 const RunConfig& cfg) {
+                 const RunConfig& cfg, const std::string& experiment,
+                 JsonReport& report) {
     stats::reset_all();
     const RunResult r = run_pairs(queue, qopt, cfg);
+    report.add_result(result_json(queue, cfg, r).set("experiment", experiment));
     const double ops = static_cast<double>(r.events.operations());
     Measured m;
     m.mops = r.mean_ops_per_sec() / 1e6;
@@ -66,11 +69,15 @@ int main(int argc, char** argv) {
     print_banner("Ablations", "design-choice isolations (not in the paper's figures)",
                  cfg);
 
+    JsonReport report("ablations");
+    report.set_config(cfg);
+
     {
         std::printf("--- A1: ring-node padding (lcrq vs lcrq-compact) ---\n");
         Table t({"layout", "Mops/s", "cas2 fails/op"});
-        const Measured padded = measure("lcrq", qopt, cfg);
-        const Measured compact = measure("lcrq-compact", qopt, cfg);
+        const Measured padded = measure("lcrq", qopt, cfg, "A1-padding", report);
+        const Measured compact =
+            measure("lcrq-compact", qopt, cfg, "A1-padding", report);
         t.row().cell("padded (64B/node)").cell(padded.mops, 3).cell(
             padded.cas_fails_per_op, 3);
         t.row().cell("compact (16B/node)").cell(compact.mops, 3).cell(
@@ -89,7 +96,8 @@ int main(int argc, char** argv) {
             QueueOptions o = qopt;
             o.ring_order = 3;
             o.spin_wait_iters = iters;
-            const Measured m = measure("lcrq", o, cfg);
+            const Measured m =
+                measure("lcrq", o, cfg, "A2-spin=" + std::to_string(iters), report);
             t.row()
                 .cell(static_cast<std::uint64_t>(iters))
                 .cell(m.mops, 3)
@@ -113,7 +121,8 @@ int main(int argc, char** argv) {
             QueueOptions o = qopt;
             o.starvation_limit = limit;
             o.ring_order = 2;  // R = 4: fills fast
-            const Measured m = measure("lcrq", o, grow_cfg);
+            const Measured m = measure(
+                "lcrq", o, grow_cfg, "A3-starve=" + std::to_string(limit), report);
             t.row()
                 .cell(static_cast<std::uint64_t>(limit))
                 .cell(m.mops, 3)
@@ -128,8 +137,9 @@ int main(int argc, char** argv) {
     {
         std::printf("--- A4: hazard-pointer protection cost (paper footnote 6) ---\n");
         Table t({"variant", "Mops/s"});
-        const Measured with = measure("lcrq", qopt, cfg);
-        const Measured without = measure("lcrq-noreclaim", qopt, cfg);
+        const Measured with = measure("lcrq", qopt, cfg, "A4-reclaim", report);
+        const Measured without =
+            measure("lcrq-noreclaim", qopt, cfg, "A4-reclaim", report);
         t.row().cell("lcrq (hazard pointers)").cell(with.mops, 3);
         t.row().cell("lcrq-noreclaim (plain loads)").cell(without.mops, 3);
         t.print();
@@ -139,12 +149,12 @@ int main(int argc, char** argv) {
     {
         std::printf("--- A5: MS queue CAS backoff ---\n");
         Table t({"variant", "Mops/s", "CAS fails/op"});
-        const Measured with = measure("ms", qopt, cfg);
-        const Measured without = measure("ms-nobackoff", qopt, cfg);
+        const Measured with = measure("ms", qopt, cfg, "A5-backoff", report);
+        const Measured without = measure("ms-nobackoff", qopt, cfg, "A5-backoff", report);
         t.row().cell("ms (backoff)").cell(with.mops, 3).cell(with.cas_fails_per_op, 3);
         t.row().cell("ms-nobackoff").cell(without.mops, 3).cell(without.cas_fails_per_op,
                                                                 3);
         t.print();
     }
-    return 0;
+    return report.write_if_requested(cli) ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 // invert for the shapes applications actually run.
 #include <cstdio>
 
+#include "bench_framework/json_report.hpp"
 #include "bench_framework/report.hpp"
 #include "util/table.hpp"
 
@@ -39,6 +40,8 @@ int main(int argc, char** argv) {
                  "prodcons adds real queue depth, mix adds EMPTY traffic",
                  cfg);
 
+    JsonReport report("ext_workloads");
+    report.set_config(cfg);
     Table table({"queue", "pairs Mops/s", "prodcons Mops/s", "mix Mops/s",
                  "mix empty-deq %"});
     for (const auto& name : queues) {
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
             RunConfig c = cfg;
             c.workload = w;
             const RunResult r = run_pairs(name, qopt, c);
+            report.add_result(result_json(name, c, r));
             row.cell(r.mean_ops_per_sec() / 1e6, 3);
             if (w == Workload::kMix5050) {
                 row.cell(r.total_ops == 0
@@ -64,5 +68,5 @@ int main(int argc, char** argv) {
     } else {
         table.print();
     }
-    return 0;
+    return report.write_if_requested(cli) ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "arch/backoff.hpp"
 #include "arch/cacheline.hpp"
 #include "arch/faa_policy.hpp"
+#include "bench_framework/json_report.hpp"
 #include "topology/pinning.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -76,6 +77,7 @@ int main(int argc, char** argv) {
     cli.flag("placement", "round-robin", "single-cluster | round-robin | unpinned");
     cli.flag("clusters", "4", "virtual clusters for placement");
     cli.flag("csv", "false", "CSV output");
+    cli.flag("json", "", "also write a machine-readable report to this path");
     if (!cli.parse(argc, argv)) return cli.failed() ? 1 : 0;
 
     topo::Topology topology = topo::discover();
@@ -90,6 +92,9 @@ int main(int argc, char** argv) {
     std::printf("host:  %s\n\n", topo::describe(topology).c_str());
 
     const auto increments = static_cast<std::uint64_t>(cli.get_int("increments"));
+    bench::JsonReport report("fig1_counter");
+    report.set_extra("increments_per_thread",
+                     Json(static_cast<std::uint64_t>(increments)));
     Table table({"threads", "faa ns/inc", "cas-loop ns/inc", "slowdown", "CAS/inc"});
     for (std::int64_t threads : cli.get_int_list("threads")) {
         const auto plan =
@@ -98,6 +103,17 @@ int main(int argc, char** argv) {
             run_counter<HardwareFaa>(static_cast<int>(threads), increments, plan);
         const auto casloop =
             run_counter<CasLoopFaa>(static_cast<int>(threads), increments, plan);
+        report.add_result(Json::object()
+                              .set("queue", "counter-faa")
+                              .set("workload", "increment")
+                              .set("threads", threads)
+                              .set("ns_per_op", faa.ns_per_increment));
+        report.add_result(Json::object()
+                              .set("queue", "counter-cas-loop")
+                              .set("workload", "increment")
+                              .set("threads", threads)
+                              .set("ns_per_op", casloop.ns_per_increment)
+                              .set("cas_per_increment", casloop.cas_per_increment));
         table.row()
             .cell(threads)
             .cell(faa.ns_per_increment, 1)
@@ -114,5 +130,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\nNote: ns/inc is normalized per thread (wall time x threads / total\n"
                 "increments), matching the paper's 'time to increment' metric.\n");
-    return 0;
+    return report.write_if_requested(cli) ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 // threads then melts down; MS peaks at 2 threads and degrades.
 #include <cstdio>
 
+#include "bench_framework/json_report.hpp"
 #include "bench_framework/report.hpp"
 #include "util/table.hpp"
 
@@ -43,6 +44,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> header = {"threads"};
     for (const auto& q : queues) header.push_back(q + " Mops/s");
     Table table(header);
+    JsonReport report("fig6a_single_processor");
+    report.set_config(cfg);
 
     for (std::int64_t threads : cli.get_int_list("thread-list")) {
         cfg.threads = static_cast<int>(threads);
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
         for (const auto& name : queues) {
             const RunResult r = run_pairs(name, qopt, cfg);
             row.cell(r.mean_ops_per_sec() / 1e6, 3);
+            report.add_result(result_json(name, cfg, r));
         }
     }
     if (cli.get_bool("csv")) {
@@ -58,5 +62,5 @@ int main(int argc, char** argv) {
     } else {
         table.print();
     }
-    return 0;
+    return report.write_if_requested(cli) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_framework/json_report.hpp"
 #include "bench_framework/report.hpp"
 #include "util/table.hpp"
 
@@ -61,6 +62,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> header = {"threads"};
     for (const auto& q : queues) header.push_back(q + " Mops/s");
     Table table(header);
+    JsonReport report("fig6b_oversubscribed");
+    report.set_config(cfg);
 
     for (std::int64_t threads : thread_list) {
         cfg.threads = static_cast<int>(threads);
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
         for (const auto& name : queues) {
             const RunResult r = run_pairs(name, qopt, cfg);
             row.cell(r.mean_ops_per_sec() / 1e6, 3);
+            report.add_result(result_json(name, cfg, r));
         }
     }
     if (cli.get_bool("csv")) {
@@ -76,5 +80,5 @@ int main(int argc, char** argv) {
     } else {
         table.print();
     }
-    return 0;
+    return report.write_if_requested(cli) ? 0 : 1;
 }

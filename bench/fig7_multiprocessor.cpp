@@ -11,6 +11,7 @@
 // regenerates the whole figure; --prefill overrides the 7a fill size.
 #include <cstdio>
 
+#include "bench_framework/json_report.hpp"
 #include "bench_framework/report.hpp"
 #include "util/table.hpp"
 
@@ -19,9 +20,10 @@ using namespace lcrq::bench;
 
 namespace {
 
-void run_variant(const char* title, const std::vector<std::string>& queues,
+void run_variant(const char* title, const char* mode,
+                 const std::vector<std::string>& queues,
                  const std::vector<std::int64_t>& thread_list, RunConfig cfg,
-                 const QueueOptions& qopt, bool csv) {
+                 const QueueOptions& qopt, bool csv, JsonReport& report) {
     std::printf("--- %s ---\n", title);
     std::vector<std::string> header = {"threads"};
     for (const auto& q : queues) header.push_back(q + " Mops/s");
@@ -33,6 +35,7 @@ void run_variant(const char* title, const std::vector<std::string>& queues,
         for (const auto& name : queues) {
             const RunResult r = run_pairs(name, qopt, cfg);
             row.cell(r.mean_ops_per_sec() / 1e6, 3);
+            report.add_result(result_json(name, cfg, r).set("mode", mode));
         }
     }
     if (csv) {
@@ -77,14 +80,17 @@ int main(int argc, char** argv) {
         "LCRQ (+5%) and hurts CC-Queue (-10%) and H-Queue (-40%)",
         cfg);
 
+    JsonReport report("fig7_multiprocessor");
+    report.set_config(cfg);
+
     RunConfig empty_cfg = cfg;
     empty_cfg.prefill = 0;
-    run_variant("Figure 7b: queue initially empty", queues, thread_list, empty_cfg, qopt,
-                csv);
+    run_variant("Figure 7b: queue initially empty", "empty", queues, thread_list,
+                empty_cfg, qopt, csv, report);
 
     RunConfig full_cfg = cfg;
     full_cfg.prefill = static_cast<std::uint64_t>(cli.get_int("fill"));
-    run_variant("Figure 7a: queue initially filled", queues, thread_list, full_cfg, qopt,
-                csv);
-    return 0;
+    run_variant("Figure 7a: queue initially filled", "prefilled", queues, thread_list,
+                full_cfg, qopt, csv, report);
+    return report.write_if_requested(cli) ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 // waiting for a combiner.
 #include <cstdio>
 
+#include "bench_framework/json_report.hpp"
 #include "bench_framework/report.hpp"
 #include "util/table.hpp"
 
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
     const RunConfig base_cfg = config_from_cli(cli);
     const QueueOptions qopt = queue_options_from_cli(cli);
     const std::string mode = cli.get("mode");
+    JsonReport report("fig8_latency_cdf");
+    report.set_config(base_cfg);
 
     for (const bool multi : {false, true}) {
         if ((mode == "single" && multi) || (mode == "multi" && !multi)) continue;
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
     for (const auto& name : queues) {
         const RunResult r = run_pairs(name, qopt, cfg);
         hists.push_back(r.latency);
+        report.add_result(result_json(name, cfg, r).set("mode", multi ? "multi" : "single"));
         std::printf("%-10s mean %.2fus  samples %llu\n", name.c_str(),
                     r.latency.mean() / 1e3,
                     static_cast<unsigned long long>(r.latency.total()));
@@ -99,5 +103,5 @@ int main(int argc, char** argv) {
     pct.print();
     std::printf("\n");
     }
-    return 0;
+    return report.write_if_requested(cli) ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 // R = 4096 to beat it by 1.5x.
 #include <cstdio>
 
+#include "bench_framework/json_report.hpp"
 #include "bench_framework/report.hpp"
 #include "util/table.hpp"
 
@@ -29,6 +30,8 @@ int main(int argc, char** argv) {
 
     const RunConfig base_cfg = config_from_cli(cli);
     const std::string mode = cli.get("mode");
+    JsonReport report("fig9_ring_size");
+    report.set_config(base_cfg);
 
     for (const bool multi : {false, true}) {
         if ((mode == "single" && multi) || (mode == "multi" && !multi)) continue;
@@ -61,11 +64,14 @@ int main(int argc, char** argv) {
         header.push_back("vs h-queue");
     }
     Table table(header);
+    const char* mode_name = multi ? "multi" : "single";
     for (std::int64_t order : cli.get_int_list("orders")) {
         qopt.ring_order = static_cast<unsigned>(order);
         auto row = table.row();
         row.cell(std::int64_t{1} << order);
         const RunResult r = run_pairs("lcrq", qopt, cfg);
+        report.add_result(
+            result_json("lcrq", cfg, r).set("mode", mode_name).set("ring_order", order));
         row.cell(r.mean_ops_per_sec() / 1e6, 3);
         row.cell(r.mean_ops_per_sec() / (cc.mean_ops_per_sec() > 0
                                              ? cc.mean_ops_per_sec()
@@ -73,6 +79,9 @@ int main(int argc, char** argv) {
                  2);
         if (multi) {
             const RunResult rh = run_pairs("lcrq+h", qopt, cfg);
+            report.add_result(result_json("lcrq+h", cfg, rh)
+                                  .set("mode", mode_name)
+                                  .set("ring_order", order));
             row.cell(rh.mean_ops_per_sec() / 1e6, 3);
             row.cell(rh.mean_ops_per_sec() /
                          (h.mean_ops_per_sec() > 0 ? h.mean_ops_per_sec() : 1),
@@ -86,5 +95,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     }
-    return 0;
+    return report.write_if_requested(cli) ? 0 : 1;
 }

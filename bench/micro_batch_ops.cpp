@@ -18,6 +18,7 @@
 
 #include "arch/backoff.hpp"
 #include "arch/counters.hpp"
+#include "bench_framework/json_report.hpp"
 #include "registry/queue_registry.hpp"
 #include "topology/pinning.hpp"
 #include "util/cli.hpp"
@@ -89,36 +90,6 @@ BatchResult run_config(AnyQueue& q, int threads, std::size_t batch,
     return r;
 }
 
-struct Record {
-    std::string queue;
-    int threads;
-    std::size_t batch;
-    BatchResult result;
-    double speedup_vs_k1;
-};
-
-void write_json(const std::string& path, const std::vector<Record>& records) {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-        return;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"micro_batch_ops\",\n  \"results\": [\n");
-    for (std::size_t i = 0; i < records.size(); ++i) {
-        const Record& r = records[i];
-        std::fprintf(f,
-                     "    {\"queue\": \"%s\", \"threads\": %d, \"batch\": %zu, "
-                     "\"mops\": %.3f, \"speedup_vs_k1\": %.3f, "
-                     "\"tickets_per_faa\": %.3f, \"wasted_per_batch\": %.4f}%s\n",
-                     r.queue.c_str(), r.threads, r.batch, r.result.mops,
-                     r.speedup_vs_k1, r.result.tickets_per_faa,
-                     r.result.wasted_per_batch, i + 1 < records.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", path.c_str());
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,7 +149,8 @@ int main(int argc, char** argv) {
 
     Table table({"queue", "threads", "batch", "Mops/s", "speedup vs k=1",
                  "tickets/faa", "wasted/batch"});
-    std::vector<Record> records;
+    bench::JsonReport report("micro_batch_ops");
+    report.set_extra("items_per_thread", Json(items));
     for (const std::string& name : queues) {
         for (std::int64_t threads : cli.get_int_list("threads")) {
             double k1_mops = 0.0;
@@ -203,8 +175,18 @@ int main(int argc, char** argv) {
                     .cell(speedup, 2)
                     .cell(res.tickets_per_faa, 2)
                     .cell(res.wasted_per_batch, 4);
-                records.push_back({name, static_cast<int>(threads),
-                                   static_cast<std::size_t>(batch), res, speedup});
+                report.add_result(
+                    Json::object()
+                        .set("queue", name)
+                        .set("workload", "bulk-pairs")
+                        .set("threads", threads)
+                        .set("batch", batch)
+                        .set("throughput",
+                             Json::object().set("mean_ops_per_sec", res.mops * 1e6))
+                        .set("speedup_vs_k1", speedup)
+                        .set("bulk", Json::object()
+                                         .set("tickets_per_faa", res.tickets_per_faa)
+                                         .set("wasted_per_batch", res.wasted_per_batch)));
             }
         }
     }
@@ -213,8 +195,7 @@ int main(int argc, char** argv) {
     } else {
         table.print();
     }
-    const std::string json = cli.get("json");
-    if (!json.empty()) write_json(json, records);
+    if (!report.write_if_requested(cli)) return 1;
     std::printf("\nNote: Mops/s counts completed item operations (enqueues plus\n"
                 "dequeued items) across all threads.  tickets/faa is meaningful only\n"
                 "for queues with a native batch path; fallbacks report 0.\n");

@@ -1,0 +1,263 @@
+// Canonical regression-gating driver: sweeps the registry line-up across
+// workloads and thread counts at laptop scale and writes three
+// machine-readable artifacts at --out-dir (default: the current
+// directory, i.e. the repo root when run from it):
+//
+//   BENCH_queue_ops.json — pairs + producer/consumer throughput and the
+//                          software-counter delta (atomics/op, CAS-failure
+//                          rates) per queue × workload × thread count;
+//   BENCH_bulk_ops.json  — enqueue_bulk/dequeue_bulk throughput across
+//                          batch sizes, with the batched-F&A amortization
+//                          counters (tickets/F&A, wasted tickets/batch);
+//   BENCH_latency.json   — sampled latency percentiles per queue.
+//
+// scripts/bench_compare.py diffs two generations of these files using
+// each metric's recorded cv and exits nonzero on a regression, so every
+// perf PR gets a before/after artifact instead of an anecdote.  --smoke
+// shrinks everything for CI; --paper scales to the paper's parameters.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/backoff.hpp"
+#include "bench_framework/json_report.hpp"
+#include "bench_framework/report.hpp"
+#include "topology/pinning.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+using namespace lcrq;
+using namespace lcrq::bench;
+
+namespace {
+
+Json int_list_json(const std::vector<std::int64_t>& xs) {
+    Json a = Json::array();
+    for (std::int64_t x : xs) a.push_back(x);
+    return a;
+}
+
+Json string_list_json(const std::vector<std::string>& xs) {
+    Json a = Json::array();
+    for (const auto& x : xs) a.push_back(x);
+    return a;
+}
+
+// One bulk configuration: every thread alternates enqueue_bulk(k) /
+// dequeue_bulk(k) rounds on one shared queue (the bulk analogue of the
+// paper's pairs workload).  Returns ops/sec for the run.
+double run_bulk_once(AnyQueue& q, int threads, std::size_t batch,
+                     std::uint64_t items_per_thread,
+                     const std::vector<topo::ThreadSlot>& plan) {
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::atomic<std::uint64_t> total_ops{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            topo::pin_self(plan[static_cast<std::size_t>(t)]);
+            std::vector<value_t> buf(batch);
+            for (std::size_t i = 0; i < batch; ++i) buf[i] = static_cast<value_t>(i + 1);
+            ready.fetch_add(1);
+            SpinWait waiter;
+            while (!go.load(std::memory_order_acquire)) waiter.spin();
+            std::uint64_t ops = 0;
+            for (std::uint64_t round = 0; round < items_per_thread / batch; ++round) {
+                q.enqueue_bulk(std::span<const value_t>(buf.data(), batch));
+                ops += batch;
+                ops += q.dequeue_bulk(buf.data(), batch);
+            }
+            total_ops.fetch_add(ops);
+        });
+    }
+    while (ready.load() < threads) std::this_thread::yield();
+    const std::uint64_t t0 = now_ns();
+    go.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    const std::uint64_t t1 = now_ns();
+    const double secs = static_cast<double>(t1 > t0 ? t1 - t0 : 1) / 1e9;
+    return static_cast<double>(total_ops.load()) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Cli cli("regress",
+            "Canonical machine-readable sweep: writes BENCH_queue_ops.json, "
+            "BENCH_bulk_ops.json, BENCH_latency.json for regression gating");
+    cli.flag("queues", "lcrq,lcrq-cas,lscq,scq,ms,cc-queue",
+             "registry names to sweep (comma-separated)");
+    cli.flag("thread-list", "1,2,4", "thread counts to sweep");
+    cli.flag("pairs", "10000", "enqueue/dequeue pairs per thread");
+    cli.flag("runs", "3", "runs to average per configuration");
+    cli.flag("batch-list", "1,8,32", "bulk batch sizes to sweep");
+    cli.flag("bulk-items", "20000", "items per thread per bulk configuration");
+    cli.flag("latency-sample-every", "4", "latency sampling period (0 = skip phase)");
+    cli.flag("latency-threads", "4", "thread count for the latency phase");
+    cli.flag("ring-order", "12", "log2 of the CRQ/SCQ ring size");
+    cli.flag("placement", "unpinned", "single-cluster | round-robin | unpinned");
+    cli.flag("delay-ns", "100", "max random inter-operation delay in ns");
+    cli.flag("out-dir", ".", "directory receiving the BENCH_*.json artifacts");
+    cli.flag("smoke", "false", "CI scale: tiny sweep, same schema");
+    cli.flag("paper", "false", "paper scale: hours on a big box");
+    if (!cli.parse(argc, argv)) return cli.failed() ? 1 : 0;
+
+    std::vector<std::string> queues = split_names(cli.get("queues"));
+    std::vector<std::int64_t> thread_list = cli.get_int_list("thread-list");
+    std::vector<std::int64_t> batch_list = cli.get_int_list("batch-list");
+    std::uint64_t pairs = static_cast<std::uint64_t>(cli.get_int("pairs"));
+    int runs = static_cast<int>(cli.get_int("runs"));
+    std::uint64_t bulk_items = static_cast<std::uint64_t>(cli.get_int("bulk-items"));
+    auto sample_every = static_cast<std::uint64_t>(cli.get_int("latency-sample-every"));
+    int latency_threads = static_cast<int>(cli.get_int("latency-threads"));
+
+    if (cli.get_bool("smoke")) {
+        thread_list = {1, 2};
+        batch_list = {1, 8};
+        pairs = 2'000;
+        runs = 2;
+        bulk_items = 4'000;
+        latency_threads = 2;
+    } else if (cli.get_bool("paper")) {
+        thread_list = {1, 2, 4, 8, 12, 16, 20};
+        batch_list = {1, 4, 16, 64};
+        pairs = 1'000'000;
+        runs = 10;
+        bulk_items = 1'000'000;
+        latency_threads = 20;
+    }
+
+    RunConfig base;
+    base.pairs_per_thread = pairs;
+    base.runs = runs;
+    base.max_delay_ns = static_cast<std::uint64_t>(cli.get_int("delay-ns"));
+    topo::Placement placement = topo::Placement::kUnpinned;
+    topo::parse_placement(cli.get("placement"), placement);
+    base.placement = placement;
+
+    QueueOptions qopt;
+    qopt.ring_order = static_cast<unsigned>(cli.get_int("ring-order"));
+
+    const std::string out_dir = cli.get("out-dir");
+    const auto out_path = [&](const char* name) { return out_dir + "/" + name; };
+
+    print_banner("regress: machine-readable sweep for regression gating",
+                 "every future perf PR diffs these artifacts with "
+                 "scripts/bench_compare.py",
+                 base);
+
+    // --- phase 1: single-op throughput + counters --------------------------
+    {
+        JsonReport report("regress/queue_ops");
+        report.set_config(base);
+        report.set_extra("queues", string_list_json(queues));
+        report.set_extra("thread_list", int_list_json(thread_list));
+        for (const auto& name : queues) {
+            for (Workload w : {Workload::kPairs, Workload::kProducerConsumer}) {
+                for (std::int64_t threads : thread_list) {
+                    // prodcons needs at least one producer and one consumer.
+                    if (w == Workload::kProducerConsumer && threads < 2) continue;
+                    RunConfig cfg = base;
+                    cfg.workload = w;
+                    cfg.threads = static_cast<int>(threads);
+                    const RunResult r = run_pairs(name, qopt, cfg);
+                    report.add_result(result_json(name, cfg, r));
+                    std::printf("queue_ops  %-10s %-8s t=%-2lld  %s\n", name.c_str(),
+                                workload_name(w), static_cast<long long>(threads),
+                                throughput_cell(r).c_str());
+                }
+            }
+        }
+        if (!report.write(out_path("BENCH_queue_ops.json"))) return 1;
+    }
+
+    // --- phase 2: bulk throughput + amortization counters -------------------
+    {
+        JsonReport report("regress/bulk_ops");
+        report.set_config(base);
+        report.set_extra("queues", string_list_json(queues));
+        report.set_extra("thread_list", int_list_json(thread_list));
+        report.set_extra("batch_list", int_list_json(batch_list));
+        const topo::Topology topology = topo::discover();
+        for (const auto& name : queues) {
+            for (std::int64_t threads : thread_list) {
+                const auto plan = topo::plan_placement(
+                    topology, static_cast<int>(threads), base.placement);
+                for (std::int64_t batch : batch_list) {
+                    RunningStats throughput;
+                    const stats::Snapshot before = stats::global_snapshot();
+                    for (int run = 0; run < runs; ++run) {
+                        auto q = make_queue(name, qopt);
+                        if (q == nullptr) {
+                            std::fprintf(stderr, "unknown queue: %s\n", name.c_str());
+                            return 1;
+                        }
+                        throughput.add(run_bulk_once(
+                            *q, static_cast<int>(threads),
+                            static_cast<std::size_t>(batch), bulk_items, plan));
+                    }
+                    const stats::Snapshot delta = stats::global_snapshot() - before;
+                    const auto faa = delta[stats::Event::kBulkFaa];
+                    const auto bulk_ops = delta[stats::Event::kBulkEnqueue] +
+                                          delta[stats::Event::kBulkDequeue];
+                    Json entry =
+                        Json::object()
+                            .set("queue", name)
+                            .set("workload", "bulk-pairs")
+                            .set("threads", static_cast<std::int64_t>(threads))
+                            .set("batch", static_cast<std::int64_t>(batch))
+                            .set("throughput", throughput_json(throughput))
+                            .set("counters", counters_json(delta))
+                            .set("bulk",
+                                 Json::object()
+                                     .set("tickets_per_faa",
+                                          faa == 0
+                                              ? Json()
+                                              : Json(static_cast<double>(
+                                                         delta[stats::Event::
+                                                                   kBulkTickets]) /
+                                                     static_cast<double>(faa)))
+                                     .set("wasted_per_batch",
+                                          bulk_ops == 0
+                                              ? Json()
+                                              : Json(static_cast<double>(
+                                                         delta[stats::Event::
+                                                                   kBulkWasted]) /
+                                                     static_cast<double>(bulk_ops))));
+                    report.add_result(std::move(entry));
+                    std::printf("bulk_ops   %-10s t=%-2lld k=%-3lld  %sops/s\n",
+                                name.c_str(), static_cast<long long>(threads),
+                                static_cast<long long>(batch),
+                                format_si(throughput.mean(), 2).c_str());
+                }
+            }
+        }
+        if (!report.write(out_path("BENCH_bulk_ops.json"))) return 1;
+    }
+
+    // --- phase 3: latency percentiles ---------------------------------------
+    if (sample_every != 0) {
+        RunConfig cfg = base;
+        cfg.threads = latency_threads;
+        cfg.latency_sample_every = sample_every;
+        JsonReport report("regress/latency");
+        report.set_config(cfg);
+        report.set_extra("queues", string_list_json(queues));
+        for (const auto& name : queues) {
+            const RunResult r = run_pairs(name, qopt, cfg);
+            report.add_result(result_json(name, cfg, r));
+            std::printf("latency    %-10s t=%-2d  p99=%lluns (%llu samples)\n",
+                        name.c_str(), cfg.threads,
+                        static_cast<unsigned long long>(r.latency.percentile(0.99)),
+                        static_cast<unsigned long long>(r.latency.total()));
+        }
+        if (!report.write(out_path("BENCH_latency.json"))) return 1;
+    }
+
+    return 0;
+}

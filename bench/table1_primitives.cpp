@@ -6,6 +6,8 @@
 #include <cstdio>
 
 #include "arch/primitives.hpp"
+#include "bench_framework/json_report.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace lcrq;
@@ -41,7 +43,12 @@ bool selftest_cas2() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    Cli cli("table1_primitives",
+            "Table 1: primitive support survey plus this host's self-tests");
+    cli.flag("json", "", "also write a machine-readable report to this path");
+    if (!cli.parse(argc, argv)) return cli.failed() ? 1 : 0;
+
     std::printf("=== Table 1: synchronization primitives as machine instructions ===\n");
     std::printf("paper: only x86 supports CAS, T&S, F&A (and SWAP/CAS2) directly;\n");
     std::printf("       ARM/POWER offer LL/SC, SPARC lacks F&A\n\n");
@@ -57,14 +64,30 @@ int main() {
     const PrimitiveSupport s = primitive_support();
     std::printf("\nthis build/host:\n");
     Table host({"primitive", "native instruction", "self-test"});
-    host.row().cell("F&A (lock xadd)").cell(yn(s.native_faa)).cell(yn(selftest_faa()));
-    host.row().cell("SWAP (xchg)").cell(yn(s.native_swap)).cell(yn(selftest_swap()));
-    host.row().cell("T&S (lock bts)").cell(yn(s.native_tas)).cell(yn(selftest_tas()));
-    host.row().cell("CAS (lock cmpxchg)").cell(yn(s.native_cas)).cell(yn(selftest_cas()));
-    host.row()
-        .cell("CAS2 (lock cmpxchg16b)")
-        .cell(yn(s.native_cas2))
-        .cell(yn(selftest_cas2()));
+    bench::JsonReport report("table1_primitives");
+    const struct {
+        const char* label;
+        bool native_support;
+        bool selftest;
+    } rows[] = {
+        {"faa", s.native_faa, selftest_faa()},
+        {"swap", s.native_swap, selftest_swap()},
+        {"tas", s.native_tas, selftest_tas()},
+        {"cas", s.native_cas, selftest_cas()},
+        {"cas2", s.native_cas2, selftest_cas2()},
+    };
+    const char* pretty[] = {"F&A (lock xadd)", "SWAP (xchg)", "T&S (lock bts)",
+                            "CAS (lock cmpxchg)", "CAS2 (lock cmpxchg16b)"};
+    for (std::size_t i = 0; i < 5; ++i) {
+        host.row()
+            .cell(pretty[i])
+            .cell(yn(rows[i].native_support))
+            .cell(yn(rows[i].selftest));
+        report.add_result(Json::object()
+                              .set("experiment", rows[i].label)
+                              .set("native", rows[i].native_support)
+                              .set("selftest", rows[i].selftest));
+    }
     host.print();
-    return 0;
+    return report.write_if_requested(cli) ? 0 : 1;
 }

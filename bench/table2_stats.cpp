@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_framework/json_report.hpp"
 #include "bench_framework/report.hpp"
 #include "util/perf_events.hpp"
 #include "util/table.hpp"
@@ -33,10 +34,12 @@ struct Row {
     std::optional<double> llc_per_op;
 };
 
-Row measure(const std::string& name, const QueueOptions& qopt, RunConfig cfg) {
+Row measure(const std::string& name, const QueueOptions& qopt, RunConfig cfg,
+            JsonReport& report) {
     stats::reset_all();
     cfg.measure_hw = true;
     const RunResult r = run_pairs(name, qopt, cfg);
+    report.add_result(result_json(name, cfg, r));
     Row row;
     row.queue = name;
     row.ns_per_op = r.ns_per_op(cfg.threads);
@@ -66,11 +69,13 @@ std::string opt_cell(const std::optional<double>& v, int precision = 2) {
 }
 
 void print_block(const char* title, const std::vector<std::string>& queues,
-                 const QueueOptions& qopt, const RunConfig& cfg, bool csv) {
+                 const QueueOptions& qopt, const RunConfig& cfg, bool csv,
+                 JsonReport& report) {
     std::printf("--- %s ---\n", title);
     std::vector<Row> rows;
-    for (const auto& q : queues) rows.push_back(measure(q, qopt, cfg));
-    const double base = rows.empty() || rows.front().ns_per_op <= 0
+    for (const auto& q : queues) rows.push_back(measure(q, qopt, cfg, report));
+    // !(x > 0) also catches the NaN a failed run reports.
+    const double base = rows.empty() || !(rows.front().ns_per_op > 0)
                             ? 1.0
                             : rows.front().ns_per_op;
 
@@ -132,11 +137,13 @@ int main(int argc, char** argv) {
         }
     }
 
+    JsonReport report("table2_stats");
+    report.set_config(cfg);
     RunConfig one = cfg;
     one.threads = 1;
     print_block("1 thread (queue initially empty)", queues, qopt, one,
-                cli.get_bool("csv"));
+                cli.get_bool("csv"), report);
     print_block((std::to_string(cfg.threads) + " threads (queue initially empty)").c_str(),
-                queues, qopt, cfg, cli.get_bool("csv"));
-    return 0;
+                queues, qopt, cfg, cli.get_bool("csv"), report);
+    return report.write_if_requested(cli) ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 #include <optional>
 #include <thread>
 
+#include "bench_framework/json_report.hpp"
 #include "bench_framework/report.hpp"
 #include "util/perf_events.hpp"
 #include "util/table.hpp"
@@ -24,8 +25,9 @@ std::string opt_cell(const std::optional<double>& v, int precision = 2) {
     return v.has_value() ? format_double(*v, precision) : std::string("n/a");
 }
 
-void print_block(const char* title, const std::vector<std::string>& queues,
-                 const QueueOptions& qopt, RunConfig cfg, bool csv) {
+void print_block(const char* title, const char* mode,
+                 const std::vector<std::string>& queues, const QueueOptions& qopt,
+                 RunConfig cfg, bool csv, JsonReport& report) {
     std::printf("--- %s ---\n", title);
     cfg.measure_hw = true;
 
@@ -36,6 +38,7 @@ void print_block(const char* title, const std::vector<std::string>& queues,
     for (const auto& name : queues) {
         stats::reset_all();
         const RunResult r = run_pairs(name, qopt, cfg);
+        report.add_result(result_json(name, cfg, r).set("mode", mode));
         const double ops = static_cast<double>(r.events.operations());
         const double ns = r.ns_per_op(cfg.threads);
         if (base <= 0) base = ns > 0 ? ns : 1;
@@ -105,12 +108,17 @@ int main(int argc, char** argv) {
         }
     }
 
+    JsonReport report("table3_stats");
+    report.set_config(cfg);
+
     RunConfig empty_cfg = cfg;
     empty_cfg.prefill = 0;
-    print_block("queue initially empty", queues, qopt, empty_cfg, cli.get_bool("csv"));
+    print_block("queue initially empty", "empty", queues, qopt, empty_cfg,
+                cli.get_bool("csv"), report);
 
     RunConfig full_cfg = cfg;
     full_cfg.prefill = static_cast<std::uint64_t>(cli.get_int("fill"));
-    print_block("queue initially full", queues, qopt, full_cfg, cli.get_bool("csv"));
-    return 0;
+    print_block("queue initially full", "prefilled", queues, qopt, full_cfg,
+                cli.get_bool("csv"), report);
+    return report.write_if_requested(cli) ? 0 : 1;
 }

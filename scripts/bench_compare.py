@@ -1,0 +1,414 @@
+#!/usr/bin/env python3
+"""Noise-aware diff of two BENCH_*.json benchmark artifacts.
+
+Usage:
+    bench_compare.py BASELINE.json NEW.json [options]
+    bench_compare.py --self-check
+
+Each artifact is a schema-versioned report written by the bench binaries
+(bench/regress or any binary's --json flag; schema reference in
+EXPERIMENTS.md).  Result entries are matched on their key fields (queue,
+workload, threads, batch, ...) and three regression rules are applied:
+
+  * throughput:  mean drop        >  max(--throughput-pct, 3 * cv)
+                 where cv is the larger recorded run-to-run coefficient of
+                 variation of the two artifacts (the noise model: a drop
+                 must clear both the floor and three sigmas of measured
+                 run noise);
+  * atomics/op:  growth           >  max(--atomics-pct, small abs slack)
+                 (software counters are near-deterministic, so this is
+                 tight);
+  * latency p99: growth           >  --latency-pct AND > --latency-abs-ns
+                 (timing tails are the noisiest metric; both a relative
+                 and an absolute bar must be cleared).
+
+Data that is missing on one side only is itself a finding: a null metric
+in NEW where BASELINE had a number means a run stopped producing data and
+is flagged (never treated as "infinitely fast").
+
+Exit codes: 0 no regressions, 1 regressions found, 2 usage/schema error,
+3 self-check failure.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+import tempfile
+
+SCHEMA_VERSION = 1
+KEY_FIELDS = (
+    "bench",
+    "queue",
+    "workload",
+    "threads",
+    "batch",
+    "mode",
+    "ring_order",
+    "experiment",
+)
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_compare: cannot read {path}: {e}")
+    if not isinstance(doc, dict) or "results" not in doc:
+        raise SystemExit(f"bench_compare: {path} is not a bench report (no results[])")
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SystemExit(
+            f"bench_compare: {path} has schema_version {version!r}, "
+            f"this tool understands {SCHEMA_VERSION}"
+        )
+    return doc
+
+
+def result_key(doc, entry):
+    parts = [str(doc.get("bench", ""))]
+    for field in KEY_FIELDS[1:]:
+        if field in entry:
+            parts.append(f"{field}={entry[field]}")
+    return " ".join(parts)
+
+
+def index_results(doc):
+    index = {}
+    for entry in doc.get("results", []):
+        key = result_key(doc, entry)
+        if key in index:
+            raise SystemExit(f"bench_compare: duplicate result key: {key}")
+        index[key] = entry
+    return index
+
+
+def get_path(entry, dotted):
+    node = entry
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def as_number(value):
+    if isinstance(value, (int, float)) and math.isfinite(value):
+        return float(value)
+    return None
+
+
+class Comparison:
+    def __init__(self, args):
+        self.args = args
+        self.regressions = []
+        self.notes = []
+        self.compared = 0
+
+    def flag(self, key, message):
+        self.regressions.append(f"{key}: {message}")
+
+    def note(self, message):
+        self.notes.append(message)
+
+    def check_pair(self, key, base, new):
+        self.compared += 1
+        self.check_throughput(key, base, new)
+        self.check_metric_growth(
+            key,
+            base,
+            new,
+            "counters.derived.atomics_per_op",
+            "atomics/op",
+            rel_limit=self.args.atomics_pct / 100.0,
+            abs_slack=0.02,
+        )
+        self.check_latency(key, base, new)
+        self.check_missing(key, base, new, "ns_per_op")
+
+    def check_throughput(self, key, base, new):
+        b = as_number(get_path(base, "throughput.mean_ops_per_sec"))
+        n = as_number(get_path(new, "throughput.mean_ops_per_sec"))
+        if b is None and n is None:
+            return
+        if b is not None and n is None:
+            self.flag(key, "throughput disappeared (baseline had data, new is null)")
+            return
+        if b is None:
+            self.note(f"{key}: new data appeared (no baseline throughput)")
+            return
+        if b <= 0:
+            return
+        cv = max(
+            as_number(get_path(base, "throughput.cv")) or 0.0,
+            as_number(get_path(new, "throughput.cv")) or 0.0,
+        )
+        drop = (b - n) / b
+        limit = max(self.args.throughput_pct / 100.0, 3.0 * cv)
+        if drop > limit:
+            self.flag(
+                key,
+                f"throughput dropped {100 * drop:.1f}% "
+                f"({b:.3g} -> {n:.3g} ops/s; limit {100 * limit:.1f}% "
+                f"= max({self.args.throughput_pct}%, 3*cv {100 * cv:.1f}%))",
+            )
+
+    def check_metric_growth(self, key, base, new, path, label, rel_limit, abs_slack):
+        b = as_number(get_path(base, path))
+        n = as_number(get_path(new, path))
+        if b is None and n is None:
+            return
+        if b is not None and n is None:
+            self.flag(key, f"{label} disappeared (baseline had data, new is null)")
+            return
+        if b is None:
+            return
+        if n > b * (1.0 + rel_limit) + abs_slack:
+            self.flag(
+                key,
+                f"{label} grew {b:.3f} -> {n:.3f} "
+                f"(limit {100 * rel_limit:.0f}% + {abs_slack})",
+            )
+
+    def check_latency(self, key, base, new):
+        b = as_number(get_path(base, "latency.p99_ns"))
+        n = as_number(get_path(new, "latency.p99_ns"))
+        if b is None and n is None:
+            return
+        if b is not None and n is None:
+            self.flag(key, "latency p99 disappeared (baseline had data, new is null)")
+            return
+        if b is None or b <= 0:
+            return
+        growth = (n - b) / b
+        if growth > self.args.latency_pct / 100.0 and n - b > self.args.latency_abs_ns:
+            self.flag(
+                key,
+                f"p99 latency grew {100 * growth:.0f}% ({b:.0f}ns -> {n:.0f}ns; "
+                f"limit {self.args.latency_pct}% and {self.args.latency_abs_ns}ns)",
+            )
+
+    def check_missing(self, key, base, new, path):
+        b = as_number(get_path(base, path))
+        n = as_number(get_path(new, path))
+        if b is not None and n is None:
+            self.flag(key, f"{path} disappeared (baseline had data, new is null)")
+
+
+def compare_files(baseline_path, new_path, args):
+    base_doc = load_report(baseline_path)
+    new_doc = load_report(new_path)
+    base_index = index_results(base_doc)
+    new_index = index_results(new_doc)
+
+    cmp = Comparison(args)
+    for key, base_entry in base_index.items():
+        if key not in new_index:
+            cmp.flag(key, "result missing from new artifact")
+            continue
+        cmp.check_pair(key, base_entry, new_index[key])
+    for key in new_index:
+        if key not in base_index:
+            cmp.note(f"{key}: new result (not in baseline)")
+    return cmp
+
+
+def report(cmp, baseline_path, new_path):
+    print(f"bench_compare: {cmp.compared} configurations compared")
+    for note in cmp.notes:
+        print(f"  note: {note}")
+    if not cmp.regressions:
+        print(f"OK: no regressions ({new_path} vs {baseline_path})")
+        return 0
+    print(f"REGRESSIONS ({len(cmp.regressions)}):")
+    for r in cmp.regressions:
+        print(f"  FAIL {r}")
+    return 1
+
+
+# --- self-check --------------------------------------------------------------
+#
+# Synthesizes a baseline artifact and a variant with injected regressions
+# (20% throughput drop, atomics/op growth, p99 blowup, data loss), writes
+# both to a temp dir, and asserts the file-level comparison path flags each
+# one — and that a self-compare is clean.  Run from ctest and CI.
+
+
+def synthetic_report(throughput_scale=1.0, atomics=2.0, p99=150.0, lose_data=False):
+    def entry(queue, threads, tput, cv=0.01):
+        return {
+            "queue": queue,
+            "workload": "pairs",
+            "threads": threads,
+            "throughput": {
+                "mean_ops_per_sec": None if lose_data and queue == "ms" else tput,
+                "cv": cv,
+                "min": tput * 0.99,
+                "max": tput * 1.01,
+                "runs": 3,
+            },
+            "ns_per_op": None if lose_data and queue == "ms" else 1e9 / tput,
+            "total_ops": 80000,
+            "empty_dequeues": 0,
+            "counters": {
+                "counts": {"faa": 80000, "cas2": 80000},
+                "derived": {
+                    "atomics_per_op": atomics if queue == "lcrq" else 1.5,
+                    "faa_per_op": 1.0,
+                    "cas_fails_per_op": 0.0,
+                    "cas_failure_rate": None,
+                    "cas2_failure_rate": 0.0,
+                },
+            },
+            "latency": {
+                "samples": 4000,
+                "mean_ns": 90.0,
+                "p50_ns": 80.0,
+                "p90_ns": 120.0,
+                "p99_ns": p99 if queue == "lcrq" else 140.0,
+                "p999_ns": 900.0,
+                "max_ns": 5000.0,
+            },
+        }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "regress/queue_ops",
+        "host": {"description": "self-check", "cpus": 1, "clusters": 1, "hw_threads": 1},
+        "results": [
+            entry("lcrq", 2, 7.0e6 * throughput_scale),
+            entry("ms", 2, 6.5e6),
+        ],
+    }
+
+
+def self_check(args):
+    failures = []
+
+    def expect(condition, what):
+        if not condition:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory(prefix="bench_compare_self_") as tmp:
+        def write(name, doc):
+            path = os.path.join(tmp, name)
+            with open(path, "w") as f:
+                json.dump(doc, f, indent=1)
+            return path
+
+        baseline = write("baseline.json", synthetic_report())
+
+        # 1. Self-compare must be clean.
+        cmp = compare_files(baseline, baseline, args)
+        expect(cmp.regressions == [], f"self-compare flagged: {cmp.regressions}")
+        expect(cmp.compared == 2, "self-compare did not compare both entries")
+
+        # 2. A 20% throughput drop must be flagged (cv 1% -> limit is the 5% floor).
+        slow = write("slow.json", synthetic_report(throughput_scale=0.8))
+        cmp = compare_files(baseline, slow, args)
+        expect(
+            any("throughput dropped" in r for r in cmp.regressions),
+            f"20% throughput regression not flagged: {cmp.regressions}",
+        )
+
+        # 3. A drop inside the noise band must NOT be flagged (2% < 5% floor).
+        noisy = write("noisy.json", synthetic_report(throughput_scale=0.98))
+        cmp = compare_files(baseline, noisy, args)
+        expect(
+            not any("throughput dropped" in r for r in cmp.regressions),
+            f"2% within-noise drop was flagged: {cmp.regressions}",
+        )
+
+        # 4. atomics/op growth must be flagged.
+        fat = write("fat.json", synthetic_report(atomics=2.5))
+        cmp = compare_files(baseline, fat, args)
+        expect(
+            any("atomics/op grew" in r for r in cmp.regressions),
+            f"atomics/op growth not flagged: {cmp.regressions}",
+        )
+
+        # 5. p99 blowup must be flagged.
+        tail = write("tail.json", synthetic_report(p99=900.0))
+        cmp = compare_files(baseline, tail, args)
+        expect(
+            any("p99 latency grew" in r for r in cmp.regressions),
+            f"p99 growth not flagged: {cmp.regressions}",
+        )
+
+        # 6. Vanished data must be flagged, not read as infinitely fast.
+        lost = write("lost.json", synthetic_report(lose_data=True))
+        cmp = compare_files(baseline, lost, args)
+        expect(
+            any("disappeared" in r for r in cmp.regressions),
+            f"lost data not flagged: {cmp.regressions}",
+        )
+
+        # 7. Wrong schema version must be rejected.
+        bad = synthetic_report()
+        bad["schema_version"] = SCHEMA_VERSION + 1
+        bad_path = write("bad.json", bad)
+        try:
+            compare_files(baseline, bad_path, args)
+            expect(False, "mismatched schema_version was accepted")
+        except SystemExit:
+            pass
+
+    if failures:
+        print("self-check FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 3
+    print("self-check OK: all synthetic regressions detected, self-compare clean")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Noise-aware diff of two BENCH_*.json artifacts"
+    )
+    parser.add_argument("baseline", nargs="?", help="baseline artifact")
+    parser.add_argument("new", nargs="?", help="new artifact to gate")
+    parser.add_argument(
+        "--throughput-pct",
+        type=float,
+        default=5.0,
+        help="throughput drop floor in %% (widened by 3*cv; default 5)",
+    )
+    parser.add_argument(
+        "--atomics-pct",
+        type=float,
+        default=5.0,
+        help="allowed atomics/op growth in %% (default 5)",
+    )
+    parser.add_argument(
+        "--latency-pct",
+        type=float,
+        default=50.0,
+        help="allowed p99 growth in %% (default 50)",
+    )
+    parser.add_argument(
+        "--latency-abs-ns",
+        type=float,
+        default=200.0,
+        help="p99 growth below this many ns never flags (default 200)",
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="run the built-in fixture suite and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_check:
+        return self_check(args)
+    if not args.baseline or not args.new:
+        parser.print_usage()
+        return 2
+    cmp = compare_files(args.baseline, args.new, args)
+    return report(cmp, args.baseline, args.new)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

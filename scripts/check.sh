@@ -22,3 +22,17 @@ ctest --test-dir build-tsan --output-on-failure -R \
 cmake -B build-inject -G Ninja -DLCRQ_INJECT=ON -DLCRQ_ENABLE_BENCH=OFF -DLCRQ_ENABLE_EXAMPLES=OFF
 cmake --build build-inject
 ctest --test-dir build-inject --output-on-failure -L inject
+
+# Perf smoke (EXPERIMENTS.md "Machine-readable pipeline"): generate the
+# BENCH_*.json artifacts at CI scale, prove the comparator's fixture suite
+# passes, and gate that each artifact self-compares clean.  To gate a perf
+# change, stash a baseline copy of the artifacts from the parent commit and
+# run bench_compare.py baseline new.
+if command -v python3 >/dev/null 2>&1; then
+  mkdir -p bench_artifacts
+  ./build/bench/regress --smoke --out-dir bench_artifacts
+  python3 scripts/bench_compare.py --self-check
+  for f in bench_artifacts/BENCH_*.json; do
+    python3 scripts/bench_compare.py "$f" "$f"
+  done
+fi

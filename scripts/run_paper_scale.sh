@@ -41,4 +41,9 @@ if [ "${BATCH_SWEEP:-0}" = "1" ]; then
                       --items 1000000 \
                       --json "$OUT/BENCH_batch.json"
 fi
+
+# Canonical regression-gating artifacts at paper scale: BENCH_queue_ops.json,
+# BENCH_bulk_ops.json, BENCH_latency.json in $OUT.  Diff against a previous
+# generation with scripts/bench_compare.py to gate perf changes.
+run regress --paper --out-dir "$OUT"
 echo "results in $OUT/"

@@ -4,15 +4,21 @@
 // counts and CAS-failure behaviour; Figure 1's right axis reports CASes per
 // successful increment.  Hardware PMUs are usually unavailable inside
 // containers, so the library maintains these counts in software: each
-// thread increments a plain thread-local block (no atomics, no sharing) and
-// registered blocks are summed on demand.
+// thread increments its own thread-local block (never shared for writing)
+// and registered blocks are summed on demand.
 //
-// The counters are always compiled in.  The increment is a single add to a
-// thread-local cache line the owning thread already has exclusive, which is
+// The counters are always compiled in.  The per-thread slots are relaxed
+// std::atomic so aggregation may read them *while the owner is counting*
+// (the JSON pipeline samples mid-run): the increment compiles to the same
+// unlocked load/add/store as a plain uint64_t on x86 — no lock prefix —
+// on a cache line the owning thread already holds exclusive, which is
 // noise next to the contended lock-prefixed instruction being counted.
+// Plain uint64_t slots would make Registry::total() a data race (UB,
+// TSan-flagged) against the owner's `+=`.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string_view>
@@ -98,7 +104,10 @@ struct Snapshot {
 namespace detail {
 
 struct alignas(kCacheLineSize) ThreadBlock {
-    std::array<std::uint64_t, kEventCount> counts{};
+    // Written only by the owning thread; read concurrently by aggregation.
+    // Relaxed ordering everywhere: each slot is an independent monotonic
+    // counter and a snapshot only promises per-slot atomicity.
+    std::array<std::atomic<std::uint64_t>, kEventCount> counts{};
 };
 
 class Registry {
@@ -131,13 +140,17 @@ class Registry {
     void reset() {
         std::lock_guard lock(mu_);
         graveyard_ = Snapshot{};
-        for (ThreadBlock* b : blocks_) b->counts.fill(0);
+        for (ThreadBlock* b : blocks_) {
+            for (auto& slot : b->counts) slot.store(0, std::memory_order_relaxed);
+        }
     }
 
   private:
     static Snapshot sum_one(const ThreadBlock& b) {
         Snapshot s;
-        s.counts = b.counts;
+        for (std::size_t i = 0; i < kEventCount; ++i) {
+            s.counts[i] = b.counts[i].load(std::memory_order_relaxed);
+        }
         return s;
     }
 
@@ -160,7 +173,11 @@ inline ThreadBlock& local_block() {
 }  // namespace detail
 
 inline void count(Event e, std::uint64_t n = 1) noexcept {
-    detail::local_block().counts[static_cast<std::size_t>(e)] += n;
+    // store(load + n) instead of fetch_add: the slot has a single writer,
+    // so this stays an ordinary MOV/ADD/MOV on x86 (no lock prefix) while
+    // making concurrent snapshot reads well-defined.
+    auto& slot = detail::local_block().counts[static_cast<std::size_t>(e)];
+    slot.store(slot.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
 }
 
 // Sum over all threads that ever counted (including exited ones).

@@ -27,6 +27,9 @@ void add_common_flags(Cli& cli, const RunConfig& defaults, unsigned ring_order) 
     cli.flag("workload", workload_name(defaults.workload),
              "workload shape: pairs (paper) | prodcons | mix");
     cli.flag("csv", "false", "emit rows as CSV instead of an aligned table");
+    cli.flag("json", "",
+             "also write a machine-readable report to this path "
+             "(schema: EXPERIMENTS.md)");
 }
 
 RunConfig config_from_cli(const Cli& cli) {

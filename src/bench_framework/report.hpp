@@ -14,8 +14,9 @@ namespace lcrq::bench {
 
 // Register the flags every throughput bench shares (--threads, --pairs,
 // --runs, --placement, --clusters, --delay-ns, --prefill, --ring-order,
-// --csv).  Defaults are laptop-scale; pass paper-scale values to
-// reproduce the original setup.
+// --csv, --json).  Defaults are laptop-scale; pass paper-scale values to
+// reproduce the original setup.  --json makes the binary also emit its
+// results as a machine-readable report (bench_framework/json_report.hpp).
 void add_common_flags(Cli& cli, const RunConfig& defaults, unsigned ring_order = 12);
 
 // Extract a RunConfig / QueueOptions from parsed common flags.

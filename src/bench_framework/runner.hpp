@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -67,9 +68,13 @@ struct RunResult {
 
     double mean_ops_per_sec() const noexcept { return throughput.mean(); }
     // Average wall-clock nanoseconds per operation (pair latency / 2).
+    // A failed or zero-throughput run yields NaN, not 0: a comparator must
+    // be able to tell "no data" from "infinitely fast" (the JSON emitter
+    // serializes the NaN as null).
     double ns_per_op(int threads) const noexcept {
         const double t = throughput.mean();
-        return t <= 0 ? 0 : 1e9 * static_cast<double>(threads) / t;
+        return t <= 0 ? std::numeric_limits<double>::quiet_NaN()
+                      : 1e9 * static_cast<double>(threads) / t;
     }
 };
 

@@ -6,8 +6,19 @@
 
 namespace lcrq {
 
+namespace {
+
+bool is_bool_literal(const std::string& s) {
+    return s == "1" || s == "0" || s == "true" || s == "false" || s == "yes" ||
+           s == "no" || s == "on" || s == "off";
+}
+
+}  // namespace
+
 Cli& Cli::flag(const std::string& name, const std::string& def, const std::string& help) {
-    flags_[name] = Flag{def, def, help};
+    // Flags declared with a boolean default act as switches: bare `--flag`
+    // means true, `--flag=false` / `--flag false` still work.
+    flags_[name] = Flag{def, def, help, is_bool_literal(def)};
     order_.push_back(name);
     return *this;
 }
@@ -27,22 +38,35 @@ bool Cli::parse(int argc, char** argv) {
         }
         std::string name = arg.substr(2);
         std::string value;
+        bool have_value = false;
         if (auto eq = name.find('='); eq != std::string::npos) {
             value = name.substr(eq + 1);
             name = name.substr(0, eq);
-        } else if (i + 1 < argc) {
-            value = argv[++i];
-        } else {
-            std::fprintf(stderr, "%s: flag '--%s' needs a value\n", program_.c_str(),
-                         name.c_str());
-            failed_ = true;
-            return false;
+            have_value = true;
         }
         auto it = flags_.find(name);
         if (it == flags_.end()) {
             std::fprintf(stderr, "%s: unknown flag '--%s'\n", program_.c_str(), name.c_str());
             failed_ = true;
             return false;
+        }
+        if (!have_value) {
+            if (it->second.boolean) {
+                // Consume a following literal only if it is one; a bare
+                // switch is true.
+                if (i + 1 < argc && is_bool_literal(argv[i + 1])) {
+                    value = argv[++i];
+                } else {
+                    value = "true";
+                }
+            } else if (i + 1 < argc) {
+                value = argv[++i];
+            } else {
+                std::fprintf(stderr, "%s: flag '--%s' needs a value\n", program_.c_str(),
+                             name.c_str());
+                failed_ = true;
+                return false;
+            }
         }
         it->second.value = value;
     }

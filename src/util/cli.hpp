@@ -1,8 +1,10 @@
 // Minimal command-line option parser for the bench and example binaries.
 //
 // Every bench accepts `--flag value` / `--flag=value` pairs plus `--help`.
-// Flags are declared with a default and a help string, so each binary's
-// usage text documents its paper-scale and laptop-scale settings.
+// Flags whose declared default is a boolean literal ("true"/"false"/...)
+// are switches: bare `--flag` means true.  Flags are declared with a
+// default and a help string, so each binary's usage text documents its
+// paper-scale and laptop-scale settings.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +40,7 @@ class Cli {
         std::string value;
         std::string def;
         std::string help;
+        bool boolean = false;  // default was a bool literal -> bare switch
     };
 
     std::string program_;

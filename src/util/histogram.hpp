@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -44,7 +45,12 @@ class LatencyHistogram {
     // Smallest bucket upper bound v such that P[x <= v] >= q (0 <= q <= 1).
     std::uint64_t percentile(double q) const noexcept {
         if (total_ == 0) return 0;
-        const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+        // Rank of the q-quantile sample, 1-based: ceil(q * total).  Plain
+        // truncation lands one sample low whenever q * total is fractional
+        // (e.g. p75 of 2 samples would return the 1st instead of the 2nd).
+        auto target =
+            static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+        if (target > total_) target = total_;  // guard q slightly above 1.0
         std::uint64_t seen = 0;
         for (std::size_t i = 0; i < kBuckets; ++i) {
             seen += counts_[i];
@@ -69,6 +75,7 @@ class LatencyHistogram {
     // Non-empty buckets as (upper bound, cumulative fraction) pairs.
     std::vector<Point> cdf_points() const {
         std::vector<Point> pts;
+        if (total_ == 0) return pts;  // no samples: no points, no 0/0 fractions
         std::uint64_t seen = 0;
         for (std::size_t i = 0; i < kBuckets; ++i) {
             if (counts_[i] == 0) continue;

@@ -1,0 +1,341 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lcrq {
+
+Json& Json::set(std::string_view key, Json value) {
+    if (!is_object()) v_ = Object{};
+    auto& obj = std::get<Object>(v_);
+    for (auto& [k, v] : obj) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    obj.emplace_back(std::string(key), std::move(value));
+    return *this;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, v] : std::get<Object>(v_)) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const noexcept {
+    static const Json null_value;
+    const Json* found = find(key);
+    return found != nullptr ? *found : null_value;
+}
+
+Json& Json::push_back(Json value) {
+    if (!is_array()) v_ = Array{};
+    std::get<Array>(v_).push_back(std::move(value));
+    return *this;
+}
+
+// --- serialization ----------------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
+        }
+    }
+    out += '"';
+}
+
+void append_number(std::string& out, double d) {
+    if (!std::isfinite(d)) {
+        out += "null";  // JSON has no NaN/Inf; null is the "no data" marker.
+        return;
+    }
+    constexpr double kExactIntLimit = 9007199254740992.0;  // 2^53
+    if (d == std::floor(d) && std::fabs(d) < kExactIntLimit) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    // Trim to the shortest representation that still round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof shorter, "%.*g", prec, d);
+        if (std::strtod(shorter, nullptr) == d) {
+            out += shorter;
+            return;
+        }
+    }
+    out += buf;
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+    std::string out;
+    struct Emitter {
+        int indent;
+        std::string& out;
+
+        void newline(int depth) const {
+            if (indent <= 0) return;
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent * depth), ' ');
+        }
+
+        void emit(const Json& j, int depth) const {
+            if (j.is_null()) {
+                out += "null";
+            } else if (j.is_bool()) {
+                out += j.as_bool() ? "true" : "false";
+            } else if (j.is_number()) {
+                append_number(out, j.as_double());
+            } else if (j.is_string()) {
+                append_escaped(out, j.as_string());
+            } else if (j.is_array()) {
+                const auto& items = j.items();
+                if (items.empty()) {
+                    out += "[]";
+                    return;
+                }
+                out += '[';
+                for (std::size_t i = 0; i < items.size(); ++i) {
+                    if (i != 0) out += ',';
+                    newline(depth + 1);
+                    emit(items[i], depth + 1);
+                }
+                newline(depth);
+                out += ']';
+            } else {
+                const auto& obj = j.members();
+                if (obj.empty()) {
+                    out += "{}";
+                    return;
+                }
+                out += '{';
+                bool first = true;
+                for (const auto& [k, v] : obj) {
+                    if (!first) out += ',';
+                    first = false;
+                    newline(depth + 1);
+                    append_escaped(out, k);
+                    out += indent > 0 ? ": " : ":";
+                    emit(v, depth + 1);
+                }
+                newline(depth);
+                out += '}';
+            }
+        }
+    };
+    Emitter{indent, out}.emit(*this, 0);
+    return out;
+}
+
+// --- parsing ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::optional<Json> run() {
+        auto v = value(0);
+        if (!v.has_value()) return std::nullopt;
+        skip_ws();
+        if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    bool consume(char c) {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    std::optional<Json> value(int depth) {
+        if (depth > kMaxDepth) return std::nullopt;
+        skip_ws();
+        if (pos_ >= text_.size()) return std::nullopt;
+        switch (text_[pos_]) {
+            case 'n': return literal("null") ? std::optional<Json>(Json()) : std::nullopt;
+            case 't': return literal("true") ? std::optional<Json>(Json(true)) : std::nullopt;
+            case 'f':
+                return literal("false") ? std::optional<Json>(Json(false)) : std::nullopt;
+            case '"': return string();
+            case '[': return array(depth);
+            case '{': return object(depth);
+            default: return number();
+        }
+    }
+
+    std::optional<Json> number() {
+        const std::size_t start = pos_;
+        if (consume('-')) {}
+        if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+            return std::nullopt;
+        }
+        while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+        if (consume('.')) {
+            if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+                return std::nullopt;
+            }
+            while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+            if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+                return std::nullopt;
+            }
+            while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        return Json(std::strtod(token.c_str(), nullptr));
+    }
+
+    std::optional<Json> string() {
+        std::string out;
+        if (!consume('"')) return std::nullopt;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return Json(std::move(out));
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) return std::nullopt;
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) return std::nullopt;
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9') {
+                            cp |= static_cast<unsigned>(h - '0');
+                        } else if (h >= 'a' && h <= 'f') {
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        } else if (h >= 'A' && h <= 'F') {
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        } else {
+                            return std::nullopt;
+                        }
+                    }
+                    // Encode the BMP code point as UTF-8 (surrogate pairs are
+                    // not needed by our artifacts; lone surrogates pass
+                    // through as their raw three-byte encoding).
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xC0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (cp >> 12));
+                        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    }
+                    break;
+                }
+                default: return std::nullopt;
+            }
+        }
+        return std::nullopt;  // unterminated string
+    }
+
+    std::optional<Json> array(int depth) {
+        if (!consume('[')) return std::nullopt;
+        Json out = Json::array();
+        skip_ws();
+        if (consume(']')) return out;
+        while (true) {
+            auto v = value(depth + 1);
+            if (!v.has_value()) return std::nullopt;
+            out.push_back(std::move(*v));
+            skip_ws();
+            if (consume(']')) return out;
+            if (!consume(',')) return std::nullopt;
+        }
+    }
+
+    std::optional<Json> object(int depth) {
+        if (!consume('{')) return std::nullopt;
+        Json out = Json::object();
+        skip_ws();
+        if (consume('}')) return out;
+        while (true) {
+            skip_ws();
+            auto key = string();
+            if (!key.has_value()) return std::nullopt;
+            skip_ws();
+            if (!consume(':')) return std::nullopt;
+            auto v = value(depth + 1);
+            if (!v.has_value()) return std::nullopt;
+            out.set(key->as_string(), std::move(*v));
+            skip_ws();
+            if (consume('}')) return out;
+            if (!consume(',')) return std::nullopt;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace lcrq

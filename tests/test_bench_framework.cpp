@@ -1,7 +1,13 @@
 // Bench framework: the pairs runner produces sane results, honors
-// placement/prefill/latency options, and the CLI plumbing round-trips.
+// placement/prefill/latency options, the CLI plumbing round-trips, and the
+// machine-readable JSON reports survive emit -> parse intact.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench_framework/json_report.hpp"
 #include "bench_framework/report.hpp"
 #include "bench_framework/runner.hpp"
 
@@ -153,6 +159,87 @@ TEST(Runner, MixWorkloadBalances) {
     EXPECT_GT(enq, 0u);
     const auto total = 2u * 3u * cfg.pairs_per_thread;
     EXPECT_EQ(r.total_ops, total);
+}
+
+TEST(Runner, FailedRunReportsNaNNotZero) {
+    // ns_per_op of a run that produced no ops must read as "no data", never
+    // as an infinitely fast 0 that would win every comparison.
+    RunResult r;
+    EXPECT_TRUE(std::isnan(r.ns_per_op(4)));
+}
+
+TEST(JsonReport, ResultEntryCarriesFullSchema) {
+    stats::reset_all();
+    RunConfig cfg = quick_config();
+    cfg.latency_sample_every = 4;
+    const RunResult r = run_pairs("lcrq", QueueOptions{}, cfg);
+    const Json entry = result_json("lcrq", cfg, r);
+    EXPECT_EQ(entry.at("queue").as_string(), "lcrq");
+    EXPECT_EQ(entry.at("workload").as_string(), "pairs");
+    EXPECT_EQ(entry.at("threads").as_int(), cfg.threads);
+    EXPECT_GT(entry.at("throughput").at("mean_ops_per_sec").as_double(), 0.0);
+    EXPECT_GE(entry.at("throughput").at("cv").as_double(), 0.0);
+    EXPECT_GT(entry.at("ns_per_op").as_double(), 0.0);
+    // LCRQ's paper invariant (2 atomic ops/op, plus any contention retries),
+    // visible straight from the artifact.
+    EXPECT_GE(entry.at("counters").at("derived").at("atomics_per_op").as_double(), 2.0);
+    EXPECT_LT(entry.at("counters").at("derived").at("atomics_per_op").as_double(), 4.0);
+    EXPECT_GT(entry.at("latency").at("samples").as_int(), 0);
+    EXPECT_GE(entry.at("latency").at("p99_ns").as_double(),
+              entry.at("latency").at("p50_ns").as_double());
+}
+
+TEST(JsonReport, NaNResultSerializesAsNull) {
+    RunConfig cfg = quick_config();
+    const RunResult failed;  // no runs recorded
+    const Json entry = result_json("lcrq", cfg, failed);
+    EXPECT_TRUE(entry.at("ns_per_op").is_null());
+    EXPECT_TRUE(entry.at("throughput").at("mean_ops_per_sec").is_null());
+}
+
+TEST(JsonReport, DocumentRoundTripsThroughParser) {
+    stats::reset_all();
+    RunConfig cfg = quick_config();
+    JsonReport report("test/round_trip");
+    report.set_config(cfg);
+    report.set_extra("note", Json("round trip"));
+    const RunResult r = run_pairs("ms", QueueOptions{}, cfg);
+    report.add_result(result_json("ms", cfg, r));
+    const Json doc = report.document();
+
+    const auto parsed = Json::parse(doc.dump(2));
+    ASSERT_TRUE(parsed.has_value());
+    // Field-by-field structural equality: parse(dump(x)) == x.
+    EXPECT_TRUE(*parsed == doc);
+    EXPECT_EQ(parsed->at("schema_version").as_int(), kBenchSchemaVersion);
+    EXPECT_EQ(parsed->at("bench").as_string(), "test/round_trip");
+    EXPECT_EQ(parsed->at("note").as_string(), "round trip");
+    ASSERT_EQ(parsed->at("results").size(), 1u);
+    const Json& entry = parsed->at("results").items()[0];
+    EXPECT_EQ(entry.at("queue").as_string(), "ms");
+    // Exact double round-trip, not approximate.
+    EXPECT_EQ(entry.at("throughput").at("mean_ops_per_sec").as_double(),
+              doc.at("results").items()[0].at("throughput").at("mean_ops_per_sec")
+                  .as_double());
+}
+
+TEST(JsonReport, WriteProducesParsableFile) {
+    JsonReport report("test/write");
+    report.add_result(Json::object().set("queue", "lcrq").set("threads", 1));
+    const std::string path = "./test_json_report_tmp.json";
+    ASSERT_TRUE(report.write(path));
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string content;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+    const auto parsed = Json::parse(content);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->at("bench").as_string(), "test/write");
+    EXPECT_EQ(parsed->at("results").size(), 1u);
 }
 
 }  // namespace

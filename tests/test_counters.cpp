@@ -2,7 +2,9 @@
 // across live and exited threads, reset, and snapshot arithmetic.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "arch/counters.hpp"
 #include "test_support.hpp"
@@ -104,6 +106,35 @@ TEST(Counters, ManyWavesAccumulateThroughGraveyard) {
         lcrq::test::run_threads(4, [](int) { count(Event::kTas, 5); });
     }
     EXPECT_EQ(global_snapshot()[Event::kTas], 10u * 4 * 5);
+}
+
+TEST(Counters, LiveSnapshotWhileOwnersIncrement) {
+    // global_snapshot() reads other threads' slots while their owners keep
+    // incrementing.  The slots are relaxed atomics (single writer), so the
+    // snapshot must be a defined read — this test runs in the TSan matrix to
+    // prove it — and every mid-run total must be a plausible partial sum:
+    // non-decreasing and never above the final total.
+    reset_all();
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPerThread = 50'000;
+    std::atomic<int> done{0};
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) count(Event::kFaa);
+            done.fetch_add(1, std::memory_order_release);
+        });
+    }
+    std::uint64_t last = 0;
+    while (done.load(std::memory_order_acquire) < kThreads) {
+        const std::uint64_t now = global_snapshot()[Event::kFaa];
+        EXPECT_GE(now, last);
+        EXPECT_LE(now, kThreads * kPerThread);
+        last = now;
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(global_snapshot()[Event::kFaa], kThreads * kPerThread);
 }
 
 }  // namespace

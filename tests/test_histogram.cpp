@@ -91,6 +91,31 @@ TEST(Histogram, CdfPointsAreMonotone) {
     EXPECT_DOUBLE_EQ(pts.back().cum_fraction, 1.0);
 }
 
+TEST(Histogram, PercentileUsesCeilingRank) {
+    // Two samples in distinct buckets: the q-quantile must cover the
+    // ceil(q * total)-th sample.  The old truncating rank returned the
+    // first sample for every q <= 0.99 — p75 of {10, 20} must be 20.
+    LatencyHistogram h;
+    h.record(10);
+    h.record(20);
+    EXPECT_EQ(h.percentile(0.0), 10u);   // rank clamps up to the 1st sample
+    EXPECT_EQ(h.percentile(0.5), 10u);   // ceil(1.0) = 1st
+    EXPECT_EQ(h.percentile(0.75), 20u);  // ceil(1.5) = 2nd
+    EXPECT_EQ(h.percentile(1.0), 20u);   // ceil(2.0) = 2nd
+}
+
+TEST(Histogram, PercentileRankOverLargerSet) {
+    // 64 distinct bucket-exact values 0..63: percentile(q) must be the
+    // ceil(q*64)-th smallest, i.e. value ceil(q*64) - 1.
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 64; ++v) h.record(v);
+    EXPECT_EQ(h.percentile(0.01), 0u);
+    EXPECT_EQ(h.percentile(0.25), 15u);
+    EXPECT_EQ(h.percentile(0.50), 31u);
+    EXPECT_EQ(h.percentile(0.99), 63u);
+    EXPECT_EQ(h.percentile(1.0), 63u);
+}
+
 TEST(Histogram, MergeAddsCounts) {
     LatencyHistogram a, b;
     a.record(5);

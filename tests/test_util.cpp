@@ -1,12 +1,14 @@
 // Utility substrate: RNG determinism and bounds, timing calibration,
-// statistics accumulators, table formatting.
+// statistics accumulators, table formatting, JSON emit/parse.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <set>
 
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timing.hpp"
@@ -137,6 +139,111 @@ TEST(Table, PrintsAlignedRows) {
     EXPECT_NE(out.find("42"), std::string::npos);
     EXPECT_NE(out.find("3.5"), std::string::npos);
     EXPECT_NE(out.find("|"), std::string::npos);
+}
+
+TEST(Json, BuildsAndDumpsObjects) {
+    Json doc = Json::object()
+                   .set("name", "lcrq")
+                   .set("threads", std::int64_t{8})
+                   .set("ok", true)
+                   .set("missing", Json());
+    const std::string s = doc.dump(0);
+    EXPECT_NE(s.find("\"name\":\"lcrq\""), std::string::npos);
+    EXPECT_NE(s.find("\"threads\":8"), std::string::npos);
+    EXPECT_NE(s.find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(s.find("\"missing\":null"), std::string::npos);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+    Json doc = Json::object().set("z", 1).set("a", 2).set("m", 3);
+    const auto& members = doc.members();
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(members[0].first, "z");
+    EXPECT_EQ(members[1].first, "a");
+    EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, SetOverwritesDuplicateKey) {
+    Json doc = Json::object().set("k", 1).set("k", 2);
+    ASSERT_EQ(doc.members().size(), 1u);
+    EXPECT_EQ(doc.at("k").as_int(), 2);
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+    // NaN means "no data" in the bench schema; Infinity is not valid JSON
+    // either.  Both normalize to null at construction, never a NaN token.
+    Json nan(std::numeric_limits<double>::quiet_NaN());
+    Json inf(std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(nan.is_null());
+    EXPECT_TRUE(inf.is_null());
+    Json doc = Json::array();
+    doc.push_back(std::move(nan));
+    doc.push_back(std::move(inf));
+    EXPECT_EQ(doc.dump(0), "[null,null]");
+}
+
+TEST(Json, StringEscapes) {
+    Json doc = Json(std::string("a\"b\\c\n\t\x01"));
+    const std::string s = doc.dump(0);
+    EXPECT_EQ(s, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+    const auto back = Json::parse(s);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->as_string(), "a\"b\\c\n\t\x01");
+}
+
+TEST(Json, ParseRoundTripsNumbersExactly) {
+    for (double v : {0.0, -1.5, 3.141592653589793, 1e-300, 6.94e6, 1e17,
+                     123456789.125, -0.001}) {
+        const Json j(v);
+        const auto back = Json::parse(j.dump(0));
+        ASSERT_TRUE(back.has_value()) << j.dump(0);
+        EXPECT_EQ(back->as_double(), v) << j.dump(0);
+    }
+}
+
+TEST(Json, IntegralDoublesPrintWithoutExponent) {
+    EXPECT_EQ(Json(4000.0).dump(0), "4000");
+    EXPECT_EQ(Json(std::int64_t{-7}).dump(0), "-7");
+    EXPECT_EQ(Json(std::uint64_t{1} << 40).dump(0), "1099511627776");
+}
+
+TEST(Json, ParseAcceptsNestedDocument) {
+    const auto doc = Json::parse(R"({
+        "schema_version": 1,
+        "results": [{"queue": "lcrq", "cv": 0.031}, {"queue": "ms"}],
+        "host": {"cpus": 1}
+    })");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->at("schema_version").as_int(), 1);
+    ASSERT_EQ(doc->at("results").size(), 2u);
+    EXPECT_EQ(doc->at("results").items()[0].at("queue").as_string(), "lcrq");
+    EXPECT_DOUBLE_EQ(doc->at("results").items()[0].at("cv").as_double(), 0.031);
+    EXPECT_EQ(doc->at("host").at("cpus").as_int(), 1);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+    EXPECT_FALSE(Json::parse("").has_value());
+    EXPECT_FALSE(Json::parse("{").has_value());
+    EXPECT_FALSE(Json::parse("[1,]").has_value());
+    EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+    EXPECT_FALSE(Json::parse("nul").has_value());
+    EXPECT_FALSE(Json::parse("1 trailing").has_value());
+    EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+}
+
+TEST(Json, DumpParseDumpIsStable) {
+    Json arr = Json::array();
+    arr.push_back(1);
+    arr.push_back("two");
+    Json doc = Json::object()
+                   .set("a", std::move(arr))
+                   .set("b", Json::object().set("x", 1.25).set("y", "z"))
+                   .set("c", false);
+    const std::string once = doc.dump(2);
+    const auto back = Json::parse(once);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->dump(2), once);
+    EXPECT_TRUE(*back == doc);
 }
 
 TEST(Table, PrintsCsv) {
