@@ -20,7 +20,17 @@ workload, threads, batch, ...) and three regression rules are applied:
                  tight);
   * latency p99: growth           >  --latency-pct AND > --latency-abs-ns
                  (timing tails are the noisiest metric; both a relative
-                 and an absolute bar must be cleared).
+                 and an absolute bar must be cleared);
+  * tickets/F&A: shrink           >  --tickets-pct (with small abs slack)
+                 on entries carrying bulk.tickets_per_faa — the batched
+                 paths' whole point is many tickets per F&A, so losing
+                 amortization is a regression even when throughput noise
+                 hides it;
+  * CAS failure rate: growth      >  --cas-fail-pct plus an absolute
+                 slack of 0.02, on counters.derived.cas_failure_rate —
+                 a contention-behavior canary: more failed CAS per
+                 attempt means more wasted coherence traffic at the same
+                 op count.
 
 Data that is missing on one side only is itself a finding: a null metric
 in NEW where BASELINE had a number means a run stopped producing data and
@@ -126,6 +136,24 @@ class Comparison:
             abs_slack=0.02,
         )
         self.check_latency(key, base, new)
+        self.check_metric_growth(
+            key,
+            base,
+            new,
+            "counters.derived.cas_failure_rate",
+            "CAS failure rate",
+            rel_limit=self.args.cas_fail_pct / 100.0,
+            abs_slack=0.02,
+        )
+        self.check_metric_shrink(
+            key,
+            base,
+            new,
+            "bulk.tickets_per_faa",
+            "tickets/F&A",
+            rel_limit=self.args.tickets_pct / 100.0,
+            abs_slack=0.05,
+        )
         self.check_missing(key, base, new, "ns_per_op")
 
     def check_throughput(self, key, base, new):
@@ -169,6 +197,27 @@ class Comparison:
             self.flag(
                 key,
                 f"{label} grew {b:.3f} -> {n:.3f} "
+                f"(limit {100 * rel_limit:.0f}% + {abs_slack})",
+            )
+
+    def check_metric_shrink(self, key, base, new, path, label, rel_limit, abs_slack):
+        # Higher-is-better counterpart of check_metric_growth (amortization
+        # ratios).  A metric vanishing is flagged exactly like a growth
+        # metric's; a metric appearing is fine (e.g. a queue gaining native
+        # bulk paths).
+        b = as_number(get_path(base, path))
+        n = as_number(get_path(new, path))
+        if b is None and n is None:
+            return
+        if b is not None and n is None:
+            self.flag(key, f"{label} disappeared (baseline had data, new is null)")
+            return
+        if b is None:
+            return
+        if n < b * (1.0 - rel_limit) - abs_slack:
+            self.flag(
+                key,
+                f"{label} shrank {b:.3f} -> {n:.3f} "
                 f"(limit {100 * rel_limit:.0f}% + {abs_slack})",
             )
 
@@ -236,7 +285,14 @@ def report(cmp, baseline_path, new_path):
 # one — and that a self-compare is clean.  Run from ctest and CI.
 
 
-def synthetic_report(throughput_scale=1.0, atomics=2.0, p99=150.0, lose_data=False):
+def synthetic_report(
+    throughput_scale=1.0,
+    atomics=2.0,
+    p99=150.0,
+    lose_data=False,
+    cas_fail=0.05,
+    tickets=7.5,
+):
     def entry(queue, threads, tput, cv=0.01):
         return {
             "queue": queue,
@@ -258,9 +314,13 @@ def synthetic_report(throughput_scale=1.0, atomics=2.0, p99=150.0, lose_data=Fal
                     "atomics_per_op": atomics if queue == "lcrq" else 1.5,
                     "faa_per_op": 1.0,
                     "cas_fails_per_op": 0.0,
-                    "cas_failure_rate": None,
+                    "cas_failure_rate": cas_fail if queue == "lcrq" else None,
                     "cas2_failure_rate": 0.0,
                 },
+            },
+            "bulk": {
+                "tickets_per_faa": tickets if queue == "lcrq" else None,
+                "wasted_per_batch": 0.1,
             },
             "latency": {
                 "samples": 4000,
@@ -337,7 +397,41 @@ def self_check(args):
             f"p99 growth not flagged: {cmp.regressions}",
         )
 
-        # 6. Vanished data must be flagged, not read as infinitely fast.
+        # 6. Bulk amortization collapse (tickets/F&A 7.5 -> 1.2, batching
+        # silently degenerating to one F&A per item) must be flagged.
+        unbatched = write("unbatched.json", synthetic_report(tickets=1.2))
+        cmp = compare_files(baseline, unbatched, args)
+        expect(
+            any("tickets/F&A shrank" in r for r in cmp.regressions),
+            f"tickets/F&A collapse not flagged: {cmp.regressions}",
+        )
+
+        # 7. ...but a within-noise amortization dip must NOT be (4% < 10%).
+        dipped = write("dipped.json", synthetic_report(tickets=7.2))
+        cmp = compare_files(baseline, dipped, args)
+        expect(
+            not any("tickets/F&A" in r for r in cmp.regressions),
+            f"4% tickets/F&A dip was flagged: {cmp.regressions}",
+        )
+
+        # 8. CAS failure rate blowing up (0.05 -> 0.30) must be flagged.
+        contended = write("contended.json", synthetic_report(cas_fail=0.30))
+        cmp = compare_files(baseline, contended, args)
+        expect(
+            any("CAS failure rate grew" in r for r in cmp.regressions),
+            f"CAS failure rate growth not flagged: {cmp.regressions}",
+        )
+
+        # 9. ...but growth inside the relative limit + slack must NOT be
+        # (0.05 -> 0.06 is 20% < 25%, and under the 0.02 absolute slack).
+        jittery = write("jittery.json", synthetic_report(cas_fail=0.06))
+        cmp = compare_files(baseline, jittery, args)
+        expect(
+            not any("CAS failure rate" in r for r in cmp.regressions),
+            f"within-noise CAS failure growth was flagged: {cmp.regressions}",
+        )
+
+        # 10. Vanished data must be flagged, not read as infinitely fast.
         lost = write("lost.json", synthetic_report(lose_data=True))
         cmp = compare_files(baseline, lost, args)
         expect(
@@ -345,7 +439,7 @@ def self_check(args):
             f"lost data not flagged: {cmp.regressions}",
         )
 
-        # 7. Wrong schema version must be rejected.
+        # 11. Wrong schema version must be rejected.
         bad = synthetic_report()
         bad["schema_version"] = SCHEMA_VERSION + 1
         bad_path = write("bad.json", bad)
@@ -393,6 +487,19 @@ def main(argv):
         type=float,
         default=200.0,
         help="p99 growth below this many ns never flags (default 200)",
+    )
+    parser.add_argument(
+        "--tickets-pct",
+        type=float,
+        default=10.0,
+        help="allowed bulk tickets/F&A shrink in %% (default 10)",
+    )
+    parser.add_argument(
+        "--cas-fail-pct",
+        type=float,
+        default=25.0,
+        help="allowed CAS failure rate growth in %% plus 0.02 absolute "
+        "slack (default 25)",
     )
     parser.add_argument(
         "--self-check",

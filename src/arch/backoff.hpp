@@ -33,12 +33,16 @@ class SpinWait {
     static constexpr std::uint32_t kSpinLimit = 128;
 
     void spin() noexcept {
+        // The threshold only selects pause-vs-yield; every call counts, so
+        // spins() reports the true wait length (it used to saturate at
+        // kSpinLimit once the yield phase began, under-reporting long
+        // waits to telemetry).
         if (count_ < kSpinLimit) {
-            ++count_;
             cpu_relax();
         } else {
             ::sched_yield();
         }
+        ++count_;
     }
 
     void reset() noexcept { count_ = 0; }

@@ -54,6 +54,8 @@ enum class Event : unsigned {
     kBulkFaa,          // batched F&As (one per bulk ticket-claim round)
     kBulkTickets,      // ring tickets claimed by batched F&As
     kBulkWasted,       // batch tickets that produced no enqueue/dequeue
+    kSegmentAlloc,     // ring segments obtained from the allocator
+    kSegmentReuse,     // ring segments recycled from a segment pool
     kCount
 };
 
@@ -69,6 +71,7 @@ constexpr std::string_view event_name(Event e) noexcept {
         "empty_transition", "combine",   "combiner_acquire",
         "cluster_handoff", "bulk_enqueue", "bulk_dequeue",
         "bulk_faa",      "bulk_tickets", "bulk_wasted",
+        "segment_alloc", "segment_reuse",
     };
     return names[static_cast<std::size_t>(e)];
 }

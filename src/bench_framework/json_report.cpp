@@ -80,7 +80,14 @@ Json counters_json(const stats::Snapshot& delta) {
             .set("cas_failure_rate",
                  ratio(static_cast<double>(delta[stats::Event::kCasFailure]), cas))
             .set("cas2_failure_rate",
-                 ratio(static_cast<double>(delta[stats::Event::kCas2Failure]), cas2));
+                 ratio(static_cast<double>(delta[stats::Event::kCas2Failure]), cas2))
+            // Fraction of ring segments served from the pool rather than
+            // the allocator; null when no segment was ever needed (non-list
+            // queues, or runs with no ring close).
+            .set("segment_reuse_rate",
+                 ratio(static_cast<double>(delta[stats::Event::kSegmentReuse]),
+                       static_cast<double>(delta[stats::Event::kSegmentAlloc] +
+                                           delta[stats::Event::kSegmentReuse])));
     return Json::object().set("counts", std::move(counts)).set("derived",
                                                                std::move(derived));
 }

@@ -18,7 +18,7 @@ HazardDomain::~HazardDomain() {
     // the record list itself.
     detail::HazardRecord* rec = head_.load(std::memory_order_acquire);
     while (rec != nullptr) {
-        for (const auto& obj : rec->retired) obj.deleter(obj.ptr);
+        for (const auto& obj : rec->retired) obj.deleter(obj.ptr, obj.ctx);
         detail::HazardRecord* next = rec->next.load(std::memory_order_relaxed);
         delete rec;
         rec = next;
@@ -79,14 +79,15 @@ void HazardDomain::drain(std::vector<detail::RetiredObject>& objs) {
         if (std::binary_search(protected_ptrs.begin(), protected_ptrs.end(), obj.ptr)) {
             objs[kept++] = obj;
         } else {
-            obj.deleter(obj.ptr);
+            obj.deleter(obj.ptr, obj.ctx);
         }
     }
     objs.resize(kept);
 }
 
-void HazardThread::retire_impl(void* ptr, void (*deleter)(void*)) {
-    record_->retired.push_back({ptr, deleter});
+void HazardThread::retire_impl(void* ptr, void (*deleter)(void*, void*),
+                               void* ctx) {
+    record_->retired.push_back({ptr, deleter, ctx});
     LCRQ_INJECT_POINT(kHazardRetire);
     const std::size_t threshold =
         2 * detail::HazardRecord::kSlots *
@@ -97,6 +98,8 @@ void HazardThread::retire_impl(void* ptr, void (*deleter)(void*)) {
         domain_->drain(record_->retired);
     }
 }
+
+void HazardThread::drain_now() { domain_->drain(record_->retired); }
 
 void HazardDomain::scan() {
     // Quiescent-only (see header): touching every record's retired list is

@@ -35,9 +35,14 @@ class HazardDomain;
 
 namespace detail {
 
+// The deleter carries an opaque context so retirement can do more than
+// `delete`: the segment pool registers a retire-to-pool deleter whose ctx
+// is the pool (segment_pool.hpp).  It runs once the scan proves no slot
+// protects `ptr`.
 struct RetiredObject {
     void* ptr;
-    void (*deleter)(void*);
+    void (*deleter)(void*, void* ctx);
+    void* ctx;
 };
 
 struct alignas(kCacheLineSize) HazardRecord {
@@ -126,9 +131,18 @@ class HazardThread {
     // Retire an object: freed by a later scan, once unprotected.
     template <typename T>
     void retire(T* ptr) {
-        retire_impl(ptr, [](void* p) { delete static_cast<T*>(p); });
+        retire_impl(ptr, [](void* p, void*) { delete static_cast<T*>(p); },
+                    nullptr);
     }
-    void retire_impl(void* ptr, void (*deleter)(void*));
+    void retire_impl(void* ptr, void (*deleter)(void*, void*), void* ctx);
+
+    // Scan this thread's retired list now instead of waiting for the
+    // amortization threshold.  The retire-to-pool path calls this so a
+    // drained ring reaches the pool while the close that retired it is
+    // still hot — at the default threshold a segment would sit retired for
+    // ~2*kSlots*records closes before becoming reusable, which defeats
+    // pooling for every queue whose close rate is below that.
+    void drain_now();
 
     HazardDomain& domain() { return *domain_; }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <concepts>
 #include <optional>
 
 #include "arch/backoff.hpp"
@@ -36,7 +37,15 @@ class BlockingQueue {
 
     bool enqueue(value_t x) {
         if (closed_.load(std::memory_order_acquire)) return false;
-        base_.enqueue(x);
+        // The base queue may have been closed directly via base().close(),
+        // which our flag cannot see; the asserting base_.enqueue(x) would
+        // silently drop the item in release builds (and abort in debug).
+        // Bases with a try_enqueue report that instead of asserting.
+        if constexpr (requires { { base_.try_enqueue(x) } -> std::same_as<bool>; }) {
+            if (!base_.try_enqueue(x)) return false;
+        } else {
+            base_.enqueue(x);
+        }
         // Epoch bump + notify: only consumers that already registered as
         // waiters (bumped waiters_) cost producers a futex syscall.
         epoch_.fetch_add(1, std::memory_order_release);

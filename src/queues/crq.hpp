@@ -101,16 +101,23 @@ class Crq {
           spin_wait_iters_(opt.spin_wait_iters) {
         assert(opt.ring_order >= 1 && opt.ring_order < 63);
         ring_ = check_alloc(aligned_array_alloc<Node>(size_));
-        for (std::uint64_t u = 0; u < size_; ++u) {
-            ring_[u].cell.si.store(detail::make_si(true, u), std::memory_order_relaxed);
-            ring_[u].cell.val.store(kBottom, std::memory_order_relaxed);
-        }
-        if (first.has_value()) {
-            assert(is_enqueueable(*first));
-            ring_[0].cell.val.store(*first, std::memory_order_relaxed);
-            tail_->store(1, std::memory_order_relaxed);
-        }
-        std::atomic_thread_fence(std::memory_order_seq_cst);
+        init_ring(first);
+    }
+
+    // Reinitialize a drained, quiescent ring in place so the segment pool
+    // can recycle it instead of allocating (segment_pool.hpp).  Equivalent
+    // to destroying and reconstructing with the same ring_order — the
+    // caller owns the ring exclusively (popped from the pool, past the
+    // hazard scan), and the publishing list-append CAS is what makes the
+    // reset visible to other threads.
+    void reset(const QueueOptions& opt,
+               std::optional<value_t> first = std::nullopt) {
+        assert((std::uint64_t{1} << opt.ring_order) == size_);
+        starvation_limit_ = opt.starvation_limit == 0 ? 1 : opt.starvation_limit;
+        spin_wait_iters_ = opt.spin_wait_iters;
+        next.store(nullptr, std::memory_order_relaxed);
+        cluster.store(0, std::memory_order_relaxed);
+        init_ring(first);
     }
 
     ~Crq() { aligned_array_free(ring_); }
@@ -343,6 +350,23 @@ class Crq {
     }
 
   private:
+    // Shared by construction and reset: empty ring on lap 0, optional seed
+    // item in cell 0 (tail = 1), head = 0, CLOSED bit clear.
+    void init_ring(std::optional<value_t> first) {
+        for (std::uint64_t u = 0; u < size_; ++u) {
+            ring_[u].cell.si.store(detail::make_si(true, u), std::memory_order_relaxed);
+            ring_[u].cell.val.store(kBottom, std::memory_order_relaxed);
+        }
+        head_->store(0, std::memory_order_relaxed);
+        tail_->store(0, std::memory_order_relaxed);
+        if (first.has_value()) {
+            assert(is_enqueueable(*first));
+            ring_[0].cell.val.store(*first, std::memory_order_relaxed);
+            tail_->store(1, std::memory_order_relaxed);
+        }
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+
     // One enqueue attempt with ticket t (Figure 3d lines 88-96): store x if
     // the cell is empty, not past t, and safe-or-rescuable.  Returns false
     // on an unusable cell or a lost CAS2 — the ticket is then wasted and
@@ -448,8 +472,10 @@ class Crq {
 
     const std::uint64_t size_;
     const std::uint64_t mask_;
-    const unsigned starvation_limit_;
-    const unsigned spin_wait_iters_;
+    // Non-const so reset() can re-apply the options of the queue recycling
+    // the ring; stable while the ring is published.
+    unsigned starvation_limit_;
+    unsigned spin_wait_iters_;
     Node* ring_;
 
     CacheAligned<std::atomic<std::uint64_t>, kDestructivePairSize> head_{0};

@@ -19,6 +19,13 @@
 // cost; the Protected=false specialization removes it (and with it all
 // reclamation until destruction) so the ablation bench can price it.
 //
+// Ring segments are recycled through a bounded per-queue pool
+// (segment_pool.hpp): appenders allocate from it, losing appenders park
+// their speculative ring in it, and drained rings return to it through the
+// hazard path with a retire-to-pool deleter — the scan proves no thread
+// still holds the pointer, which keeps the head/tail CASes ABA-safe across
+// reuse.  Pooled=false is the ablation (every close pays malloc/free).
+//
 // Template parameters select the paper's evaluated variants:
 //   Lcrq<HardwareFaa, NoHierarchy>      — LCRQ
 //   Lcrq<CasLoopFaa,  NoHierarchy>      — LCRQ-CAS
@@ -39,19 +46,22 @@
 #include "queues/crq.hpp"
 #include "queues/hierarchy.hpp"
 #include "queues/queue_common.hpp"
+#include "queues/segment_pool.hpp"
 
 namespace lcrq {
 
 template <class Faa = HardwareFaa, class Hierarchy = NoHierarchy, bool Padded = true,
-          bool Protected = true>
+          bool Protected = true, bool Pooled = true>
 class Lcrq {
   public:
     static constexpr const char* kName = "lcrq";
     using CrqT = Crq<Faa, Padded>;
 
     explicit Lcrq(const QueueOptions& opt = {})
-        : opt_(opt), hierarchy_(opt.cluster_timeout_ns) {
-        auto* q = check_alloc(new (std::nothrow) CrqT(opt_));
+        : opt_(opt),
+          hierarchy_(opt.cluster_timeout_ns),
+          pool_(Pooled ? opt.segment_pool_cap : 0) {
+        auto* q = alloc_ring();
         first_ = q;
         head_->store(q, std::memory_order_relaxed);
         tail_->store(q, std::memory_order_relaxed);
@@ -102,7 +112,7 @@ class Lcrq {
                 return true;
             }
             // Ring closed (tantrum): append a new CRQ seeded with x.
-            auto* fresh = check_alloc(new (std::nothrow) CrqT(opt_, x));
+            auto* fresh = alloc_ring(x);
             CrqT* expected = nullptr;
             stats::count(stats::Event::kCas);
             if (crq->next.compare_exchange_strong(expected, fresh,
@@ -114,7 +124,7 @@ class Lcrq {
                 return true;
             }
             stats::count(stats::Event::kCasFailure);
-            delete fresh;  // another appender won; retry in the new tail
+            discard_ring(fresh);  // another appender won; retry in the new tail
         }
     }
 
@@ -151,7 +161,7 @@ class Lcrq {
             }
             // Ring closed mid-batch: append a fresh CRQ seeded with the
             // next item and continue the batch in it.
-            auto* fresh = check_alloc(new (std::nothrow) CrqT(opt_, items[done]));
+            auto* fresh = alloc_ring(items[done]);
             CrqT* expected = nullptr;
             stats::count(stats::Event::kCas);
             if (crq->next.compare_exchange_strong(expected, fresh,
@@ -165,7 +175,7 @@ class Lcrq {
                 }
             } else {
                 stats::count(stats::Event::kCasFailure);
-                delete fresh;  // another appender won; retry in the new tail
+                discard_ring(fresh);  // another appender won; retry there
             }
         }
     }
@@ -217,7 +227,7 @@ class Lcrq {
             if (counted_cas_ptr(*head_, crq, next)) {
                 release();
                 if constexpr (Protected) {
-                    my_hazard().retire(crq);
+                    retire_ring(crq);
                 }
                 // Unprotected: the drained ring stays linked from first_
                 // and is freed by the destructor.
@@ -250,7 +260,7 @@ class Lcrq {
             if (counted_cas_ptr(*head_, crq, next)) {
                 release();
                 if constexpr (Protected) {
-                    my_hazard().retire(crq);
+                    retire_ring(crq);
                 }
             }
         }
@@ -275,13 +285,60 @@ class Lcrq {
         return sum_segments([](CrqT& q) { return q.approx_size(); });
     }
     HazardDomain& hazard_domain() noexcept { return domain_; }
+    SegmentPool<CrqT>& segment_pool() noexcept { return pool_; }
     static std::string variant_name() {
         return std::string("lcrq") + Hierarchy::suffix() +
                (std::string(Faa::name()) == "cas-loop" ? "-cas" : "") +
-               (Protected ? "" : "-noreclaim");
+               (Protected ? "" : "-noreclaim") + (Pooled ? "" : "-nopool");
     }
 
   private:
+    // Fresh ring for construction or append: recycled from the pool when
+    // possible, allocated otherwise.  The reset happens under exclusive
+    // ownership; the appending CAS publishes it.
+    CrqT* alloc_ring(std::optional<value_t> first = std::nullopt) {
+        if constexpr (Pooled) {
+            if (CrqT* q = pool_.try_pop()) {
+                q->reset(opt_, first);
+                stats::count(stats::Event::kSegmentReuse);
+                return q;
+            }
+        }
+        stats::count(stats::Event::kSegmentAlloc);
+        return check_alloc(new (std::nothrow) CrqT(opt_, first));
+    }
+
+    // A speculative ring another appender beat us to installing: never
+    // published, so it can go straight back to the pool.
+    void discard_ring(CrqT* fresh) {
+        if constexpr (Pooled) {
+            pool_.push(fresh);
+        } else {
+            delete fresh;
+        }
+    }
+
+    // A drained ring head_ swung past: concurrent operations may still
+    // hold it, so it must cross a hazard scan before the pool may hand it
+    // out again.  The eager drain is what makes recycling effective — at
+    // the amortized threshold (~2*kSlots*records retirements) a segment
+    // would sit parked on the record for dozens of closes first; draining
+    // here costs one O(records) scan per ring close, amortized against the
+    // O(R) ring reset the recycle saves.
+    void retire_ring(CrqT* crq) {
+        if constexpr (Pooled) {
+            HazardThread& hp = my_hazard();
+            hp.retire_impl(crq, &retire_to_pool, &pool_);
+            hp.drain_now();
+        } else {
+            my_hazard().retire(crq);
+        }
+    }
+
+    static void retire_to_pool(void* p, void* ctx) {
+        static_cast<SegmentPool<CrqT>*>(ctx)->push(static_cast<CrqT*>(p));
+    }
+
     // Read a list pointer for use: publish-fence-reread under hazard
     // protection (slot 0), or a plain acquire load in the unprotected
     // (leak-until-destruction) specialization.
@@ -359,6 +416,11 @@ class Lcrq {
 
     QueueOptions opt_;
     Hierarchy hierarchy_;
+    // Declared before domain_: retire-to-pool deleters run from hazard
+    // drains as late as ~HazardDomain (and the per-thread record releases
+    // in hazard_threads_'s destructors), all of which must find the pool
+    // alive.  Members destroy in reverse order, so the pool outlives both.
+    SegmentPool<CrqT> pool_;
     HazardDomain domain_;
     CrqT* first_ = nullptr;  // construction-time ring; anchors ~Lcrq when unprotected
     // Shutdown flag: read-shared on the enqueue path, written once.
@@ -378,5 +440,8 @@ using LcrqHQueue = Lcrq<HardwareFaa, ClusterHierarchy>;
 // the paper's footnote-6 overhead, leaks rings until destruction).
 using LcrqCompactQueue = Lcrq<HardwareFaa, NoHierarchy, false>;
 using LcrqNoReclaimQueue = Lcrq<HardwareFaa, NoHierarchy, true, false>;
+// No segment pool: every ring close pays the allocator (the pre-pool
+// behaviour, kept as the ablation bench's baseline).
+using LcrqNoPoolQueue = Lcrq<HardwareFaa, NoHierarchy, true, true, false>;
 
 }  // namespace lcrq

@@ -15,10 +15,12 @@
 //            and retire the drained segment.
 //
 // Retired segments are reclaimed with the same hazard-pointer scheme as
-// LCRQ; Protected=false removes protection (and reclamation) for the
-// ablation bench.  Unlike LCRQ, no operation in here or in the segments
-// uses CAS2 — every RMW is on a single 64-bit word, which is the point of
-// carrying a second backend: identical harness, portable primitives.
+// LCRQ, and recycled through the same bounded segment pool
+// (segment_pool.hpp; Pooled=false is the malloc-per-close ablation).
+// Unlike LCRQ, no operation in here or in the segments uses CAS2 — every
+// RMW is on a single 64-bit word, which is the point of carrying a second
+// backend: identical harness, portable primitives (the pool preserves
+// this: its pop is an exchange, not a tagged CAS).
 #pragma once
 
 #include <atomic>
@@ -36,17 +38,19 @@
 #include "hazard/hazard_pointers.hpp"
 #include "queues/queue_common.hpp"
 #include "queues/scq.hpp"
+#include "queues/segment_pool.hpp"
 
 namespace lcrq {
 
-template <class Faa = HardwareFaa, bool Protected = true>
+template <class Faa = HardwareFaa, bool Protected = true, bool Pooled = true>
 class Lscq {
   public:
     static constexpr const char* kName = "lscq";
     using ScqT = Scq<Faa>;
 
-    explicit Lscq(const QueueOptions& opt = {}) : opt_(opt) {
-        auto* q = check_alloc(new (std::nothrow) ScqT(opt_.ring_order));
+    explicit Lscq(const QueueOptions& opt = {})
+        : opt_(opt), pool_(Pooled ? opt.segment_pool_cap : 0) {
+        auto* q = alloc_segment();
         first_ = q;
         head_->store(q, std::memory_order_relaxed);
         tail_->store(q, std::memory_order_relaxed);
@@ -91,8 +95,7 @@ class Lscq {
             // list layer supplies the tantrum CRQ performs internally — so
             // every enqueuer diverts to the fresh segment.
             if (r == ScqPutResult::kFull) scq->close();
-            auto* fresh =
-                check_alloc(new (std::nothrow) ScqT(opt_.ring_order, x));
+            auto* fresh = alloc_segment(x);
             ScqT* expected = nullptr;
             stats::count(stats::Event::kCas);
             if (scq->next.compare_exchange_strong(expected, fresh,
@@ -104,7 +107,7 @@ class Lscq {
                 return true;
             }
             stats::count(stats::Event::kCasFailure);
-            delete fresh;  // another appender won; retry in the new tail
+            discard_segment(fresh);  // another appender won; retry there
         }
     }
 
@@ -132,8 +135,7 @@ class Lscq {
                 return true;
             }
             if (r.status == ScqPutResult::kFull) scq->close();
-            auto* fresh = check_alloc(
-                new (std::nothrow) ScqT(opt_.ring_order, items[done]));
+            auto* fresh = alloc_segment(items[done]);
             ScqT* expected = nullptr;
             stats::count(stats::Event::kCas);
             if (scq->next.compare_exchange_strong(expected, fresh,
@@ -147,7 +149,7 @@ class Lscq {
                 }
             } else {
                 stats::count(stats::Event::kCasFailure);
-                delete fresh;  // another appender won; retry in the new tail
+                discard_segment(fresh);  // another appender won; retry there
             }
         }
     }
@@ -195,7 +197,7 @@ class Lscq {
             if (counted_cas_ptr(*head_, scq, next)) {
                 release();
                 if constexpr (Protected) {
-                    my_hazard().retire(scq);
+                    retire_segment(scq);
                 }
                 // Unprotected: the drained segment stays linked from
                 // first_ and is freed by the destructor.
@@ -221,7 +223,7 @@ class Lscq {
             if (counted_cas_ptr(*head_, scq, next)) {
                 release();
                 if constexpr (Protected) {
-                    my_hazard().retire(scq);
+                    retire_segment(scq);
                 }
             }
         }
@@ -238,13 +240,52 @@ class Lscq {
         return sum_segments([](ScqT& q) { return q.approx_size(); });
     }
     HazardDomain& hazard_domain() noexcept { return domain_; }
+    SegmentPool<ScqT>& segment_pool() noexcept { return pool_; }
     static std::string variant_name() {
         return std::string("lscq") +
                (std::string(Faa::name()) == "cas-loop" ? "-cas" : "") +
-               (Protected ? "" : "-noreclaim");
+               (Protected ? "" : "-noreclaim") + (Pooled ? "" : "-nopool");
     }
 
   private:
+    // Recycled-or-fresh segment; see Lcrq::alloc_ring.
+    ScqT* alloc_segment(std::optional<value_t> first = std::nullopt) {
+        if constexpr (Pooled) {
+            if (ScqT* q = pool_.try_pop()) {
+                q->reset(opt_.ring_order, first);
+                stats::count(stats::Event::kSegmentReuse);
+                return q;
+            }
+        }
+        stats::count(stats::Event::kSegmentAlloc);
+        return check_alloc(new (std::nothrow) ScqT(opt_.ring_order, first));
+    }
+
+    // Loser appender's unpublished segment; see Lcrq::discard_ring.
+    void discard_segment(ScqT* fresh) {
+        if constexpr (Pooled) {
+            pool_.push(fresh);
+        } else {
+            delete fresh;
+        }
+    }
+
+    // Drained segment, possibly still held by concurrent operations; see
+    // Lcrq::retire_ring for why the pooled path drains eagerly.
+    void retire_segment(ScqT* scq) {
+        if constexpr (Pooled) {
+            HazardThread& hp = my_hazard();
+            hp.retire_impl(scq, &retire_to_pool, &pool_);
+            hp.drain_now();
+        } else {
+            my_hazard().retire(scq);
+        }
+    }
+
+    static void retire_to_pool(void* p, void* ctx) {
+        static_cast<SegmentPool<ScqT>*>(ctx)->push(static_cast<ScqT*>(p));
+    }
+
     ScqT* acquire(const std::atomic<ScqT*>& src) {
         if constexpr (Protected) {
             return my_hazard().protect(src, 0);
@@ -306,6 +347,9 @@ class Lscq {
     }
 
     QueueOptions opt_;
+    // Before domain_ so the pool outlives every hazard drain that can run
+    // the retire-to-pool deleter (see Lcrq's member-order note).
+    SegmentPool<ScqT> pool_;
     HazardDomain domain_;
     ScqT* first_ = nullptr;  // construction-time segment; anchors ~Lscq when unprotected
     std::atomic<bool> closed_{false};
@@ -317,5 +361,7 @@ class Lscq {
 using LscqQueue = Lscq<HardwareFaa>;
 using LscqCasQueue = Lscq<CasLoopFaa>;
 using LscqNoReclaimQueue = Lscq<HardwareFaa, false>;
+// Malloc-per-close ablation (cf. LcrqNoPoolQueue).
+using LscqNoPoolQueue = Lscq<HardwareFaa, true, false>;
 
 }  // namespace lcrq

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -145,6 +146,9 @@ struct QueueOptions {
     unsigned combiner_bound = 1024;
     // Capacity (log2) of the bounded baseline rings.
     unsigned bounded_order = 16;
+    // Max ring segments the list queues (LCRQ/LSCQ) keep cached for reuse;
+    // overflow falls back to the allocator.  0 disables pooling.
+    std::size_t segment_pool_cap = 16;
 };
 
 }  // namespace lcrq

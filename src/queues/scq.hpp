@@ -75,23 +75,15 @@ class ScqRing {
           bottom_(size_ - 1),
           threshold_full_(static_cast<std::int64_t>(3 * capacity_ - 1)) {
         assert(order >= 1 && order < 32);
-        const std::uint64_t seeds = seed_end - seed_begin;
-        assert(seeds <= capacity_);
         entries_ = check_alloc(aligned_array_alloc<Entry>(size_));
-        for (std::uint64_t u = 0; u < size_; ++u) {
-            entries_[u].store(pack(0, true, bottom_), std::memory_order_relaxed);
-        }
-        // Seeded entries live on cycle 1 (ticket size_ + i), matching the
-        // head/tail start of one full lap so cycle 0 never carries items.
-        for (std::uint64_t i = 0; i < seeds; ++i) {
-            entries_[remap(i)].store(pack(1, true, seed_begin + i),
-                                     std::memory_order_relaxed);
-        }
-        head_->store(size_, std::memory_order_relaxed);
-        tail_->store(size_ + seeds, std::memory_order_relaxed);
-        threshold_->store(seeds != 0 ? threshold_full_ : -1,
-                          std::memory_order_relaxed);
-        std::atomic_thread_fence(std::memory_order_seq_cst);
+        init_ring(seed_begin, seed_end);
+    }
+
+    // Reinitialize a drained, quiescent ring in place (cf. Crq::reset):
+    // equivalent to reconstructing with the same order.  Caller owns the
+    // ring exclusively; publication happens via the list-append CAS.
+    void reset(std::uint64_t seed_begin = 0, std::uint64_t seed_end = 0) {
+        init_ring(seed_begin, seed_end);
     }
 
     ~ScqRing() { aligned_array_free(entries_); }
@@ -285,6 +277,25 @@ class ScqRing {
     std::uint64_t debug_take_dequeue_ticket() { return Faa::fetch_add(*head_, 1); }
 
   private:
+    void init_ring(std::uint64_t seed_begin, std::uint64_t seed_end) {
+        const std::uint64_t seeds = seed_end - seed_begin;
+        assert(seeds <= capacity_);
+        for (std::uint64_t u = 0; u < size_; ++u) {
+            entries_[u].store(pack(0, true, bottom_), std::memory_order_relaxed);
+        }
+        // Seeded entries live on cycle 1 (ticket size_ + i), matching the
+        // head/tail start of one full lap so cycle 0 never carries items.
+        for (std::uint64_t i = 0; i < seeds; ++i) {
+            entries_[remap(i)].store(pack(1, true, seed_begin + i),
+                                     std::memory_order_relaxed);
+        }
+        head_->store(size_, std::memory_order_relaxed);
+        tail_->store(size_ + seeds, std::memory_order_relaxed);
+        threshold_->store(seeds != 0 ? threshold_full_ : -1,
+                          std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+
     std::uint64_t cycle_of_ticket(std::uint64_t t) const noexcept {
         return t >> idx_bits_;
     }
@@ -462,6 +473,21 @@ class Scq {
     }
 
     ~Scq() { aligned_array_free(data_); }
+
+    // In-place reinitialization for segment recycling (cf. Crq::reset).
+    // Caller owns the segment exclusively and the order must match.
+    void reset(unsigned order, std::optional<value_t> first = std::nullopt) {
+        assert((std::uint64_t{1} << order) == capacity_);
+        aq_.reset(0, first.has_value() ? 1 : 0);
+        fq_.reset(first.has_value() ? 1 : 0, capacity_);
+        if (first.has_value()) {
+            assert(is_enqueueable(*first));
+            data_[0] = *first;
+        }
+        next.store(nullptr, std::memory_order_relaxed);
+        cluster.store(0, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
 
     Scq(const Scq&) = delete;
     Scq& operator=(const Scq&) = delete;

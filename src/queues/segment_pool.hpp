@@ -1,0 +1,114 @@
+// Bounded free list of ring segments for the list queues (LCRQ/LSCQ).
+//
+// Every ring close in LCRQ/LSCQ hits the allocator: the winning appender
+// news a fresh segment and every losing appender deletes its speculative
+// one, so close-heavy regimes (small rings, the CAS ablation,
+// oversubscription) pay malloc/free on the hot path the paper never
+// prices.  Nikolaev's memory-efficient SCQ work and wCQ (PAPERS.md) both
+// recycle segments instead; this pool is the per-queue-instance version of
+// that idea.
+//
+// Segments enter the pool from two directions:
+//  * loser appenders park the speculative segment another thread beat them
+//    to appending — the segment was never published, so no other thread
+//    can hold a reference;
+//  * drained segments come back through the hazard-pointer path with a
+//    retire-to-pool deleter (lcrq.hpp/lscq.hpp): the hazard scan proves no
+//    slot still protects the pointer before the deleter runs, which is
+//    exactly the property that keeps the list head/tail CASes ABA-safe
+//    across recycling (a stale holder has the segment protected, so it
+//    cannot reappear under a CAS while that holder can still compare
+//    against it).
+//
+// The free list is a Treiber stack threaded through the segments' own
+// intrusive `next` link (unused while a segment is parked).  One textbook
+// deviation: pop takes the WHOLE stack with an exchange(nullptr), keeps
+// the head, and pushes the remainder back.  A classic one-node pop CAS is
+// ABA-prone once the same segment addresses cycle pool -> list -> pool —
+// exchange cannot observe a stale head, and the push-back CAS installs a
+// `next` it just read under private ownership, so neither needs tags or
+// CAS2 (LSCQ stays free of double-width atomics).
+//
+// Capacity is approximate: `count_` is maintained with relaxed RMWs that
+// are not atomic with the list updates, so a burst of concurrent pushes
+// can briefly overshoot the cap by the number of pushers.  The cap exists
+// to bound idle memory, not to enforce an exact high-water mark.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace lcrq {
+
+template <typename Seg>
+class SegmentPool {
+  public:
+    explicit SegmentPool(std::size_t capacity) : capacity_(capacity) {}
+
+    ~SegmentPool() {
+        Seg* s = head_.exchange(nullptr, std::memory_order_acquire);
+        while (s != nullptr) {
+            Seg* next = s->next.load(std::memory_order_relaxed);
+            delete s;
+            s = next;
+        }
+    }
+
+    SegmentPool(const SegmentPool&) = delete;
+    SegmentPool& operator=(const SegmentPool&) = delete;
+
+    // Take one parked segment, or nullptr when the pool is empty.  The
+    // caller owns the returned segment exclusively and must reset() it
+    // before publishing (its ring still holds the drained state).
+    Seg* try_pop() {
+        Seg* s = head_.exchange(nullptr, std::memory_order_acquire);
+        if (s == nullptr) return nullptr;
+        Seg* rest = s->next.load(std::memory_order_relaxed);
+        count_.fetch_sub(1, std::memory_order_relaxed);
+        if (rest != nullptr) push_chain(rest);
+        s->next.store(nullptr, std::memory_order_relaxed);
+        return s;
+    }
+
+    // Park `s` for reuse.  Always takes ownership; returns false when the
+    // pool was at capacity and the segment was deleted instead.  The caller
+    // must hold `s` exclusively (unpublished, or past a hazard scan).
+    bool push(Seg* s) {
+        if (count_.load(std::memory_order_relaxed) >= capacity_) {
+            delete s;
+            return false;
+        }
+        count_.fetch_add(1, std::memory_order_relaxed);
+        s->next.store(nullptr, std::memory_order_relaxed);
+        push_chain(s);
+        return true;
+    }
+
+    // Approximate; see the capacity note above.
+    std::size_t size() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    std::size_t capacity() const noexcept { return capacity_; }
+
+  private:
+    // Push an already-linked chain (its tail's next may be anything; it is
+    // rewritten).  The CAS is ABA-safe without tags: `old_head` feeds only
+    // the store to a privately owned link, never a comparison against
+    // memory that could have been recycled.
+    void push_chain(Seg* first) {
+        Seg* last = first;
+        while (Seg* n = last->next.load(std::memory_order_relaxed)) last = n;
+        Seg* old_head = head_.load(std::memory_order_relaxed);
+        do {
+            last->next.store(old_head, std::memory_order_relaxed);
+        } while (!head_.compare_exchange_weak(old_head, first,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed));
+    }
+
+    std::atomic<Seg*> head_{nullptr};
+    std::atomic<std::size_t> count_{0};
+    const std::size_t capacity_;
+};
+
+}  // namespace lcrq

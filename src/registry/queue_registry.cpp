@@ -95,10 +95,18 @@ const std::vector<Entry>& entries() {
                                   "LCRQ without hazard protection (footnote-6 ablation; "
                                   "reclaims at destruction)",
                                   true, false, false, /*deferred_reclamation=*/true),
+        entry<LcrqNoPoolQueue>("lcrq-nopool",
+                               "LCRQ without the segment pool (malloc per ring close; "
+                               "ablation)",
+                               true, false, false),
         entry<LscqQueue>("lscq",
                          "LSCQ: SCQ ring-list queue, single-word CAS + threshold "
                          "(DISC'19; second segment backend)",
                          true, false, false),
+        entry<LscqNoPoolQueue>("lscq-nopool",
+                               "LSCQ without the segment pool (malloc per segment close; "
+                               "ablation)",
+                               true, false, false),
         entry<ScqQueue>("scq",
                         "Bounded SCQ ring pair (allocated/free queues over a data "
                         "array; no CAS2)",

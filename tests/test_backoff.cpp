@@ -15,11 +15,22 @@ TEST(SpinWait, CountsPauseIterations) {
     EXPECT_EQ(w.spins(), 10u);
 }
 
-TEST(SpinWait, SaturatesAtSpinLimit) {
+TEST(SpinWait, CountsPastSpinLimit) {
+    // Regression: spins() used to stop at kSpinLimit once the yield phase
+    // began, under-reporting wait length to telemetry.  The threshold only
+    // picks pause-vs-yield; every call must count.
     SpinWait w;
     for (unsigned i = 0; i < SpinWait::kSpinLimit + 50; ++i) w.spin();
-    // Beyond the limit it yields instead of counting further pauses.
-    EXPECT_EQ(w.spins(), SpinWait::kSpinLimit);
+    EXPECT_EQ(w.spins(), SpinWait::kSpinLimit + 50);
+}
+
+TEST(SpinWait, ResetAfterYieldPhaseRestartsCounting) {
+    SpinWait w;
+    for (unsigned i = 0; i < SpinWait::kSpinLimit + 5; ++i) w.spin();
+    w.reset();
+    EXPECT_EQ(w.spins(), 0u);
+    w.spin();
+    EXPECT_EQ(w.spins(), 1u);
 }
 
 TEST(SpinWait, ResetRestartsEscalation) {

@@ -8,9 +8,11 @@
 #include <atomic>
 #include <chrono>
 #include <optional>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "arch/counters.hpp"
 #include "queues/lcrq.hpp"
 #include "test_support.hpp"
 #include "verify/history.hpp"
@@ -264,6 +266,69 @@ TEST_F(InjectLcrq, KilledEnqueuerSurvivorsStayLockFreeAndLinearizable) {
     const auto history = verify::merge(logs);
     const auto r = verify::check_queue_fast(history);
     EXPECT_TRUE(r.ok) << r.error;
+}
+
+// Segment recycling under a hazard pin, CRQ side (the CAS2 backend; the
+// TSan-eligible LSCQ twin and the full commentary live in
+// test_injection_pool.cpp).  A dequeuer parks at its EMPTY observation
+// holding ring 0 in its hazard slot; a second thread swings head past it,
+// retires it, and churns the pool.  The pinned ring must sit on a hazard
+// record — never in the pool, never re-issued — until the protector
+// finishes; under ASan this doubles as the use-after-free probe for the
+// retire-to-pool path.
+TEST_F(InjectLcrq, PinnedRingIsWithheldFromPoolUntilProtectorReleases) {
+    const auto before = stats::global_snapshot();
+    LcrqQueue q(tiny_ring(2, 4));  // R = 4
+    // Ring 0 filled (0..3) and tantrum-closed by the 5th enqueue, which
+    // seeds ring 1 with item 4; drain ring 0 without swinging head.
+    for (value_t v = 0; v < 5; ++v) q.enqueue(v);
+    for (value_t v = 0; v < 4; ++v) ASSERT_EQ(q.dequeue().value_or(99), v);
+    ASSERT_EQ(q.segment_count(), 2u);
+
+    ctl().set_hold_deadline(std::chrono::seconds{10});
+    ctl().hold_until(0, Point::kListEmptyObserved, 1, 1, Point::kHazardRetire, 3);
+    ctl().arm();
+
+    constexpr int kRounds = 6;
+    std::optional<value_t> got0;
+    std::vector<value_t> got1;
+    run_threads(2, [&](int id) {
+        ctl().bind_thread(id);
+        if (id == 0) {
+            got0 = q.dequeue();  // parks at EMPTY, slot 0 = ring 0
+        } else {
+            await([&] { return ctl().visits(0, Point::kListEmptyObserved) >= 1; });
+            if (auto v = q.dequeue()) got1.push_back(*v);  // swings + retires ring 0
+            EXPECT_GE(q.hazard_domain().retired_count(), 1u)
+                << "ring 0 was freed or pooled despite the parked protector";
+            EXPECT_EQ(q.segment_pool().size(), 0u)
+                << "the pinned ring leaked into the pool";
+            value_t next_in = 5;
+            for (int round = 0; round < kRounds; ++round) {
+                for (int i = 0; i < 6; ++i) q.enqueue(next_in++);
+                for (int i = 0; i < 6; ++i) {
+                    if (auto v = q.dequeue()) got1.push_back(*v);
+                }
+            }
+        }
+    });
+
+    EXPECT_EQ(ctl().hold_timeouts(), 0u) << "window was not constructed";
+    const auto d = stats::global_snapshot() - before;
+    EXPECT_GE(d[stats::Event::kSegmentReuse], 1u)
+        << "churn never recycled — the window tested nothing";
+
+    constexpr value_t kTotal = 5 + 6 * kRounds;
+    std::set<value_t> seen;
+    for (value_t v = 0; v < 4; ++v) seen.insert(v);
+    if (got0.has_value()) EXPECT_TRUE(seen.insert(*got0).second) << *got0;
+    for (value_t v : got1) EXPECT_TRUE(seen.insert(v).second) << v;
+    while (auto v = q.dequeue()) EXPECT_TRUE(seen.insert(*v).second) << *v;
+    EXPECT_EQ(seen.size(), kTotal);
+
+    q.hazard_domain().scan();
+    EXPECT_EQ(q.hazard_domain().retired_count(), 0u);
+    EXPECT_GE(q.segment_pool().size(), 1u);
 }
 
 // Seed determinism on the real queue: a fixed single-threaded op sequence

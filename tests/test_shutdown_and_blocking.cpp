@@ -88,6 +88,21 @@ TEST(LcrqShutdown, ConcurrentCloseNothingLostOrLate) {
     }
 }
 
+TEST(BlockingQueue, BaseClosedDirectlyEnqueueRefusesInsteadOfLosing) {
+    // Regression: enqueue() used to call the asserting base_.enqueue() —
+    // closing the *base* queue via base().close() (bypassing the facade's
+    // flag) silently lost the item in release builds and aborted in debug.
+    // It must route through try_enqueue and propagate the refusal.
+    BlockingQueue<> q;
+    EXPECT_TRUE(q.enqueue(1));
+    q.base().close();
+    EXPECT_FALSE(q.closed()) << "facade flag untouched by base().close()";
+    EXPECT_FALSE(q.enqueue(2)) << "base refused; facade must report it";
+    // The pre-close item is still there, and nothing after it.
+    EXPECT_EQ(q.try_dequeue().value_or(0), 1u);
+    EXPECT_FALSE(q.try_dequeue().has_value());
+}
+
 TEST(BlockingQueue, WaitDequeueGetsItem) {
     BlockingQueue<> q;
     std::thread producer([&] {
