@@ -10,6 +10,16 @@
 //                          batch sizes, with the batched-F&A amortization
 //                          counters (tickets/F&A, wasted tickets/batch);
 //   BENCH_latency.json   — sampled latency percentiles per queue.
+//   BENCH_lane_sweep.json — producer-heavy (T-1 producers, 1 consumer)
+//                          throughput of the multilane front-ends across
+//                          lane counts vs their single-queue bases, with
+//                          the lane-balance counters (local-hit / steal /
+//                          empty-scan) — plus "frontend_faa" entries
+//                          asserting the coordination-free enqueue claim:
+//                          a single-threaded ml enqueue executes exactly
+//                          as many F&A as its base queue (the presence
+//                          bookkeeping is single-writer plain stores —
+//                          zero RMW added to the hot path).
 //
 // scripts/bench_compare.py diffs two generations of these files using
 // each metric's recorded cv and exits nonzero on a regression, so every
@@ -99,6 +109,13 @@ int main(int argc, char** argv) {
     cli.flag("bulk-items", "20000", "items per thread per bulk configuration");
     cli.flag("latency-sample-every", "4", "latency sampling period (0 = skip phase)");
     cli.flag("latency-threads", "4", "thread count for the latency phase");
+    cli.flag("lane-queues", "lcrq-ml,lscq-ml",
+             "multilane queues for the lane sweep (empty = skip phase)");
+    cli.flag("lane-base-queues", "lcrq,lscq",
+             "single-queue baselines run alongside the lane sweep");
+    cli.flag("lane-list", "2,4", "lane counts to sweep (-ml<N> knob)");
+    cli.flag("lane-thread-list", "2,4,8",
+             "thread counts for the producer-heavy lane sweep");
     cli.flag("ring-order", "12", "log2 of the CRQ/SCQ ring size");
     cli.flag("placement", "unpinned", "single-cluster | round-robin | unpinned");
     cli.flag("delay-ns", "100", "max random inter-operation delay in ns");
@@ -115,6 +132,10 @@ int main(int argc, char** argv) {
     std::uint64_t bulk_items = static_cast<std::uint64_t>(cli.get_int("bulk-items"));
     auto sample_every = static_cast<std::uint64_t>(cli.get_int("latency-sample-every"));
     int latency_threads = static_cast<int>(cli.get_int("latency-threads"));
+    std::vector<std::string> lane_queues = split_names(cli.get("lane-queues"));
+    std::vector<std::string> lane_bases = split_names(cli.get("lane-base-queues"));
+    std::vector<std::int64_t> lane_list = cli.get_int_list("lane-list");
+    std::vector<std::int64_t> lane_threads = cli.get_int_list("lane-thread-list");
 
     if (cli.get_bool("smoke")) {
         thread_list = {1, 2};
@@ -123,6 +144,8 @@ int main(int argc, char** argv) {
         runs = 2;
         bulk_items = 4'000;
         latency_threads = 2;
+        lane_list = {2};
+        lane_threads = {2, 4};
     } else if (cli.get_bool("paper")) {
         thread_list = {1, 2, 4, 8, 12, 16, 20};
         batch_list = {1, 4, 16, 64};
@@ -130,6 +153,8 @@ int main(int argc, char** argv) {
         runs = 10;
         bulk_items = 1'000'000;
         latency_threads = 20;
+        lane_list = {2, 4, 8, 16};
+        lane_threads = {2, 4, 8, 16, 32};
     }
 
     RunConfig base;
@@ -257,6 +282,108 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(r.latency.total()));
         }
         if (!report.write(out_path("BENCH_latency.json"))) return 1;
+    }
+
+    // --- phase 4: multilane lane sweep (producer-heavy) ---------------------
+    if (!lane_queues.empty()) {
+        RunConfig lane_base = base;
+        lane_base.workload = Workload::kProducerConsumer;
+        JsonReport report("regress/lane_sweep");
+        report.set_config(lane_base);
+        report.set_extra("queues", string_list_json(lane_queues));
+        report.set_extra("base_queues", string_list_json(lane_bases));
+        report.set_extra("lane_list", int_list_json(lane_list));
+        report.set_extra("thread_list", int_list_json(lane_threads));
+
+        const auto run_one = [&](const std::string& name, std::int64_t threads,
+                                 Json lanes) -> bool {
+            RunConfig cfg = lane_base;
+            cfg.threads = static_cast<int>(threads);
+            cfg.producers = cfg.threads - 1;  // enqueue contention dominates
+            const RunResult r = run_pairs(name, qopt, cfg);
+            if (r.throughput.count() == 0) {
+                std::fprintf(stderr, "lane_sweep: no completed run for %s\n",
+                             name.c_str());
+                return false;
+            }
+            Json entry = result_json(name, cfg, r);
+            entry.set("producers", effective_producers(cfg));
+            entry.set("lanes", std::move(lanes));
+            report.add_result(std::move(entry));
+            std::printf("lane_sweep %-10s t=%-2lld p=%-2d  %s\n", name.c_str(),
+                        static_cast<long long>(threads), effective_producers(cfg),
+                        throughput_cell(r).c_str());
+            return true;
+        };
+
+        for (std::int64_t threads : lane_threads) {
+            if (threads < 2) continue;  // needs a producer and a consumer
+            for (const auto& name : lane_bases) {
+                if (!run_one(name, threads, Json())) return 1;
+            }
+            for (const auto& name : lane_queues) {
+                for (std::int64_t lanes : lane_list) {
+                    if (!run_one(name + std::to_string(lanes), threads,
+                                 Json(lanes))) {
+                        return 1;
+                    }
+                }
+            }
+        }
+
+        // Coordination-free enqueue witness: single-threaded, the ml
+        // front-end executes exactly as many F&A per enqueue as its base
+        // queue (1 for CRQ, 2 for the SCQ ring pair) — the presence
+        // bookkeeping is single-writer plain stores, not RMWs.  Any
+        // nonzero overhead means a shared counter crept into the hot
+        // path; fail the artifact, don't just record it.
+        constexpr std::uint64_t kFaaProbeEnqueues = 2'000;
+        const auto faa_per_enqueue = [&](const std::string& name,
+                                         double& out) -> bool {
+            auto q = make_queue(name, qopt);
+            if (q == nullptr) {
+                std::fprintf(stderr, "unknown queue: %s\n", name.c_str());
+                return false;
+            }
+            const stats::Snapshot before = stats::global_snapshot();
+            for (std::uint64_t i = 0; i < kFaaProbeEnqueues; ++i) {
+                q->enqueue(static_cast<value_t>(i + 1));
+            }
+            const stats::Snapshot delta = stats::global_snapshot() - before;
+            out = static_cast<double>(delta[stats::Event::kFaa]) /
+                  static_cast<double>(kFaaProbeEnqueues);
+            return true;
+        };
+        for (const auto& name : lane_queues) {
+            const std::size_t suffix = name.rfind("-ml");
+            const std::string base_name =
+                suffix == std::string::npos ? name : name.substr(0, suffix);
+            double ml_faa = 0, base_faa = 0;
+            if (!faa_per_enqueue(name, ml_faa) ||
+                !faa_per_enqueue(base_name, base_faa)) {
+                return 1;
+            }
+            const double overhead = ml_faa - base_faa;
+            report.add_result(Json::object()
+                                  .set("experiment", "frontend_faa")
+                                  .set("queue", name)
+                                  .set("base_queue", base_name)
+                                  .set("enqueues", kFaaProbeEnqueues)
+                                  .set("faa_per_enqueue", ml_faa)
+                                  .set("base_faa_per_enqueue", base_faa)
+                                  .set("frontend_faa_overhead", overhead));
+            std::printf("lane_sweep %-10s frontend_faa=%.3f (base %.3f, +%.3f)\n",
+                        name.c_str(), ml_faa, base_faa, overhead);
+            if (overhead != 0.0) {
+                std::fprintf(stderr,
+                             "lane_sweep: %s enqueue adds %.3f F&A per op over "
+                             "%s (want exactly 0: presence bookkeeping must "
+                             "stay plain single-writer stores)\n",
+                             name.c_str(), overhead, base_name.c_str());
+                return 1;
+            }
+        }
+        if (!report.write(out_path("BENCH_lane_sweep.json"))) return 1;
     }
 
     return 0;

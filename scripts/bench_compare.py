@@ -30,7 +30,14 @@ workload, threads, batch, ...) and three regression rules are applied:
                  slack of 0.02, on counters.derived.cas_failure_rate —
                  a contention-behavior canary: more failed CAS per
                  attempt means more wasted coherence traffic at the same
-                 op count.
+                 op count;
+  * lane steal rate: growth       >  --lane-steal-pct plus an absolute
+                 slack of 0.02, on counters.derived.lane_steal_rate
+                 (multilane front-ends only; the entry carries the
+                 metric iff the queue has lanes) — a lane-balance
+                 canary: dequeues drifting from local hits to steals
+                 means the home-lane mapping or the steal hint rotted,
+                 trading coordination-free locality for scan traffic.
 
 Data that is missing on one side only is itself a finding: a null metric
 in NEW where BASELINE had a number means a run stopped producing data and
@@ -56,6 +63,8 @@ KEY_FIELDS = (
     "batch",
     "mode",
     "ring_order",
+    "lanes",
+    "producers",
     "experiment",
 )
 
@@ -143,6 +152,15 @@ class Comparison:
             "counters.derived.cas_failure_rate",
             "CAS failure rate",
             rel_limit=self.args.cas_fail_pct / 100.0,
+            abs_slack=0.02,
+        )
+        self.check_metric_growth(
+            key,
+            base,
+            new,
+            "counters.derived.lane_steal_rate",
+            "lane steal rate",
+            rel_limit=self.args.lane_steal_pct / 100.0,
             abs_slack=0.02,
         )
         self.check_metric_shrink(
@@ -292,12 +310,15 @@ def synthetic_report(
     lose_data=False,
     cas_fail=0.05,
     tickets=7.5,
+    steal_rate=0.10,
 ):
-    def entry(queue, threads, tput, cv=0.01):
+    def entry(queue, threads, tput, cv=0.01, lanes=None, producers=None):
         return {
             "queue": queue,
             "workload": "pairs",
             "threads": threads,
+            **({"lanes": lanes} if lanes is not None else {}),
+            **({"producers": producers} if producers is not None else {}),
             "throughput": {
                 "mean_ops_per_sec": None if lose_data and queue == "ms" else tput,
                 "cv": cv,
@@ -316,6 +337,11 @@ def synthetic_report(
                     "cas_fails_per_op": 0.0,
                     "cas_failure_rate": cas_fail if queue == "lcrq" else None,
                     "cas2_failure_rate": 0.0,
+                    **(
+                        {"lane_steal_rate": steal_rate}
+                        if lanes is not None
+                        else {}
+                    ),
                 },
             },
             "bulk": {
@@ -340,6 +366,10 @@ def synthetic_report(
         "results": [
             entry("lcrq", 2, 7.0e6 * throughput_scale),
             entry("ms", 2, 6.5e6),
+            # Two lane-sweep points differing only in the lanes/producers
+            # key fields: they must index as distinct configurations.
+            entry("lcrq-ml", 4, 7.2e6, lanes=2, producers=3),
+            entry("lcrq-ml", 4, 7.4e6, lanes=4, producers=3),
         ],
     }
 
@@ -363,7 +393,7 @@ def self_check(args):
         # 1. Self-compare must be clean.
         cmp = compare_files(baseline, baseline, args)
         expect(cmp.regressions == [], f"self-compare flagged: {cmp.regressions}")
-        expect(cmp.compared == 2, "self-compare did not compare both entries")
+        expect(cmp.compared == 4, "self-compare did not compare every entry")
 
         # 2. A 20% throughput drop must be flagged (cv 1% -> limit is the 5% floor).
         slow = write("slow.json", synthetic_report(throughput_scale=0.8))
@@ -431,7 +461,26 @@ def self_check(args):
             f"within-noise CAS failure growth was flagged: {cmp.regressions}",
         )
 
-        # 10. Vanished data must be flagged, not read as infinitely fast.
+        # 10. Lane balance rotting (steal rate 0.10 -> 0.40) must be
+        # flagged on the multilane entries.
+        unbalanced = write("unbalanced.json", synthetic_report(steal_rate=0.40))
+        cmp = compare_files(baseline, unbalanced, args)
+        expect(
+            any("lane steal rate grew" in r for r in cmp.regressions),
+            f"lane steal rate growth not flagged: {cmp.regressions}",
+        )
+
+        # 11. ...but jitter inside the limit + slack must NOT be
+        # (0.10 -> 0.12 is 20% growth, under the 25% relative limit
+        # before the 0.02 absolute slack is even spent).
+        drifting = write("drifting.json", synthetic_report(steal_rate=0.12))
+        cmp = compare_files(baseline, drifting, args)
+        expect(
+            not any("lane steal rate" in r for r in cmp.regressions),
+            f"within-noise steal rate growth was flagged: {cmp.regressions}",
+        )
+
+        # 12. Vanished data must be flagged, not read as infinitely fast.
         lost = write("lost.json", synthetic_report(lose_data=True))
         cmp = compare_files(baseline, lost, args)
         expect(
@@ -439,7 +488,7 @@ def self_check(args):
             f"lost data not flagged: {cmp.regressions}",
         )
 
-        # 11. Wrong schema version must be rejected.
+        # 13. Wrong schema version must be rejected.
         bad = synthetic_report()
         bad["schema_version"] = SCHEMA_VERSION + 1
         bad_path = write("bad.json", bad)
@@ -500,6 +549,13 @@ def main(argv):
         default=25.0,
         help="allowed CAS failure rate growth in %% plus 0.02 absolute "
         "slack (default 25)",
+    )
+    parser.add_argument(
+        "--lane-steal-pct",
+        type=float,
+        default=25.0,
+        help="allowed lane steal rate growth in %% plus 0.02 absolute "
+        "slack, on multilane entries (default 25)",
     )
     parser.add_argument(
         "--self-check",

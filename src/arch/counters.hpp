@@ -56,6 +56,9 @@ enum class Event : unsigned {
     kBulkWasted,       // batch tickets that produced no enqueue/dequeue
     kSegmentAlloc,     // ring segments obtained from the allocator
     kSegmentReuse,     // ring segments recycled from a segment pool
+    kLaneLocalHit,     // multilane dequeues served by the caller's own lane
+    kLaneSteal,        // multilane dequeues served by another thread's lane
+    kLaneEmptyScan,    // multilane full-lane scans that found nothing
     kCount
 };
 
@@ -72,6 +75,7 @@ constexpr std::string_view event_name(Event e) noexcept {
         "cluster_handoff", "bulk_enqueue", "bulk_dequeue",
         "bulk_faa",      "bulk_tickets", "bulk_wasted",
         "segment_alloc", "segment_reuse",
+        "lane_local_hit", "lane_steal",  "lane_empty_scan",
     };
     return names[static_cast<std::size_t>(e)];
 }

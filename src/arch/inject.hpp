@@ -57,6 +57,12 @@ enum class Point : std::uint8_t {
     kScqDeqAfterFaa,       // ScqRing::dequeue, ticket obtained
     kScqThresholdDecrement,// ScqRing::dequeue, about to decrement the threshold
     kScqCatchup,           // ScqRing::catchup, tail repair loop entered
+    kLaneEnqPending,       // Multilane::enqueue, presence announced, lane
+                           //   insert not yet performed
+    kLaneScan,             // Multilane dequeue scan, presence snapshot taken,
+                           //   about to probe this lane
+    kLaneCertify,          // Multilane dequeue, quiescent scan done, about to
+                           //   re-read the started counters (round 2)
     kCount
 };
 
@@ -72,6 +78,7 @@ constexpr std::string_view point_name(Point p) noexcept {
         "hazard_retire",         "hazard_scan",      "scq_enq_after_faa",
         "scq_after_cycle_load",  "scq_before_entry_cas", "scq_enq_published",
         "scq_deq_after_faa",     "scq_threshold_decrement", "scq_catchup",
+        "lane_enq_pending",      "lane_scan",        "lane_certify",
     };
     return names[static_cast<std::size_t>(p)];
 }

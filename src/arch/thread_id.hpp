@@ -64,4 +64,9 @@ inline std::size_t thread_index() noexcept {
     return holder.id;
 }
 
+// Upper bound of the dense-id space: thread_index() < max_threads() always
+// holds, so per-thread arrays and modular lane mappings (multilane.hpp) can
+// size against it instead of hardcoding kMaxThreads.
+constexpr std::size_t max_threads() noexcept { return kMaxThreads; }
+
 }  // namespace lcrq

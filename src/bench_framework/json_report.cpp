@@ -33,6 +33,9 @@ Json config_json(const RunConfig& cfg) {
         .set("threads", cfg.threads)
         .set("pairs_per_thread", cfg.pairs_per_thread)
         .set("workload", workload_name(cfg.workload))
+        .set("producers", cfg.workload == Workload::kProducerConsumer
+                              ? Json(static_cast<std::int64_t>(effective_producers(cfg)))
+                              : Json())
         .set("runs", cfg.runs)
         .set("placement", topo::placement_name(cfg.placement))
         .set("clusters", cfg.clusters)
@@ -87,7 +90,15 @@ Json counters_json(const stats::Snapshot& delta) {
             .set("segment_reuse_rate",
                  ratio(static_cast<double>(delta[stats::Event::kSegmentReuse]),
                        static_cast<double>(delta[stats::Event::kSegmentAlloc] +
-                                           delta[stats::Event::kSegmentReuse])));
+                                           delta[stats::Event::kSegmentReuse])))
+            // Fraction of successful multilane dequeues served by stealing
+            // from another thread's lane; null for non-multilane queues.
+            // bench_compare.py gates on its growth (a balance regression
+            // shows up here before it shows up in throughput).
+            .set("lane_steal_rate",
+                 ratio(static_cast<double>(delta[stats::Event::kLaneSteal]),
+                       static_cast<double>(delta[stats::Event::kLaneLocalHit] +
+                                           delta[stats::Event::kLaneSteal])));
     return Json::object().set("counts", std::move(counts)).set("derived",
                                                                std::move(derived));
 }

@@ -113,7 +113,7 @@ void worker_body(AnyQueue& q, const RunConfig& cfg, const topo::ThreadSlot& slot
             break;
 
         case Workload::kProducerConsumer: {
-            const int producers = (cfg.threads + 1) / 2;
+            const int producers = effective_producers(cfg);
             if (worker_id < producers) {
                 for (std::uint64_t i = 0; i < cfg.pairs_per_thread; ++i) {
                     rec.enqueue(q, vbase + i);
@@ -169,6 +169,12 @@ bool parse_workload(const std::string& s, Workload& out) noexcept {
     return true;
 }
 
+int effective_producers(const RunConfig& cfg) noexcept {
+    int p = cfg.producers > 0 ? cfg.producers : (cfg.threads + 1) / 2;
+    if (p >= cfg.threads) p = cfg.threads - 1;  // at least one consumer
+    return p < 1 ? 1 : p;
+}
+
 topo::Topology effective_topology(const RunConfig& cfg) {
     topo::Topology t = topo::discover();
     if (cfg.clusters > 0 && cfg.clusters != t.num_clusters) {
@@ -196,7 +202,7 @@ RunResult run_pairs(const QueueFactory& factory, const RunConfig& cfg) {
         StartGate gate;
         SharedProgress progress;
         if (cfg.workload == Workload::kProducerConsumer) {
-            const int producers = (cfg.threads + 1) / 2;
+            const int producers = effective_producers(cfg);
             progress.target = static_cast<std::uint64_t>(producers) *
                                   cfg.pairs_per_thread +
                               cfg.prefill;

@@ -149,6 +149,10 @@ struct QueueOptions {
     // Max ring segments the list queues (LCRQ/LSCQ) keep cached for reuse;
     // overflow falls back to the allocator.  0 disables pooling.
     std::size_t segment_pool_cap = 16;
+    // Lane count for the multilane front-end (multilane.hpp).  0 = auto:
+    // one lane per hardware thread, at least 2 so the lane machinery is
+    // exercised even on a single-CPU host.
+    std::size_t lanes = 0;
 };
 
 }  // namespace lcrq

@@ -13,6 +13,7 @@
 #include "queues/lcrq.hpp"
 #include "queues/lscq.hpp"
 #include "queues/ms_queue.hpp"
+#include "queues/multilane.hpp"
 #include "queues/scq.hpp"
 #include "queues/mutex_queue.hpp"
 #include "queues/two_lock_queue.hpp"
@@ -66,28 +67,33 @@ class Adapter final : public AnyQueue {
 
 struct Entry {
     QueueInfo info;
-    std::function<std::unique_ptr<AnyQueue>(const QueueOptions&)> make;
+    // Takes the *requested* name so knob-suffixed instances ("lcrq-ml8")
+    // report the name they were asked for, not the catalog base name.
+    std::function<std::unique_ptr<AnyQueue>(std::string, const QueueOptions&)> make;
 };
 
 template <typename Q>
 Entry entry(const char* name, const char* description, bool nonblocking,
-            bool hierarchical, bool bounded, bool deferred_reclamation = false) {
-    QueueInfo info{name,  description, nonblocking,
-                   hierarchical, bounded,     deferred_reclamation};
-    std::string n = name;
-    return Entry{std::move(info), [n](const QueueOptions& opt) {
-                     return std::make_unique<Adapter<Q>>(n, opt);
+            bool hierarchical, bool bounded, bool deferred_reclamation = false,
+            unsigned paper_sets = 0, bool per_lane_fifo = false) {
+    QueueInfo info{name,        description, nonblocking,   hierarchical,
+                   bounded,     deferred_reclamation,
+                   per_lane_fifo, paper_sets};
+    return Entry{std::move(info), [](std::string n, const QueueOptions& opt) {
+                     return std::make_unique<Adapter<Q>>(std::move(n), opt);
                  }};
 }
 
 const std::vector<Entry>& entries() {
     static const std::vector<Entry> all = {
         entry<LcrqQueue>("lcrq", "LCRQ: F&A-based nonblocking ring-list queue (this paper)",
-                         true, false, false),
+                         true, false, false, false,
+                         kSetSingleProcessor | kSetMultiProcessor),
         entry<LcrqCasQueue>("lcrq-cas", "LCRQ with F&A emulated by a CAS loop (ablation)",
-                            true, false, false),
+                            true, false, false, false,
+                            kSetSingleProcessor | kSetMultiProcessor),
         entry<LcrqHQueue>("lcrq+h", "LCRQ with hierarchical cluster handoff", true, true,
-                          false),
+                          false, false, kSetMultiProcessor),
         entry<LcrqCompactQueue>("lcrq-compact",
                                 "LCRQ with unpadded 16-byte ring nodes (ablation)", true,
                                 false, false),
@@ -102,17 +108,28 @@ const std::vector<Entry>& entries() {
         entry<LscqQueue>("lscq",
                          "LSCQ: SCQ ring-list queue, single-word CAS + threshold "
                          "(DISC'19; second segment backend)",
-                         true, false, false),
+                         true, false, false, false,
+                         kSetSingleProcessor | kSetMultiProcessor),
         entry<LscqNoPoolQueue>("lscq-nopool",
                                "LSCQ without the segment pool (malloc per segment close; "
                                "ablation)",
                                true, false, false),
+        entry<MultilaneLcrq>("lcrq-ml",
+                             "Multilane LCRQ: coordination-free per-thread lanes, "
+                             "balancing dequeue (per-producer FIFO; accepts -ml<N>)",
+                             true, false, false, false, kSetMultiProcessor,
+                             /*per_lane_fifo=*/true),
+        entry<MultilaneLscq>("lscq-ml",
+                             "Multilane LSCQ: coordination-free per-thread lanes, "
+                             "balancing dequeue (per-producer FIFO; accepts -ml<N>)",
+                             true, false, false, false, kSetMultiProcessor,
+                             /*per_lane_fifo=*/true),
         entry<ScqQueue>("scq",
                         "Bounded SCQ ring pair (allocated/free queues over a data "
                         "array; no CAS2)",
                         true, false, true),
         entry<MsQueue<true>>("ms", "Michael-Scott nonblocking queue (PODC'96), with backoff",
-                             true, false, false),
+                             true, false, false, false, kSetSingleProcessor),
         entry<MsQueue<false>>("ms-nobackoff",
                               "Michael-Scott nonblocking queue without backoff (ablation)",
                               true, false, false),
@@ -124,11 +141,13 @@ const std::vector<Entry>& entries() {
                                  false, false, false),
         entry<CcQueue>("cc-queue", "CC-Queue: two-lock queue over CC-Synch combining "
                                    "(PPoPP'12)",
-                       false, false, false),
+                       false, false, false, false,
+                       kSetSingleProcessor | kSetMultiProcessor),
         entry<HQueue>("h-queue", "H-Queue: two-lock queue over hierarchical H-Synch "
                                  "combining (PPoPP'12)",
-                      false, true, false),
-        entry<FcQueue>("fc-queue", "Flat-combining queue (SPAA'10)", false, false, false),
+                      false, true, false, false, kSetMultiProcessor),
+        entry<FcQueue>("fc-queue", "Flat-combining queue (SPAA'10)", false, false, false,
+                       false, kSetSingleProcessor),
         entry<BoundedMpmcQueue>("bounded-mpmc",
                                 "Bounded CAS-ticket ring (cyclic-array family reference)",
                                 false, false, true),
@@ -145,6 +164,44 @@ const std::vector<Entry>& entries() {
     return all;
 }
 
+// "lcrq-ml8" → {"lcrq-ml", 8}.  Only catalog names ending in "-ml" take the
+// knob; anything without a positive all-digit suffix after "-ml" is not a
+// knob spelling (so plain "lcrq-ml" and unknown names fall through).
+struct MlKnob {
+    std::string base;
+    std::size_t lanes;
+};
+
+std::optional<MlKnob> split_ml_knob(const std::string& name) {
+    const std::size_t pos = name.rfind("-ml");
+    if (pos == std::string::npos) return std::nullopt;
+    const std::string digits = name.substr(pos + 3);
+    if (digits.empty()) return std::nullopt;
+    std::size_t lanes = 0;
+    for (char c : digits) {
+        if (c < '0' || c > '9') return std::nullopt;
+        lanes = lanes * 10 + static_cast<std::size_t>(c - '0');
+        if (lanes > kMaxLanes) return std::nullopt;
+    }
+    if (lanes == 0) return std::nullopt;
+    return MlKnob{name.substr(0, pos + 3), lanes};
+}
+
+const Entry* find_entry(const std::string& name) {
+    for (const auto& e : entries()) {
+        if (e.info.name == name) return &e;
+    }
+    return nullptr;
+}
+
+std::vector<std::string> tagged_set(unsigned bit) {
+    std::vector<std::string> out;
+    for (const auto& e : entries()) {
+        if (e.info.paper_sets & bit) out.push_back(e.info.name);
+    }
+    return out;
+}
+
 }  // namespace
 
 const std::vector<QueueInfo>& queue_catalog() {
@@ -156,17 +213,30 @@ const std::vector<QueueInfo>& queue_catalog() {
     return catalog;
 }
 
+const QueueInfo* find_queue_info(const std::string& name) {
+    if (const Entry* e = find_entry(name)) return &e->info;
+    if (const auto knob = split_ml_knob(name)) {
+        if (const Entry* e = find_entry(knob->base)) return &e->info;
+    }
+    return nullptr;
+}
+
 std::vector<std::string> paper_single_processor_set() {
-    return {"lcrq", "lcrq-cas", "lscq", "cc-queue", "fc-queue", "ms"};
+    return tagged_set(kSetSingleProcessor);
 }
 
 std::vector<std::string> paper_multi_processor_set() {
-    return {"lcrq+h", "lcrq", "lcrq-cas", "lscq", "h-queue", "cc-queue"};
+    return tagged_set(kSetMultiProcessor);
 }
 
 std::unique_ptr<AnyQueue> make_queue(const std::string& name, const QueueOptions& opt) {
-    for (const auto& e : entries()) {
-        if (e.info.name == name) return e.make(opt);
+    if (const Entry* e = find_entry(name)) return e->make(name, opt);
+    if (const auto knob = split_ml_knob(name)) {
+        if (const Entry* e = find_entry(knob->base)) {
+            QueueOptions lane_opt = opt;
+            lane_opt.lanes = knob->lanes;
+            return e->make(name, lane_opt);
+        }
     }
     return nullptr;
 }

@@ -49,6 +49,12 @@ class AnyQueue {
     virtual const std::string& name() const noexcept = 0;
 };
 
+// Line-up membership bits for QueueInfo::paper_sets: the paper_*_set()
+// line-ups are derived from these tags instead of repeating name literals
+// that silently drift from the catalog.
+inline constexpr unsigned kSetSingleProcessor = 1u << 0;  // fig 6
+inline constexpr unsigned kSetMultiProcessor = 1u << 1;   // fig 7
+
 struct QueueInfo {
     std::string name;
     std::string description;
@@ -58,16 +64,29 @@ struct QueueInfo {
     // Frees memory only at destruction (research baselines that assume a
     // GC); excluded from unbounded-duration benchmarks.
     bool deferred_reclamation = false;
+    // FIFO contract: false = total order (the sequential queue spec);
+    // true = per-producer order only (the multilane front-ends).  History
+    // checkers must use the per-lane mode (verify/lin_check.hpp) when set.
+    bool per_lane_fifo = false;
+    // kSet* membership bits; 0 = in no paper line-up.
+    unsigned paper_sets = 0;
 };
 
 // Catalog of every registered queue, in canonical report order.
 const std::vector<QueueInfo>& queue_catalog();
 
-// The paper's Figure 6/7 line-ups, by name.
+// Catalog entry by name, honoring the "-ml<N>" lane-count knob (the knob
+// resolves to its catalog base entry); nullptr for unknown names.
+const QueueInfo* find_queue_info(const std::string& name);
+
+// The paper's Figure 6/7 line-ups (catalog entries tagged with the
+// matching kSet* bit, in catalog order).
 std::vector<std::string> paper_single_processor_set();  // fig 6
 std::vector<std::string> paper_multi_processor_set();   // fig 7
 
-// Construct by name; returns nullptr for unknown names.
+// Construct by name; returns nullptr for unknown names.  Catalog "-ml"
+// entries additionally accept a trailing lane count ("lcrq-ml8" = lcrq-ml
+// with QueueOptions::lanes = 8).
 std::unique_ptr<AnyQueue> make_queue(const std::string& name,
                                      const QueueOptions& opt = {});
 

@@ -12,6 +12,11 @@
 // Timestamps are raw TSC ticks: globally meaningful on invariant-TSC x86,
 // and two orders of magnitude cheaper than clock_gettime, which matters
 // because timestamping must not serialize the very races being tested.
+//
+// The recording is spec-agnostic: the same History feeds the total-FIFO
+// checkers and the per-producer-FIFO ones (check_queue_*_per_lane, for
+// queues tagged QueueInfo::per_lane_fifo) — the producer identity each
+// relaxed checker needs is already in Operation::thread.
 #pragma once
 
 #include <cstddef>

@@ -21,6 +21,28 @@
 //    (completed-set, queue-state).  Exponential worst case; intended for
 //    targeted small histories (≤ 64 operations), and the only checker
 //    that validates EMPTY results exactly.
+//
+// Per-lane mode — the multilane front-ends (queues/multilane.hpp,
+// QueueInfo::per_lane_fifo) promise FIFO only among items of the same
+// *producer thread*, plus sound EMPTY answers.  Checking them against the
+// total-FIFO spec would report false violations, so each checker has a
+// per-lane twin:
+//
+//  * check_queue_fast_per_lane — V1–V3 unchanged (they never compare
+//    different producers), V4 restricted to pairs enqueued by the same
+//    thread, plus
+//      V5 EMPTY soundness: a dequeue that returned EMPTY is refuted by any
+//         value whose enqueue responded before the EMPTY was invoked and
+//         whose dequeue (if any) was invoked after the EMPTY responded —
+//         such a value was present for the EMPTY's whole duration, so no
+//         linearization point for it exists.
+//    Per-thread V4 is sound for any thread→lane mapping: same thread ⇒
+//    same lane ⇒ lane FIFO, regardless of how many threads share a lane.
+//
+//  * check_queue_exact_per_lane — the same search against the relaxed
+//    spec: one FIFO sub-queue per producer thread, deq(v) valid iff v
+//    heads its producer's sub-queue, EMPTY valid iff every sub-queue is
+//    empty (the certification in multilane.hpp promises exactly this).
 #pragma once
 
 #include <string>
@@ -38,5 +60,10 @@ struct CheckResult {
 
 CheckResult check_queue_fast(const History& history);
 CheckResult check_queue_exact(const History& history);
+
+// Relaxed per-producer-FIFO contract (see header comment).  Use for queues
+// whose QueueInfo::per_lane_fifo is set.
+CheckResult check_queue_fast_per_lane(const History& history);
+CheckResult check_queue_exact_per_lane(const History& history);
 
 }  // namespace lcrq::verify

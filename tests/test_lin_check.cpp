@@ -170,5 +170,111 @@ TEST(ExactCheck, StressAgreesWithFastOnValidHistories) {
     }
 }
 
+// --- per-lane (per-producer FIFO) checkers -------------------------------
+
+TEST(PerLaneFastCheck, CrossProducerReorderIsTheAllowedRelaxation) {
+    // enq(1) by thread 0 strictly precedes enq(2) by thread 1, yet 2 is
+    // dequeued first, sequentially.  Total FIFO rejects this; the
+    // per-producer spec is exactly this relaxation and must accept it.
+    History h = {enq(0, 1, 0, 1), enq(1, 2, 2, 3), deq(2, 2, 4, 5),
+                 deq(2, 1, 6, 7)};
+    EXPECT_FALSE(check_queue_fast(h).ok);
+    EXPECT_TRUE(check_queue_fast_per_lane(h));
+}
+
+TEST(PerLaneFastCheck, SameProducerReorderStillRejected) {
+    History h = {enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(1, 2, 4, 5),
+                 deq(1, 1, 6, 7)};
+    const auto r = check_queue_fast_per_lane(h);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("V4"), std::string::npos);
+}
+
+TEST(PerLaneFastCheck, SameProducerLostItemStillRejected) {
+    History h = {enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(1, 2, 4, 5)};
+    const auto r = check_queue_fast_per_lane(h);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("V4"), std::string::npos);
+}
+
+TEST(PerLaneFastCheck, InventionAndDuplicationStillRejected) {
+    const auto inv = check_queue_fast_per_lane({deq(0, 42, 0, 1)});
+    EXPECT_FALSE(inv.ok);
+    EXPECT_NE(inv.error.find("V1"), std::string::npos);
+
+    History dup = {enq(0, 1, 0, 1), deq(0, 1, 2, 3), deq(1, 1, 4, 5)};
+    const auto r = check_queue_fast_per_lane(dup);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("V2"), std::string::npos);
+}
+
+TEST(PerLaneFastCheck, UnsoundEmptyRejected) {
+    // 1's enqueue responded before the EMPTY was invoked and 1 was only
+    // dequeued afterwards: no instant inside the EMPTY window has an
+    // empty queue — under *any* producer-to-lane mapping.
+    History h = {enq(0, 1, 0, 1), deq(1, kEmpty, 2, 3), deq(1, 1, 4, 5)};
+    const auto r = check_queue_fast_per_lane(h);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("V5"), std::string::npos);
+}
+
+TEST(PerLaneFastCheck, EmptyOverlappingEnqueueAccepted) {
+    History h = {enq(0, 1, 0, 10), deq(1, kEmpty, 2, 4), deq(1, 1, 11, 12)};
+    EXPECT_TRUE(check_queue_fast_per_lane(h));
+}
+
+TEST(PerLaneFastCheck, EmptyBeforeAnythingAccepted) {
+    History h = {deq(0, kEmpty, 0, 1), enq(0, 1, 2, 3), deq(0, 1, 4, 5),
+                 deq(0, kEmpty, 6, 7)};
+    EXPECT_TRUE(check_queue_fast_per_lane(h));
+}
+
+TEST(PerLaneExactCheck, AcceptsCrossProducerReorderRejectsSameProducer) {
+    History cross = {enq(0, 1, 0, 1), enq(1, 2, 2, 3), deq(2, 2, 4, 5),
+                     deq(2, 1, 6, 7)};
+    EXPECT_FALSE(check_queue_exact(cross).ok);
+    EXPECT_TRUE(check_queue_exact_per_lane(cross));
+
+    History same = {enq(0, 1, 0, 1), enq(0, 2, 2, 3), deq(1, 2, 4, 5),
+                    deq(1, 1, 6, 7)};
+    EXPECT_FALSE(check_queue_exact_per_lane(same).ok);
+}
+
+TEST(PerLaneExactCheck, EmptySoundnessMatchesTotalSpecWhenOneProducer) {
+    // With a single producer the per-producer spec degenerates to FIFO,
+    // so the two exact checkers must agree on EMPTY placement.
+    History bad = {enq(0, 1, 0, 1), deq(0, kEmpty, 2, 3), deq(0, 1, 4, 5)};
+    EXPECT_FALSE(check_queue_exact_per_lane(bad).ok);
+    History good = {deq(0, kEmpty, 0, 1), enq(0, 1, 2, 3), deq(0, 1, 4, 5)};
+    EXPECT_TRUE(check_queue_exact_per_lane(good));
+}
+
+TEST(PerLaneExactCheck, EmptyOverlappingEnqueueIsLegal) {
+    History h = {enq(0, 1, 0, 10), deq(1, kEmpty, 2, 4), deq(1, 1, 11, 12)};
+    EXPECT_TRUE(check_queue_exact_per_lane(h));
+}
+
+TEST(PerLaneExactCheck, TooLargeHistoryIsRejectedExplicitly) {
+    History h;
+    for (int i = 0; i < 70; ++i) {
+        h.push_back(enq(0, static_cast<value_t>(i + 1),
+                        static_cast<std::uint64_t>(2 * i),
+                        static_cast<std::uint64_t>(2 * i + 1)));
+    }
+    const auto r = check_queue_exact_per_lane(h);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("64"), std::string::npos);
+}
+
+TEST(PerLaneExactCheck, AgreesWithFastOnInterleavedProducers) {
+    // Two producers' streams interleaved arbitrarily at the dequeue side
+    // are fine as long as each stream stays ordered.
+    History h = {enq(0, 1, 0, 1), enq(1, 10, 2, 3), enq(0, 2, 4, 5),
+                 enq(1, 20, 6, 7), deq(2, 10, 8, 9), deq(2, 1, 10, 11),
+                 deq(2, 20, 12, 13), deq(2, 2, 14, 15)};
+    EXPECT_TRUE(check_queue_exact_per_lane(h));
+    EXPECT_TRUE(check_queue_fast_per_lane(h));
+}
+
 }  // namespace
 }  // namespace lcrq::verify

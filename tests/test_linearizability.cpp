@@ -25,6 +25,26 @@ QueueOptions tiny_options() {
 
 class QueueLinearizability : public ::testing::TestWithParam<std::string> {};
 
+// Queues tagged per_lane_fifo promise per-producer FIFO, not total FIFO;
+// check them against exactly that spec (resolving -ml<N> knob spellings
+// through the registry, same as make_queue does).
+bool per_lane(const std::string& name) {
+    const QueueInfo* info = find_queue_info(name);
+    return info != nullptr && info->per_lane_fifo;
+}
+
+verify::CheckResult fast_check_for(const std::string& name,
+                                   const verify::History& h) {
+    return per_lane(name) ? verify::check_queue_fast_per_lane(h)
+                          : verify::check_queue_fast(h);
+}
+
+verify::CheckResult exact_check_for(const std::string& name,
+                                    const verify::History& h) {
+    return per_lane(name) ? verify::check_queue_exact_per_lane(h)
+                          : verify::check_queue_exact(h);
+}
+
 // Big histories, fast checks: threads run the pairs workload while
 // recording; every completed run must satisfy V1–V4.
 TEST_P(QueueLinearizability, PairsHistoryPassesFastCheck) {
@@ -46,7 +66,7 @@ TEST_P(QueueLinearizability, PairsHistoryPassesFastCheck) {
     });
 
     const auto history = verify::merge(logs);
-    const auto result = verify::check_queue_fast(history);
+    const auto result = fast_check_for(GetParam(), history);
     EXPECT_TRUE(result.ok) << GetParam() << ": " << result.error;
 }
 
@@ -76,7 +96,7 @@ TEST_P(QueueLinearizability, ProducerConsumerHistoryPassesFastCheck) {
     });
 
     const auto history = verify::merge(logs);
-    const auto result = verify::check_queue_fast(history);
+    const auto result = fast_check_for(GetParam(), history);
     EXPECT_TRUE(result.ok) << GetParam() << ": " << result.error;
 }
 
@@ -103,7 +123,7 @@ TEST_P(QueueLinearizability, SmallHistoriesPassExactCheck) {
         });
 
         const auto history = verify::merge(logs);
-        const auto result = verify::check_queue_exact(history);
+        const auto result = exact_check_for(GetParam(), history);
         ASSERT_TRUE(result.ok) << GetParam() << " round " << round << ": "
                                << result.error;
     }
@@ -112,6 +132,9 @@ TEST_P(QueueLinearizability, SmallHistoriesPassExactCheck) {
 std::vector<std::string> checked_queues() {
     std::vector<std::string> names;
     for (const auto& info : queue_catalog()) names.push_back(info.name);
+    // One knob spelling rides along so the -ml<N> resolution path is
+    // exercised under real concurrency, not just in the registry test.
+    names.push_back("lscq-ml4");
     return names;
 }
 

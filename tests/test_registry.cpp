@@ -2,7 +2,10 @@
 // counting in the adapter, and the paper line-ups.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "registry/queue_registry.hpp"
 
@@ -94,6 +97,86 @@ TEST(Registry, PaperSetsResolve) {
         opt.clusters = 2;
         EXPECT_NE(make_queue(name, opt), nullptr) << name;
     }
+}
+
+TEST(Registry, MultilaneEntriesAreCatalogued) {
+    bool saw_lcrq_ml = false, saw_lscq_ml = false;
+    for (const auto& info : queue_catalog()) {
+        if (info.name == "lcrq-ml") saw_lcrq_ml = true;
+        if (info.name == "lscq-ml") saw_lscq_ml = true;
+        EXPECT_EQ(info.per_lane_fifo,
+                  info.name == "lcrq-ml" || info.name == "lscq-ml")
+            << info.name << ": per_lane_fifo must mark exactly the multilane "
+                            "front-ends";
+    }
+    EXPECT_TRUE(saw_lcrq_ml);
+    EXPECT_TRUE(saw_lscq_ml);
+}
+
+TEST(Registry, MlKnobResolvesAndReportsItsSpelling) {
+    QueueOptions opt;
+    opt.ring_order = 4;
+    for (const std::string name : {"lcrq-ml8", "lscq-ml2", "lcrq-ml64"}) {
+        auto q = make_queue(name, opt);
+        ASSERT_NE(q, nullptr) << name;
+        EXPECT_EQ(q->name(), name);
+        for (value_t v = 1; v <= 10; ++v) q->enqueue(v);
+        for (value_t v = 1; v <= 10; ++v) {
+            EXPECT_EQ(q->dequeue().value_or(0), v) << name;
+        }
+        EXPECT_FALSE(q->dequeue().has_value()) << name;
+    }
+}
+
+TEST(Registry, MalformedMlKnobsAreRejected) {
+    // Only a genuine "-ml<positive number ≤ kMaxLanes>" suffix on a
+    // registered base resolves; everything else must stay an unknown name.
+    for (const std::string name :
+         {"lcrq-ml0", "lcrq-mlx", "lcrq-ml8x", "lcrq-ml999", "ms-ml4",
+          "-ml4", "lcrq-ml-ml4"}) {
+        EXPECT_EQ(make_queue(name), nullptr) << name;
+    }
+}
+
+TEST(Registry, FindQueueInfoResolvesExactAndKnobSpellings) {
+    const QueueInfo* exact = find_queue_info("lcrq-ml");
+    ASSERT_NE(exact, nullptr);
+    EXPECT_TRUE(exact->per_lane_fifo);
+
+    const QueueInfo* knob = find_queue_info("lscq-ml16");
+    ASSERT_NE(knob, nullptr);
+    EXPECT_EQ(knob->name, "lscq-ml");
+    EXPECT_TRUE(knob->per_lane_fifo);
+
+    EXPECT_EQ(find_queue_info("lcrq-ml0"), nullptr);
+    EXPECT_EQ(find_queue_info("no-such-queue"), nullptr);
+
+    const QueueInfo* base = find_queue_info("lcrq");
+    ASSERT_NE(base, nullptr);
+    EXPECT_FALSE(base->per_lane_fifo);
+}
+
+TEST(Registry, PaperSetsComeFromCatalogTags) {
+    // The line-ups are derived from paper_sets tags, not hardcoded lists:
+    // membership must match the tag bits exactly, for every entry.
+    const auto single = paper_single_processor_set();
+    const auto multi = paper_multi_processor_set();
+    const auto contains = [](const std::vector<std::string>& v,
+                             const std::string& n) {
+        return std::find(v.begin(), v.end(), n) != v.end();
+    };
+    for (const auto& info : queue_catalog()) {
+        EXPECT_EQ(contains(single, info.name),
+                  (info.paper_sets & kSetSingleProcessor) != 0)
+            << info.name;
+        EXPECT_EQ(contains(multi, info.name),
+                  (info.paper_sets & kSetMultiProcessor) != 0)
+            << info.name;
+    }
+    // The multilane front-ends extend the oversubscription line-up.
+    EXPECT_TRUE(contains(multi, "lcrq-ml"));
+    EXPECT_TRUE(contains(multi, "lscq-ml"));
+    EXPECT_FALSE(contains(single, "lcrq-ml"));
 }
 
 TEST(Registry, LcrqVariantsAreDistinctObjects) {

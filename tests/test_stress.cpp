@@ -15,6 +15,7 @@
 #include "arch/counters.hpp"
 #include "queues/lcrq.hpp"
 #include "queues/lscq.hpp"
+#include "queues/multilane.hpp"
 #include "registry/queue_registry.hpp"
 #include "test_support.hpp"
 #include "util/xorshift.hpp"
@@ -228,6 +229,66 @@ TYPED_TEST(ListQueueStress, LongRunSegmentTurnover) {
     q.hazard_domain().scan();
     EXPECT_EQ(q.hazard_domain().retired_count(), 0u);
     EXPECT_LE(q.segment_count(), 3u);
+}
+
+// The multilane front-ends under the same discipline, oversubscribed
+// (more threads than lanes) so stealing and the emptiness certification
+// run constantly.  (EveryQueueSurvivesHighChurnPairs already covers them
+// via the catalog sweep; these pin the composite-specific invariants.)
+template <typename Q>
+class MultilaneStress : public ::testing::Test {};
+using MlQueueTypes = ::testing::Types<MultilaneLcrq, MultilaneLscq>;
+TYPED_TEST_SUITE(MultilaneStress, MlQueueTypes);
+
+TYPED_TEST(MultilaneStress, TokenConservationBetweenTwoQueues) {
+    QueueOptions opt;
+    opt.ring_order = 3;
+    opt.lanes = 2;
+    TypeParam a(opt), b(opt);
+    constexpr std::uint64_t kTokens = 64;
+    constexpr std::uint64_t kMoves = 20'000;
+
+    for (value_t t = 1; t <= kTokens; ++t) a.enqueue(t);
+
+    std::atomic<std::uint64_t> moves{0};
+    test::run_threads(4, [&](int id) {
+        TypeParam& from = (id % 2 == 0) ? a : b;
+        TypeParam& to = (id % 2 == 0) ? b : a;
+        while (moves.load(std::memory_order_relaxed) < kMoves) {
+            if (auto v = from.dequeue()) {
+                to.enqueue(*v);
+                moves.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    });
+
+    std::vector<bool> seen(kTokens + 1, false);
+    std::uint64_t count = 0;
+    for (auto* q : {&a, &b}) {
+        while (auto v = q->dequeue()) {
+            ASSERT_GE(*v, 1u);
+            ASSERT_LE(*v, kTokens);
+            ASSERT_FALSE(seen[*v]) << "token " << *v << " duplicated";
+            seen[*v] = true;
+            ++count;
+        }
+    }
+    EXPECT_EQ(count, kTokens);
+}
+
+TYPED_TEST(MultilaneStress, ProducerHeavyExchangeKeepsPerProducerFifo) {
+    // The lane sweep's shape at test scale: many producers, one consumer,
+    // two lanes.  Full accounting plus per-producer order — the relaxed
+    // contract the front-end actually promises.
+    QueueOptions opt;
+    opt.ring_order = 3;
+    opt.lanes = 2;
+    TypeParam q(opt);
+    const auto received = test::mpmc_exchange(q, 5, 1, 800);
+    test::expect_exchange_valid(received, 5, 800);
+    EXPECT_FALSE(q.dequeue().has_value());
 }
 
 }  // namespace

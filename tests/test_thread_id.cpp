@@ -55,6 +55,32 @@ TEST(ThreadId, RecycledAfterExit) {
     EXPECT_LE(ids.size(), 4u);
 }
 
+TEST(ThreadId, MaxThreadsBoundsTheIdSpace) {
+    static_assert(max_threads() == kMaxThreads);
+    EXPECT_LT(thread_index(), max_threads());
+}
+
+TEST(ThreadId, FullPoolRecyclesAtTheBoundary) {
+    // Drive a private pool to saturation: all kMaxThreads ids hand out
+    // exactly once, and after a release the *released* id — including the
+    // last one — is what comes back, not a grown id space.  (Regression
+    // guard for per-thread arrays sized with max_threads(): an id ≥
+    // kMaxThreads would index out of bounds.)
+    detail::ThreadIdPool pool;
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < kMaxThreads; ++i) ids.push_back(pool.acquire());
+    const std::set<std::size_t> unique(ids.begin(), ids.end());
+    ASSERT_EQ(unique.size(), kMaxThreads);
+    EXPECT_EQ(*unique.rbegin(), kMaxThreads - 1);
+
+    pool.release(kMaxThreads - 1);
+    EXPECT_EQ(pool.acquire(), kMaxThreads - 1)
+        << "the only free id is the boundary one";
+    pool.release(0);
+    EXPECT_EQ(pool.acquire(), 0u);
+    for (std::size_t i = 0; i < kMaxThreads; ++i) pool.release(i);
+}
+
 TEST(ThreadId, ManyWavesStayBounded) {
     for (int wave = 0; wave < 10; ++wave) {
         test::run_threads(16, [&](int) {
