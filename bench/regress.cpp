@@ -20,6 +20,17 @@
 //                          as many F&A as its base queue (the presence
 //                          bookkeeping is single-writer plain stores —
 //                          zero RMW added to the hot path).
+//   BENCH_stall_latency.json — per-run p99 latency (mean + cv over runs)
+//                          of the pairs workload while CPU-hogging
+//                          preemptor threads oversubscribe the host, so
+//                          the scheduler stalls queue threads
+//                          mid-operation.  This is the workload where
+//                          wait-freedom is visible as a number: wCQ's
+//                          helping bounds the damage a stalled peer can
+//                          do, lock-free queues let it stretch the tail.
+//                          Each non-baseline queue also gets a
+//                          "stall_p99_ratio" comparator entry against
+//                          the first queue in --stall-queues.
 //
 // scripts/bench_compare.py diffs two generations of these files using
 // each metric's recorded cv and exits nonzero on a regression, so every
@@ -116,6 +127,12 @@ int main(int argc, char** argv) {
     cli.flag("lane-list", "2,4", "lane counts to sweep (-ml<N> knob)");
     cli.flag("lane-thread-list", "2,4,8",
              "thread counts for the producer-heavy lane sweep");
+    cli.flag("stall-queues", "lscq,lwcq",
+             "queues for the stall-latency phase, baseline first "
+             "(empty = skip phase)");
+    cli.flag("stall-threads", "2", "queue threads for the stall phase");
+    cli.flag("stall-preemptors", "2",
+             "CPU-hogging threads run alongside the stall phase");
     cli.flag("ring-order", "12", "log2 of the CRQ/SCQ ring size");
     cli.flag("placement", "unpinned", "single-cluster | round-robin | unpinned");
     cli.flag("delay-ns", "100", "max random inter-operation delay in ns");
@@ -136,6 +153,9 @@ int main(int argc, char** argv) {
     std::vector<std::string> lane_bases = split_names(cli.get("lane-base-queues"));
     std::vector<std::int64_t> lane_list = cli.get_int_list("lane-list");
     std::vector<std::int64_t> lane_threads = cli.get_int_list("lane-thread-list");
+    std::vector<std::string> stall_queues = split_names(cli.get("stall-queues"));
+    int stall_threads = static_cast<int>(cli.get_int("stall-threads"));
+    int stall_preemptors = static_cast<int>(cli.get_int("stall-preemptors"));
 
     if (cli.get_bool("smoke")) {
         thread_list = {1, 2};
@@ -155,6 +175,8 @@ int main(int argc, char** argv) {
         latency_threads = 20;
         lane_list = {2, 4, 8, 16};
         lane_threads = {2, 4, 8, 16, 32};
+        stall_threads = 8;
+        stall_preemptors = 8;
     }
 
     RunConfig base;
@@ -384,6 +406,109 @@ int main(int argc, char** argv) {
             }
         }
         if (!report.write(out_path("BENCH_lane_sweep.json"))) return 1;
+    }
+
+    // --- phase 5: tail latency under induced stalls --------------------------
+    //
+    // CPU-hogging preemptor threads oversubscribe the host so the
+    // scheduler preempts queue threads mid-operation — the adversarial
+    // stall wait-freedom is about.  p99 is recorded per run (fresh queue,
+    // fresh histogram) and aggregated as mean + cv across runs, because
+    // the gate in scripts/bench_compare.py is "p99 grew more than
+    // max(10%, 3·cv)" and needs the run-to-run noise of the p99 statistic
+    // itself, not of individual samples.
+    if (!stall_queues.empty() && sample_every != 0) {
+        RunConfig cfg = base;
+        cfg.threads = stall_threads;
+        cfg.latency_sample_every = sample_every;
+        cfg.runs = 1;  // one histogram per run: p99 distribution, not merge
+        JsonReport report("regress/stall_latency");
+        report.set_config(cfg);
+        report.set_extra("queues", string_list_json(stall_queues));
+        report.set_extra("preemptors",
+                         Json(static_cast<std::int64_t>(stall_preemptors)));
+
+        std::atomic<bool> stop_preempt{false};
+        std::vector<std::thread> preempt;
+        preempt.reserve(static_cast<std::size_t>(stall_preemptors));
+        for (int i = 0; i < stall_preemptors; ++i) {
+            preempt.emplace_back([&stop_preempt] {
+                volatile std::uint64_t sink = 0;  // defeat DCE of the hog loop
+                while (!stop_preempt.load(std::memory_order_relaxed)) {
+                    sink = sink + 1;
+                }
+            });
+        }
+
+        const auto pct_json = [](const RunningStats& s,
+                                 std::uint64_t samples) {
+            return Json::object()
+                .set("mean_ns", s.mean())
+                .set("cv", s.cv())
+                .set("min_ns", s.min())
+                .set("max_ns", s.max())
+                .set("runs", static_cast<std::int64_t>(s.count()))
+                .set("samples", static_cast<std::int64_t>(samples));
+        };
+
+        struct StallRow {
+            std::string queue;
+            double p99_mean;
+        };
+        std::vector<StallRow> rows;
+        bool ok = true;
+        for (const auto& name : stall_queues) {
+            RunningStats p99;
+            RunningStats p999;  // where rare stalls land on idle hosts
+            std::uint64_t samples = 0;
+            for (int run = 0; run < runs; ++run) {
+                const RunResult r = run_pairs(name, qopt, cfg);
+                if (r.latency.total() == 0) {
+                    std::fprintf(stderr, "stall: no latency samples for %s\n",
+                                 name.c_str());
+                    ok = false;
+                    break;
+                }
+                p99.add(static_cast<double>(r.latency.percentile(0.99)));
+                p999.add(static_cast<double>(r.latency.percentile(0.999)));
+                samples += r.latency.total();
+            }
+            if (!ok) break;
+            report.add_result(
+                Json::object()
+                    .set("experiment", "stall_latency")
+                    .set("queue", name)
+                    .set("threads", static_cast<std::int64_t>(stall_threads))
+                    .set("preemptors",
+                         static_cast<std::int64_t>(stall_preemptors))
+                    .set("p99", pct_json(p99, samples))
+                    .set("p999", pct_json(p999, samples)));
+            std::printf(
+                "stall      %-10s t=%-2d hogs=%-2d  p99=%.0fns cv=%.2f  "
+                "p999=%.0fns cv=%.2f\n",
+                name.c_str(), stall_threads, stall_preemptors, p99.mean(),
+                p99.cv(), p999.mean(), p999.cv());
+            rows.push_back({name, p99.mean()});
+        }
+        stop_preempt.store(true, std::memory_order_relaxed);
+        for (auto& t : preempt) t.join();
+        if (!ok) return 1;
+
+        // Cross-queue comparator: tail inflation relative to the baseline
+        // (first) queue.  ratio < 1 is the wait-freedom win; the compare
+        // script gates its growth across generations.
+        for (std::size_t i = 1; i < rows.size(); ++i) {
+            const double ratio =
+                rows[0].p99_mean <= 0 ? 0.0 : rows[i].p99_mean / rows[0].p99_mean;
+            report.add_result(Json::object()
+                                  .set("experiment", "stall_p99_ratio")
+                                  .set("queue", rows[i].queue)
+                                  .set("base_queue", rows[0].queue)
+                                  .set("p99_ratio", ratio));
+            std::printf("stall      %-10s p99 vs %s: %.2fx\n",
+                        rows[i].queue.c_str(), rows[0].queue.c_str(), ratio);
+        }
+        if (!report.write(out_path("BENCH_stall_latency.json"))) return 1;
     }
 
     return 0;

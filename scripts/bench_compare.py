@@ -37,7 +37,17 @@ workload, threads, batch, ...) and three regression rules are applied:
                  metric iff the queue has lanes) — a lane-balance
                  canary: dequeues drifting from local hits to steals
                  means the home-lane mapping or the steal hint rotted,
-                 trading coordination-free locality for scan traffic.
+                 trading coordination-free locality for scan traffic;
+  * stall p99:   growth           >  max(--stall-pct, 3 * cv)
+                 on p99.mean_ns of stall_latency entries
+                 (BENCH_stall_latency.json: per-run p99 under CPU-hog
+                 preemption, aggregated as mean + cv over runs).  The cv
+                 is of the p99 STATISTIC across runs, so the rule reads
+                 "the tail moved more than the floor and three sigmas of
+                 its own run noise" — the gate that keeps the wait-free
+                 backends' bounded-stall win from quietly eroding.  The
+                 companion stall_p99_ratio entries (tail inflation vs
+                 the baseline queue) are gated with the same percentage.
 
 Data that is missing on one side only is itself a finding: a null metric
 in NEW where BASELINE had a number means a run stopped producing data and
@@ -66,6 +76,8 @@ KEY_FIELDS = (
     "lanes",
     "producers",
     "experiment",
+    "preemptors",
+    "base_queue",
 )
 
 
@@ -172,6 +184,16 @@ class Comparison:
             rel_limit=self.args.tickets_pct / 100.0,
             abs_slack=0.05,
         )
+        self.check_stall_p99(key, base, new)
+        self.check_metric_growth(
+            key,
+            base,
+            new,
+            "p99_ratio",
+            "stall p99 ratio",
+            rel_limit=self.args.stall_pct / 100.0,
+            abs_slack=0.02,
+        )
         self.check_missing(key, base, new, "ns_per_op")
 
     def check_throughput(self, key, base, new):
@@ -255,6 +277,34 @@ class Comparison:
                 key,
                 f"p99 latency grew {100 * growth:.0f}% ({b:.0f}ns -> {n:.0f}ns; "
                 f"limit {self.args.latency_pct}% and {self.args.latency_abs_ns}ns)",
+            )
+
+    def check_stall_p99(self, key, base, new):
+        # BENCH_stall_latency.json entries: p99 is recorded per run, so
+        # its mean comes with a run-to-run cv of the p99 statistic itself.
+        # The limit mirrors the throughput rule: a floor, widened by three
+        # sigmas of the larger measured noise.
+        b = as_number(get_path(base, "p99.mean_ns"))
+        n = as_number(get_path(new, "p99.mean_ns"))
+        if b is None and n is None:
+            return
+        if b is not None and n is None:
+            self.flag(key, "stall p99 disappeared (baseline had data, new is null)")
+            return
+        if b is None or b <= 0:
+            return
+        cv = max(
+            as_number(get_path(base, "p99.cv")) or 0.0,
+            as_number(get_path(new, "p99.cv")) or 0.0,
+        )
+        growth = (n - b) / b
+        limit = max(self.args.stall_pct / 100.0, 3.0 * cv)
+        if growth > limit:
+            self.flag(
+                key,
+                f"stall p99 grew {100 * growth:.1f}% "
+                f"({b:.0f}ns -> {n:.0f}ns; limit {100 * limit:.1f}% "
+                f"= max({self.args.stall_pct}%, 3*cv {100 * cv:.1f}%))",
             )
 
     def check_missing(self, key, base, new, path):
@@ -374,6 +424,43 @@ def synthetic_report(
     }
 
 
+def synthetic_stall_report(p99=480.0, cv=0.02, ratio=0.62):
+    # Mirrors regress.cpp phase 5: one stall_latency entry per queue (the
+    # baseline lock-free queue and a wait-free backend), plus the
+    # cross-queue stall_p99_ratio comparator entry.
+    def entry(queue, mean):
+        return {
+            "experiment": "stall_latency",
+            "queue": queue,
+            "threads": 4,
+            "preemptors": 4,
+            "p99": {
+                "mean_ns": mean,
+                "cv": cv,
+                "min_ns": mean * 0.95,
+                "max_ns": mean * 1.05,
+                "runs": 5,
+                "samples": 20000,
+            },
+        }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "regress/stall_latency",
+        "host": {"description": "self-check", "cpus": 1, "clusters": 1, "hw_threads": 1},
+        "results": [
+            entry("lscq", 780.0),
+            entry("lwcq", p99),
+            {
+                "experiment": "stall_p99_ratio",
+                "queue": "lwcq",
+                "base_queue": "lscq",
+                "p99_ratio": ratio,
+            },
+        ],
+    }
+
+
 def self_check(args):
     failures = []
 
@@ -488,6 +575,48 @@ def self_check(args):
             f"lost data not flagged: {cmp.regressions}",
         )
 
+        # 14-17: the stall-latency artifact.  The wait-free backend's p99
+        # under preemption is the metric the whole phase exists for.
+        stall_base = write("stall_base.json", synthetic_stall_report())
+        cmp = compare_files(stall_base, stall_base, args)
+        expect(cmp.regressions == [], f"stall self-compare flagged: {cmp.regressions}")
+
+        # 14. A 50% p99 blowup (cv 2% -> the 10% floor governs) must flag.
+        stalled = write("stall_slow.json", synthetic_stall_report(p99=720.0))
+        cmp = compare_files(stall_base, stalled, args)
+        expect(
+            any("stall p99 grew" in r for r in cmp.regressions),
+            f"50% stall p99 growth not flagged: {cmp.regressions}",
+        )
+
+        # 15. 5% growth is under the 10% floor: not a regression.
+        steady = write("stall_steady.json", synthetic_stall_report(p99=504.0))
+        cmp = compare_files(stall_base, steady, args)
+        expect(
+            not any("stall p99" in r for r in cmp.regressions),
+            f"5% within-floor stall growth was flagged: {cmp.regressions}",
+        )
+
+        # 16. 30% growth under a 15% run-to-run cv is inside 3*cv = 45%:
+        # the noise widening must absorb it.
+        jittery_tail = write(
+            "stall_jittery.json", synthetic_stall_report(p99=624.0, cv=0.15)
+        )
+        cmp = compare_files(stall_base, jittery_tail, args)
+        expect(
+            not any("stall p99" in r for r in cmp.regressions),
+            f"within-3cv stall growth was flagged: {cmp.regressions}",
+        )
+
+        # 17. The cross-queue comparator eroding (tail win 0.62x -> 0.97x)
+        # must flag even when each absolute p99 stays inside its own band.
+        eroded = write("stall_eroded.json", synthetic_stall_report(ratio=0.97))
+        cmp = compare_files(stall_base, eroded, args)
+        expect(
+            any("stall p99 ratio grew" in r for r in cmp.regressions),
+            f"stall p99 ratio erosion not flagged: {cmp.regressions}",
+        )
+
         # 13. Wrong schema version must be rejected.
         bad = synthetic_report()
         bad["schema_version"] = SCHEMA_VERSION + 1
@@ -556,6 +685,13 @@ def main(argv):
         default=25.0,
         help="allowed lane steal rate growth in %% plus 0.02 absolute "
         "slack, on multilane entries (default 25)",
+    )
+    parser.add_argument(
+        "--stall-pct",
+        type=float,
+        default=10.0,
+        help="stall-latency p99 growth floor in %% (widened by 3*cv of the "
+        "per-run p99 statistic; default 10)",
     )
     parser.add_argument(
         "--self-check",

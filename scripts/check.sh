@@ -15,7 +15,7 @@ ctest --test-dir build-asan --output-on-failure
 cmake -B build-tsan -G Ninja -DLCRQ_ENABLE_TSAN=ON -DLCRQ_ENABLE_BENCH=OFF -DLCRQ_ENABLE_EXAMPLES=OFF
 cmake --build build-tsan
 ctest --test-dir build-tsan --output-on-failure -R \
-  "test_hazard|test_ms_queue|test_two_lock|test_combining|test_kp_queue|test_counters|test_thread_id|test_bounded_and_infinite|test_scq|test_segment_pool"
+  "test_hazard|test_ms_queue|test_two_lock|test_combining|test_kp_queue|test_counters|test_thread_id|test_bounded_and_infinite|test_scq|test_segment_pool|test_wcq"
 
 # Schedule-injection build (docs/TESTING.md §5): the forced-window, kill,
 # and seeded-sweep suites need the instrumented hot paths.
@@ -29,7 +29,7 @@ ctest --test-dir build-inject --output-on-failure -L inject
 cmake -B build-tsan-inject -G Ninja -DLCRQ_INJECT=ON -DLCRQ_ENABLE_TSAN=ON -DLCRQ_ENABLE_BENCH=OFF -DLCRQ_ENABLE_EXAMPLES=OFF
 cmake --build build-tsan-inject
 ctest --test-dir build-tsan-inject --output-on-failure -R \
-  "test_injection_points|test_injection_scq|test_injection_pool"
+  "test_injection_points|test_injection_scq|test_injection_pool|test_injection_wcq"
 
 # Perf smoke (EXPERIMENTS.md "Machine-readable pipeline"): generate the
 # BENCH_*.json artifacts at CI scale, prove the comparator's fixture suite

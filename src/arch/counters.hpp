@@ -59,6 +59,8 @@ enum class Event : unsigned {
     kLaneLocalHit,     // multilane dequeues served by the caller's own lane
     kLaneSteal,        // multilane dequeues served by another thread's lane
     kLaneEmptyScan,    // multilane full-lane scans that found nothing
+    kWcqSlowPath,      // wCQ operations that published a helping record
+    kWcqHelp,          // wCQ helping passes over a pending request
     kCount
 };
 
@@ -76,6 +78,7 @@ constexpr std::string_view event_name(Event e) noexcept {
         "bulk_faa",      "bulk_tickets", "bulk_wasted",
         "segment_alloc", "segment_reuse",
         "lane_local_hit", "lane_steal",  "lane_empty_scan",
+        "wcq_slow_path", "wcq_help",
     };
     return names[static_cast<std::size_t>(e)];
 }

@@ -63,6 +63,13 @@ enum class Point : std::uint8_t {
                            //   about to probe this lane
     kLaneCertify,          // Multilane dequeue, quiescent scan done, about to
                            //   re-read the started counters (round 2)
+    kWcqReqPublished,      // WcqRing slow path, helping record now pending
+                           //   (req store succeeded; any peer can finish it)
+    kWcqNotePlaced,        // WcqRing helper, cell reserved with a note CAS
+    kWcqBeforeCommit,      // WcqRing helper, about to CAS the arg word
+    kWcqCommitted,         // WcqRing helper, commit CAS succeeded; cleanup
+                           //   (materialize/consume + done) still owed
+    kWcqHelpScan,          // WcqRing fast path, about to scan peer records
     kCount
 };
 
@@ -79,6 +86,8 @@ constexpr std::string_view point_name(Point p) noexcept {
         "scq_after_cycle_load",  "scq_before_entry_cas", "scq_enq_published",
         "scq_deq_after_faa",     "scq_threshold_decrement", "scq_catchup",
         "lane_enq_pending",      "lane_scan",        "lane_certify",
+        "wcq_req_published",     "wcq_note_placed",  "wcq_before_commit",
+        "wcq_committed",         "wcq_help_scan",
     };
     return names[static_cast<std::size_t>(p)];
 }

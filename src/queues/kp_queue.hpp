@@ -64,6 +64,7 @@ class KpQueue {
 
     void enqueue(value_t x) {
         const std::size_t tid = my_slot();
+        finish_stale_announcement(tid);
         const std::int64_t phase = max_phase() + 1;
         state_[tid].store(alloc_desc(phase, true, true, alloc_node(x, static_cast<int>(tid))),
                           std::memory_order_seq_cst);
@@ -73,6 +74,7 @@ class KpQueue {
 
     std::optional<value_t> dequeue() {
         const std::size_t tid = my_slot();
+        finish_stale_announcement(tid);
         const std::int64_t phase = max_phase() + 1;
         state_[tid].store(alloc_desc(phase, true, false, nullptr),
                           std::memory_order_seq_cst);
@@ -84,6 +86,38 @@ class KpQueue {
         // desc->node is the pre-dequeue head (dummy); the item is in its
         // successor, whose next pointer is immutable once linked.
         return node->next.load(std::memory_order_acquire)->value;
+    }
+
+    // --- test seams -------------------------------------------------------
+    // Announce an operation exactly as enqueue()/dequeue() would, then
+    // return WITHOUT helping: the caller simulates a peer parked (or
+    // killed) in the window right after publication.  From here on,
+    // progress for the announced operation depends entirely on the
+    // helping scans of other threads — which is the wait-free claim the
+    // parked/killed-peer tests pin down.
+    void debug_announce_enqueue(value_t x) {
+        const std::size_t tid = my_slot();
+        finish_stale_announcement(tid);
+        const std::int64_t phase = max_phase() + 1;
+        state_[tid].store(
+            alloc_desc(phase, true, true, alloc_node(x, static_cast<int>(tid))),
+            std::memory_order_seq_cst);
+    }
+    void debug_announce_dequeue() {
+        const std::size_t tid = my_slot();
+        finish_stale_announcement(tid);
+        const std::int64_t phase = max_phase() + 1;
+        state_[tid].store(alloc_desc(phase, true, false, nullptr),
+                          std::memory_order_seq_cst);
+    }
+    // Announced-but-unfinished operations (tests assert helping drains
+    // this to zero without the announcer's participation).
+    std::size_t debug_pending_ops() const {
+        std::size_t n = 0;
+        for (const auto& s : state_) {
+            if (s.load(std::memory_order_seq_cst)->pending) ++n;
+        }
+        return n;
     }
 
   private:
@@ -138,6 +172,25 @@ class KpQueue {
     }
 
     std::size_t my_slot() const { return thread_index() % kSlots; }
+
+    // Thread ids are recycled: the previous holder of this slot may have
+    // exited (or been killed) with its announcement still pending, and
+    // nobody else is obliged to have scanned it yet.  Blindly storing a
+    // new descriptor would silently drop that operation — an enqueue's
+    // item lost, a dequeue never decided.  Finish it before overwriting;
+    // the helpers are idempotent, so racing with a concurrent scan that
+    // also picked it up is benign.
+    void finish_stale_announcement(std::size_t tid) {
+        OpDesc* d = state_[tid].load(std::memory_order_seq_cst);
+        if (!d->pending) return;
+        if (d->enqueue) {
+            help_enqueue(tid, d->phase);
+            help_finish_enqueue();
+        } else {
+            help_dequeue(tid, d->phase);
+            help_finish_dequeue();
+        }
+    }
 
     std::int64_t max_phase() const {
         std::int64_t max = -1;

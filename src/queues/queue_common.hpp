@@ -153,6 +153,13 @@ struct QueueOptions {
     // one lane per hardware thread, at least 2 so the lane machinery is
     // exercised even on a single-CPU host.
     std::size_t lanes = 0;
+    // wCQ (wcq.hpp): failed fast-path rounds before an operation publishes
+    // a helping record.  0 forces every contended operation slow (tests).
+    unsigned wcq_patience = 64;
+    // wCQ ablation knob: peer helping on/off.  Off, a killed thread's
+    // published request is never finished by a peer — the killed-peer
+    // injection suite asserts exactly this difference.
+    bool wcq_helping = true;
 };
 
 }  // namespace lcrq

@@ -12,6 +12,7 @@
 #include "queues/kp_queue.hpp"
 #include "queues/lcrq.hpp"
 #include "queues/lscq.hpp"
+#include "queues/lwcq.hpp"
 #include "queues/ms_queue.hpp"
 #include "queues/multilane.hpp"
 #include "queues/scq.hpp"
@@ -114,6 +115,20 @@ const std::vector<Entry>& entries() {
                                "LSCQ without the segment pool (malloc per segment close; "
                                "ablation)",
                                true, false, false),
+        entry<LwcqQueue>("lwcq",
+                         "LwCQ: wCQ ring-list queue — SCQ plus helping records, "
+                         "wait-free per segment with bounded memory (SPAA'22)",
+                         true, false, false, false,
+                         kSetSingleProcessor | kSetMultiProcessor),
+        entry<LwcqNoReclaimQueue>("lwcq-noreclaim",
+                                  "LwCQ without hazard protection (reclaims at "
+                                  "destruction; ablation)",
+                                  true, false, false,
+                                  /*deferred_reclamation=*/true),
+        entry<LwcqNoPoolQueue>("lwcq-nopool",
+                               "LwCQ without the segment pool (malloc per segment close; "
+                               "ablation)",
+                               true, false, false),
         entry<MultilaneLcrq>("lcrq-ml",
                              "Multilane LCRQ: coordination-free per-thread lanes, "
                              "balancing dequeue (per-producer FIFO; accepts -ml<N>)",
@@ -127,6 +142,10 @@ const std::vector<Entry>& entries() {
         entry<ScqQueue>("scq",
                         "Bounded SCQ ring pair (allocated/free queues over a data "
                         "array; no CAS2)",
+                        true, false, true),
+        entry<WcqQueue>("wcq",
+                        "Bounded wCQ ring pair (SCQ plus per-thread helping records; "
+                        "wait-free, no CAS2)",
                         true, false, true),
         entry<MsQueue<true>>("ms", "Michael-Scott nonblocking queue (PODC'96), with backoff",
                              true, false, false, false, kSetSingleProcessor),

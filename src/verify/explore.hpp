@@ -25,6 +25,7 @@
 #include "verify/lcrq_model.hpp"
 #include "verify/lin_check.hpp"
 #include "verify/scq_model.hpp"
+#include "verify/wcq_model.hpp"
 
 namespace lcrq::verify {
 
@@ -41,7 +42,16 @@ struct ExploreConfig {
     std::uint64_t ring_size = 2;
     unsigned starvation_limit = 2;
     // LCRQ family: include the December-2013 second-dequeue fix?
+    // wCQ family: re-check arg before reverting a note whose commit CAS
+    // lost (false = blind revert, which loses items; wcq_model.hpp).
     bool corrected = true;
+    // wCQ family: failed fast-path rounds before an op publishes a
+    // helping request.  Low values route the explorer into the slow path.
+    unsigned wcq_patience = 1;
+    // wCQ family: start with the threshold armed (the state after a prior
+    // enqueue/dequeue pair), so script dequeuers can race the first
+    // enqueue's cell instead of serializing behind the threshold gate.
+    bool wcq_armed = false;
     // Exhaustive mode aborts (reporting truncated=true) past this many
     // completed schedules; random mode runs exactly `samples` schedules.
     std::uint64_t max_schedules = 5'000'000;
@@ -68,6 +78,11 @@ struct ExploreResult {
     std::uint64_t appended_segments = 0;  // LCRQ family only
     std::uint64_t catchups = 0;           // SCQ family only: tail repairs
     std::uint64_t threshold_empties = 0;  // SCQ family only: EMPTY via threshold
+    std::uint64_t slow_publishes = 0;     // wCQ family: requests published
+    std::uint64_t notes_placed = 0;       // wCQ family: reservations landed
+    std::uint64_t note_commits = 0;       // wCQ family: ticket commits on arg
+    std::uint64_t note_reverts = 0;       // wCQ family: loser notes taken back
+    std::uint64_t empty_commits = 0;      // wCQ family: EMPTY commits on arg
     std::uint64_t pruned = 0;             // schedules cut at max_steps
 
     bool ok() const noexcept { return violations == 0 && !truncated; }
@@ -140,6 +155,31 @@ struct ScqFamily {
         out.enq_rescues += s.enq_rescues;
         out.catchups += s.catchups;
         out.threshold_empties += s.threshold_empties;
+    }
+};
+
+struct WcqFamily {
+    using State = WcqModelState;
+    using Op = WcqModelOp;
+
+    // cfg.ring_size is the capacity n (2n modeled entries), as for SCQ.
+    static State make_state(const ExploreConfig& cfg) {
+        return State(cfg.ring_size, cfg.wcq_armed);
+    }
+    static Op make_op(const ScriptOp& s, const ExploreConfig& cfg) {
+        return make_wcq_model_op(s.kind, s.arg, cfg.wcq_patience, cfg.corrected);
+    }
+    static void accumulate(const State& s, ExploreResult& out) {
+        out.unsafe_transitions += s.unsafe_transitions;
+        out.empty_transitions += s.empty_transitions;
+        out.enq_rescues += s.enq_rescues;
+        out.catchups += s.catchups;
+        out.threshold_empties += s.threshold_empties;
+        out.slow_publishes += s.slow_publishes;
+        out.notes_placed += s.notes_placed;
+        out.note_commits += s.note_commits;
+        out.note_reverts += s.note_reverts;
+        out.empty_commits += s.empty_commits;
     }
 };
 
@@ -353,6 +393,20 @@ inline ExploreResult explore_scq_exhaustive(const std::vector<ThreadScript>& scr
 inline ExploreResult explore_scq_random(const std::vector<ThreadScript>& scripts,
                                         const ExploreConfig& cfg = {}) {
     return detail_explore::run_random<ScqFamily>(scripts, cfg);
+}
+
+// wCQ ring (SCQ protocol + helping slow path; wcq_model.hpp).  Same
+// occupancy caveat as the SCQ ring.  cfg.wcq_patience routes ops into the
+// slow path; cfg.corrected = false reproduces the blind-revert lost-item
+// schedules on the commit word.
+inline ExploreResult explore_wcq_exhaustive(const std::vector<ThreadScript>& scripts,
+                                            const ExploreConfig& cfg = {}) {
+    return detail_explore::run_exhaustive<WcqFamily>(scripts, cfg);
+}
+
+inline ExploreResult explore_wcq_random(const std::vector<ThreadScript>& scripts,
+                                        const ExploreConfig& cfg = {}) {
+    return detail_explore::run_random<WcqFamily>(scripts, cfg);
 }
 
 // LCRQ-layer variants (unbounded queue over CRQ segments).

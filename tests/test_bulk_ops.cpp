@@ -24,7 +24,9 @@
 #include "queues/crq.hpp"
 #include "queues/lcrq.hpp"
 #include "queues/lscq.hpp"
+#include "queues/lwcq.hpp"
 #include "queues/scq.hpp"
+#include "queues/wcq.hpp"
 #include "queues/typed_queue.hpp"
 #include "registry/queue_registry.hpp"
 #include "test_support.hpp"
@@ -38,6 +40,12 @@ static_assert(BulkConcurrentQueue<LcrqQueue>);
 static_assert(BulkConcurrentQueue<LcrqCasQueue>);
 static_assert(BulkConcurrentQueue<ScqQueue>);
 static_assert(BulkConcurrentQueue<LscqQueue>);
+// The wCQ family has no native batch path (batched tickets would widen the
+// helping records); it reaches the bulk interface through the loop
+// fallback, via BulkAdapter below and the registry dispatch.
+static_assert(ConcurrentQueue<WcqQueue> && !BulkConcurrentQueue<WcqQueue>);
+static_assert(ConcurrentQueue<LwcqQueue> && !BulkConcurrentQueue<LwcqQueue>);
+static_assert(BulkConcurrentQueue<BulkAdapter<LwcqQueue>>);
 
 QueueOptions small_ring() {
     QueueOptions opt;
@@ -366,6 +374,14 @@ TEST(LscqBulk, MpmcBulkExchangeAllVariantsAndBoundedScq) {
         ScqQueue q(opt);
         run(q);
     }
+    {
+        // The wait-free list through the fallback adapter: same batch
+        // shapes, zero patience so batches also travel the helping path.
+        QueueOptions opt = small_ring();
+        opt.wcq_patience = 0;
+        BulkAdapter<LwcqQueue> q(opt);
+        run(q);
+    }
 }
 
 // --- linearizability of mixed single/bulk histories ----------------------
@@ -538,6 +554,25 @@ TEST(RegistryBulk, LscqAdapterUsesNativeBulkClaims) {
     EXPECT_EQ(snap[stats::Event::kBulkDequeue], 1u);
     EXPECT_EQ(snap[stats::Event::kBulkFaa], 4u);
     EXPECT_EQ(snap[stats::Event::kBulkTickets], 64u);
+    EXPECT_EQ(snap[stats::Event::kCas2], 0u);
+    for (std::size_t i = 0; i < items.size(); ++i) EXPECT_EQ(out[i], items[i]);
+}
+
+TEST(RegistryBulk, LwcqAdapterFallsBackToLoops) {
+    // No native batch path on the wait-free backend: the registry adapter
+    // must still serve the bulk interface (per-item loop), preserving FIFO
+    // and the batch-level operation counters.
+    auto q = make_queue("lwcq");
+    ASSERT_NE(q, nullptr);
+    const auto items = tags(0, 16);
+    stats::reset_all();
+    q->enqueue_bulk(items);
+    std::vector<value_t> out(16);
+    ASSERT_EQ(q->dequeue_bulk(out.data(), out.size()), 16u);
+    const auto snap = stats::global_snapshot();
+    EXPECT_EQ(snap[stats::Event::kBulkEnqueue], 1u);
+    EXPECT_EQ(snap[stats::Event::kBulkDequeue], 1u);
+    EXPECT_EQ(snap[stats::Event::kBulkFaa], 0u) << "fallback claims no batches";
     EXPECT_EQ(snap[stats::Event::kCas2], 0u);
     for (std::size_t i = 0; i < items.size(); ++i) EXPECT_EQ(out[i], items[i]);
 }

@@ -1,6 +1,11 @@
 // Kogan–Petrank wait-free queue: FIFO semantics, helping correctness
-// under contention, EMPTY linearization, and allocation bookkeeping.
+// under contention, EMPTY linearization, allocation bookkeeping — and
+// parked/killed-peer progress: an operation announced by a thread that
+// never helps again must still be finished by its peers' helping scans.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
 
 #include "queues/kp_queue.hpp"
 #include "test_support.hpp"
@@ -71,6 +76,124 @@ TEST(KpQueue, ManyQueuesIndependent) {
     EXPECT_EQ(b.dequeue().value_or(0), 2u);
     EXPECT_FALSE(a.dequeue().has_value());
     EXPECT_FALSE(b.dequeue().has_value());
+}
+
+// A peer parks (or dies) immediately after publishing its enqueue — it
+// will never take another step.  The survivor's dequeues must both append
+// the orphaned item (via the help scan) and return it, in a bounded
+// number of operations.  Two attempts suffice: the first dequeue's scan
+// completes every announcement it can see, even if its own operation
+// linearizes as EMPTY before the orphan lands.
+TEST(KpQueue, ParkedEnqueuerIsFinishedByPeers) {
+    KpQueue q;
+    std::atomic<bool> announced{false};
+    std::optional<value_t> got;
+    test::run_threads(2, [&](int id) {
+        if (id == 0) {
+            q.debug_announce_enqueue(42);
+            announced.store(true, std::memory_order_release);
+            // Parked: no helping, no further steps, ever.
+        } else {
+            while (!announced.load(std::memory_order_acquire)) {
+                std::this_thread::yield();
+            }
+            for (int i = 0; i < 2 && !got; ++i) got = q.dequeue();
+        }
+    });
+    EXPECT_EQ(got.value_or(0), 42u)
+        << "the parked peer's item never surfaced: helping failed";
+    EXPECT_EQ(q.debug_pending_ops(), 0u)
+        << "the parked announcement must be driven to completion";
+    EXPECT_FALSE(q.dequeue().has_value()) << "and applied exactly once";
+}
+
+// The dequeue side of the same window, with items in flight: the parked
+// dequeuer claims the head item through the survivor's help scan, so the
+// survivor sees everything EXCEPT the item delivered to the corpse.
+TEST(KpQueue, ParkedDequeuerIsCompletedByPeers) {
+    KpQueue q;
+    q.enqueue(1);
+    q.enqueue(2);
+    std::atomic<bool> announced{false};
+    std::vector<value_t> drained;
+    test::run_threads(2, [&](int id) {
+        if (id == 0) {
+            q.debug_announce_dequeue();
+            announced.store(true, std::memory_order_release);
+        } else {
+            while (!announced.load(std::memory_order_acquire)) {
+                std::this_thread::yield();
+            }
+            q.enqueue(3);  // this operation's scan completes the dead dequeue
+            EXPECT_EQ(q.debug_pending_ops(), 0u)
+                << "one live operation must be enough to finish the corpse";
+            while (auto v = q.dequeue()) drained.push_back(*v);
+        }
+    });
+    // Item 1 went to the parked dequeuer's descriptor, not to us.
+    ASSERT_EQ(drained.size(), 2u);
+    EXPECT_EQ(drained[0], 2u);
+    EXPECT_EQ(drained[1], 3u);
+}
+
+// A dequeue announced against an EMPTY queue, racing a live enqueue: the
+// help scan decides it either way (EMPTY, or it claims the fresh item).
+// Both linearizations are legal; what is NOT legal is the announcement
+// staying pending, or the item being duplicated or lost.
+TEST(KpQueue, ParkedDequeuerOnEmptyQueueIsDecided) {
+    KpQueue q;
+    std::atomic<bool> announced{false};
+    std::vector<value_t> drained;
+    test::run_threads(2, [&](int id) {
+        if (id == 0) {
+            q.debug_announce_dequeue();
+            announced.store(true, std::memory_order_release);
+        } else {
+            while (!announced.load(std::memory_order_acquire)) {
+                std::this_thread::yield();
+            }
+            q.enqueue(3);
+            EXPECT_EQ(q.debug_pending_ops(), 0u);
+            while (auto v = q.dequeue()) drained.push_back(*v);
+        }
+    });
+    ASSERT_LE(drained.size(), 1u) << "an item was duplicated";
+    if (!drained.empty()) {
+        EXPECT_EQ(drained[0], 3u);  // corpse linearized EMPTY; item is ours
+    }
+}
+
+// Several parked enqueuers at once: a single survivor's bounded dequeues
+// must recover every orphaned item — the helping scan is all-or-nothing,
+// not one-rescue-per-operation.
+TEST(KpQueue, ManyParkedEnqueuersAllFinishedBySingleSurvivor) {
+    KpQueue q;
+    constexpr int kParked = 3;
+    std::atomic<int> announced{0};
+    std::vector<value_t> got;
+    test::run_threads(kParked + 1, [&](int id) {
+        if (id < kParked) {
+            q.debug_announce_enqueue(test::tag(static_cast<unsigned>(id), 0));
+            announced.fetch_add(1, std::memory_order_release);
+        } else {
+            while (announced.load(std::memory_order_acquire) < kParked) {
+                std::this_thread::yield();
+            }
+            for (int i = 0; i < 4 * kParked && got.size() < kParked; ++i) {
+                if (auto v = q.dequeue()) got.push_back(*v);
+            }
+        }
+    });
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(kParked))
+        << "a parked peer's item was never recovered";
+    std::vector<bool> seen(kParked, false);
+    for (value_t v : got) {
+        const auto producer = static_cast<std::size_t>(test::tag_producer(v));
+        ASSERT_LT(producer, static_cast<std::size_t>(kParked));
+        EXPECT_FALSE(seen[producer]) << "duplicate rescue of producer " << producer;
+        seen[producer] = true;
+    }
+    EXPECT_EQ(q.debug_pending_ops(), 0u);
 }
 
 TEST(KpQueue, DestructionWithResidentItems) {

@@ -8,6 +8,7 @@
 #include "queues/crq.hpp"
 #include "queues/lcrq.hpp"
 #include "queues/scq.hpp"
+#include "queues/wcq.hpp"
 #include "verify/lcrq_model.hpp"
 #include "verify/explore.hpp"
 
@@ -604,6 +605,258 @@ TEST(ExploreScq, RandomSamplingReachesThresholdExhaustion) {
         cfg);
     EXPECT_EQ(r.violations, 0u) << r.summary();
     EXPECT_GT(r.threshold_empties, 0u) << r.summary();
+}
+
+// --- wCQ ring model (wcq_model.hpp) ---------------------------------------
+
+TEST(WcqModel, MatchesRealWcqRingSequentially) {
+    // Random op sequences through the step model and the real WcqRing must
+    // agree on every result AND on head/tail/threshold, with a quarter of
+    // the ops forced down the slow path (publish/note/commit/cleanup) on
+    // both sides.  Occupancy stays ≤ capacity, the fq/aq contract.
+    Xoshiro256 rng(81);
+    for (int round = 0; round < 50; ++round) {
+        const unsigned order = 1 + static_cast<unsigned>(rng.bounded(2));
+        const std::uint64_t cap = std::uint64_t{1} << order;
+        WcqRing<> real(order);
+        WcqModelState model(cap);
+
+        std::uint64_t size = 0;
+        for (int i = 0; i < 60; ++i) {
+            const bool is_enq = size < cap && rng.bounded(2) == 0;
+            const bool slow = rng.bounded(4) == 0;
+            if (is_enq) {
+                const value_t v = rng.bounded(cap);
+                auto op = make_wcq_model_op(WcqModelOp::Kind::kEnqueue, v, 64,
+                                            true, slow);
+                while (op.step(model) == WcqModelOp::Status::kRunning) {
+                }
+                ASSERT_EQ(op.result(), v) << "the ring model never closes";
+                if (slow) {
+                    const auto r = real.debug_enqueue_slow(v);
+                    ASSERT_TRUE(r.has_value()) << "sequential slot collision";
+                    ASSERT_EQ(*r, EnqueueResult::kOk);
+                } else {
+                    ASSERT_EQ(real.enqueue(v), EnqueueResult::kOk)
+                        << "round " << round << " op " << i;
+                }
+                ++size;
+            } else {
+                auto op = make_wcq_model_op(WcqModelOp::Kind::kDequeue, 0, 64,
+                                            true, slow);
+                while (op.step(model) == WcqModelOp::Status::kRunning) {
+                }
+                std::optional<std::uint64_t> got;
+                if (slow) {
+                    ASSERT_TRUE(real.debug_dequeue_slow(got))
+                        << "sequential slot collision";
+                } else {
+                    got = real.dequeue();
+                }
+                if (op.result() == kEmpty) {
+                    ASSERT_FALSE(got.has_value())
+                        << "round " << round << " op " << i
+                        << (slow ? " (slow)" : " (fast)");
+                } else {
+                    ASSERT_TRUE(got.has_value()) << "round " << round << " op " << i;
+                    ASSERT_EQ(*got, op.result());
+                    --size;
+                }
+            }
+            ASSERT_EQ(model.head, real.head_index()) << "round " << round;
+            ASSERT_EQ(model.tail, real.tail_index()) << "round " << round;
+            ASSERT_EQ(model.threshold, real.threshold()) << "round " << round;
+            ASSERT_EQ(real.pending_requests(), 0u)
+                << "a sequential slow op must retire its own request";
+        }
+    }
+}
+
+// Hand-driven schedule for the commit-word race the helping layer must
+// get right: requester places its enqueue note and stalls before the
+// commit CAS; a slow dequeuer finds the note and resolves it — deciding
+// the request in favour of the note; the requester resumes, loses its
+// commit CAS, and must NOT treat that as "my note lost".  The blind
+// revert (corrected = false) unpublishes the committed item: the enqueue
+// still reports OK, but the value is gone forever.
+TEST(WcqModel, BlindRevertOfWinningNoteLosesTheItem) {
+    const auto drive = [](bool corrected) {
+        WcqModelState s(1);  // N = 2, head = tail = 2
+        auto enq = make_wcq_model_op(WcqModelOp::Kind::kEnqueue, 1, 0,
+                                     corrected, /*force_slow=*/true);
+        auto deq = make_wcq_model_op(WcqModelOp::Kind::kDequeue, 0, 0,
+                                     corrected, /*force_slow=*/true);
+        // Requester: publish, chase, place the note, fix tail — stop at
+        // the commit CAS.
+        for (int i = 0; i < 7; ++i) enq.step(s);
+        EXPECT_EQ(s.notes_placed, 1u) << "schedule drifted: no note placed";
+        EXPECT_EQ(s.recs[0].arg, WcqModelState::kArgNone);
+        // Dequeuer: publish, chase to the note, resolve it — the decide
+        // CAS commits the requester's arg at the note's ticket.
+        for (int i = 0; i < 8; ++i) deq.step(s);
+        EXPECT_EQ(s.note_commits, 1u) << "schedule drifted: no resolve commit";
+        EXPECT_EQ(s.recs[0].arg, 2u);
+        // Requester resumes: its commit CAS loses (arg already decided).
+        // corrected: re-reads arg, sees its own ticket won, leaves the
+        // note for cleanup.  blind: reverts the winning note.
+        enq.step(s);  // commit CAS (lost)
+        enq.step(s);  // corrected: arg re-read / blind: revert
+        EXPECT_EQ(s.note_reverts, corrected ? 0u : 1u);
+        // Run everything to completion, then a fresh fast dequeue.
+        while (!enq.done()) enq.step(s);
+        while (!deq.done()) deq.step(s);
+        auto deq2 = make_wcq_model_op(WcqModelOp::Kind::kDequeue, 0, 64, true);
+        while (!deq2.done()) deq2.step(s);
+        EXPECT_EQ(enq.result(), 1u) << "the enqueue reported OK either way";
+        return std::pair{deq.result(), deq2.result()};
+    };
+
+    const auto [blind1, blind2] = drive(false);
+    EXPECT_EQ(blind1, kEmpty);
+    EXPECT_EQ(blind2, kEmpty) << "item 1 must be LOST under the blind revert";
+
+    const auto [fixed1, fixed2] = drive(true);
+    EXPECT_TRUE(fixed1 == 1u || fixed2 == 1u)
+        << "the corrected protocol must deliver the committed item exactly "
+           "once (got "
+        << fixed1 << ", " << fixed2 << ")";
+    EXPECT_TRUE(fixed1 == kEmpty || fixed2 == kEmpty);
+}
+
+// --- wCQ exhaustive interleaving enumeration ------------------------------
+//
+// Same occupancy contract as the SCQ enumeration (total enqueues ≤
+// capacity).  wcq_patience = 0 sends every op that loses a single round
+// into the helping slow path, so the enumerations below cover request
+// publication, note placement, commit arbitration, and cleanup under
+// every interleaving of the scripts.
+//
+// All slow-path enumerations set wcq_armed: a fresh ring's threshold of
+// -1 makes every dequeuer answer EMPTY until the first enqueue's final
+// rearm step, so no dequeuer can ever race the first enqueue's cell and
+// no op can lose a fast-path round — the slow path would be dead code in
+// these scripts.  Arming the threshold (the state left behind by any
+// prior enqueue/dequeue pair) lets head and tail tickets collide from
+// the first step.
+
+TEST(ExploreWcq, ExhaustiveFastPathMatchesScqShape) {
+    // With infinite patience the wCQ model IS the SCQ model (plus the
+    // consume-CAS refinement): the smallest enumeration stays exactly
+    // countable, as in ExploreScq.ExhaustiveOneEnqOneDeq.
+    ExploreConfig cfg = tiny();
+    cfg.wcq_patience = 64;
+    const auto r = explore_wcq_exhaustive({{enq_op(1)}, {deq_op()}}, cfg);
+    EXPECT_FALSE(r.truncated) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_EQ(r.schedules, 6u) << r.summary();
+    EXPECT_EQ(r.slow_publishes, 0u) << "patience 64 must keep every op fast";
+}
+
+TEST(ExploreWcq, ExhaustiveSlowEnqueueVsDequeuer) {
+    // Zero patience: head and tail both hand out ticket N first, so any
+    // schedule where the dequeuer's empty transition beats the enqueuer's
+    // publish CAS bumps the shared cell's cycle and sends the enqueue
+    // through request publication and note commit.  Every interleaving
+    // must linearize and no branch may be pruned — the helping chase has
+    // no livelock.
+    ExploreConfig cfg = tiny();
+    cfg.wcq_patience = 0;
+    cfg.wcq_armed = true;
+    const auto r = explore_wcq_exhaustive({{enq_op(1)}, {deq_op()}}, cfg);
+    EXPECT_FALSE(r.truncated) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_GT(r.slow_publishes, 0u) << r.summary();
+    EXPECT_GT(r.notes_placed, 0u) << r.summary();
+    EXPECT_GT(r.note_commits, 0u) << r.summary();
+}
+
+TEST(ExploreWcq, RandomSamplingSlowDequeueCommitsEmpty) {
+    // The dequeue side of the slow path, including its EMPTY resolution:
+    // the tail-exact check and the kEmpty commit CAS (a slow dequeue
+    // answers EMPTY via the commit word, not the threshold).  A dequeuer
+    // only publishes once the tail is two or more tickets ahead of its
+    // miss (otherwise the catch-up branch finishes EMPTY directly), so
+    // the script needs both enqueue F&As in flight while a dequeue
+    // misses.  The spare third dequeuer outnumbers the items, so a slow
+    // dequeue can genuinely run dry mid-chase.  This much slow-path
+    // machinery overflows the exhaustive schedule budget, so the shape is
+    // sampled.
+    ExploreConfig cfg = tiny();
+    cfg.wcq_patience = 0;
+    cfg.wcq_armed = true;
+    cfg.samples = 30'000;
+    cfg.seed = 7;
+    const auto r = explore_wcq_random(
+        {{enq_op(1), enq_op(2)}, {deq_op(), deq_op()}, {deq_op()}}, cfg);
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_GT(r.slow_publishes, 0u) << r.summary();
+    EXPECT_GT(r.empty_commits, 0u)
+        << "no schedule reached the slow-path EMPTY commit: " << r.summary();
+}
+
+TEST(ExploreWcq, RandomSamplingFastDequeuerResolvesForeignNote) {
+    // A fast-path dequeuer whose ticket lands on another thread's note
+    // must resolve it on the requester's behalf — the interaction a dead
+    // requester depends on.  The first dequeuer forces the enqueue slow
+    // (chasing to ticket N+1), and the second dequeuer's ticket N+1 then
+    // meets the note head-on.  (Two enqueuers alone can never exercise
+    // this: distinct F&A tickets never share a cell.)
+    ExploreConfig cfg = tiny();
+    cfg.wcq_patience = 0;
+    cfg.wcq_armed = true;
+    cfg.samples = 30'000;
+    cfg.seed = 5;
+    const auto r =
+        explore_wcq_random({{enq_op(1)}, {deq_op(), deq_op()}}, cfg);
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_GT(r.notes_placed, 0u) << r.summary();
+    EXPECT_GT(r.note_commits, 0u) << r.summary();
+}
+
+TEST(ExploreWcq, RandomSamplingThreeThreadsMixedPatience) {
+    // One enqueue against a pile of dequeuers on a capacity-1 ring, all at
+    // zero patience: samples cover fast/slow mixtures three exhaustive
+    // threads cannot reach, with full slow-path coverage counters.
+    ExploreConfig cfg = tiny(1);
+    cfg.wcq_patience = 0;
+    cfg.wcq_armed = true;
+    cfg.samples = 30'000;
+    cfg.seed = 11;
+    const auto r = explore_wcq_random(
+        {{enq_op(1), deq_op()}, {deq_op(), deq_op()}, {deq_op(), deq_op()}},
+        cfg);
+    EXPECT_EQ(r.violations, 0u) << r.summary();
+    EXPECT_EQ(r.pruned, 0u) << r.summary();
+    EXPECT_GT(r.slow_publishes, 0u) << r.summary();
+    EXPECT_GT(r.notes_placed, 0u) << r.summary();
+    EXPECT_GT(r.note_commits, 0u) << r.summary();
+    EXPECT_GT(r.empty_commits, 0u) << r.summary();
+}
+
+TEST(ExploreWcq, RandomSamplingBlindRevertStaysBroken) {
+    // The same sampling with corrected = false must surface lost-item
+    // schedules (the hand-driven window above, found by search), and the
+    // corrected protocol must not.
+    // T0's own dequeue is invoked after its enqueue returns, so a lost
+    // item forces an un-linearizable EMPTY rather than vanishing quietly.
+    const std::vector<ThreadScript> script = {
+        {enq_op(1), deq_op()}, {deq_op(), deq_op()}, {deq_op(), deq_op()}};
+    ExploreConfig cfg = tiny(1);
+    cfg.wcq_patience = 0;
+    cfg.wcq_armed = true;
+    cfg.samples = 100'000;
+    cfg.seed = 23;
+    cfg.corrected = false;
+    const auto broken = explore_wcq_random(script, cfg);
+    EXPECT_GT(broken.violations, 0u)
+        << "the blind revert should lose items: " << broken.summary();
+    cfg.corrected = true;
+    const auto fixed = explore_wcq_random(script, cfg);
+    EXPECT_EQ(fixed.violations, 0u) << fixed.summary();
 }
 
 }  // namespace

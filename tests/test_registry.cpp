@@ -40,6 +40,52 @@ TEST(Registry, CatalogIncludesScqFamily) {
     EXPECT_TRUE(saw_lscq);
 }
 
+TEST(Registry, CatalogIncludesWcqFamily) {
+    // The wait-free backend and its ablations round-trip through the
+    // factory and carry the right classification bits.
+    bool saw_wcq = false, saw_lwcq = false, saw_noreclaim = false,
+         saw_nopool = false;
+    for (const auto& info : queue_catalog()) {
+        if (info.name == "wcq") {
+            saw_wcq = true;
+            EXPECT_TRUE(info.bounded) << "wcq is a bounded ring";
+            EXPECT_TRUE(info.nonblocking);
+        } else if (info.name == "lwcq") {
+            saw_lwcq = true;
+            EXPECT_FALSE(info.bounded) << "lwcq is an unbounded list of rings";
+            EXPECT_TRUE(info.nonblocking);
+            EXPECT_FALSE(info.deferred_reclamation);
+        } else if (info.name == "lwcq-noreclaim") {
+            saw_noreclaim = true;
+            EXPECT_TRUE(info.deferred_reclamation);
+        } else if (info.name == "lwcq-nopool") {
+            saw_nopool = true;
+        }
+    }
+    EXPECT_TRUE(saw_wcq);
+    EXPECT_TRUE(saw_lwcq);
+    EXPECT_TRUE(saw_noreclaim);
+    EXPECT_TRUE(saw_nopool);
+}
+
+TEST(Registry, LwcqRoundTripsWithWcqKnobs) {
+    // The helping knobs flow through the factory: zero patience (all
+    // contended operations slow) must not change FIFO behaviour.
+    QueueOptions opt;
+    opt.ring_order = 2;
+    opt.wcq_patience = 0;
+    for (const std::string name : {"lwcq", "lwcq-noreclaim", "lwcq-nopool", "wcq"}) {
+        auto q = make_queue(name, opt);
+        ASSERT_NE(q, nullptr) << name;
+        EXPECT_EQ(q->name(), name);
+        for (value_t v = 1; v <= 20; ++v) q->enqueue(v);
+        for (value_t v = 1; v <= 20; ++v) {
+            EXPECT_EQ(q->dequeue().value_or(0), v) << name;
+        }
+        EXPECT_FALSE(q->dequeue().has_value()) << name;
+    }
+}
+
 TEST(Registry, EveryCatalogEntryConstructs) {
     QueueOptions opt;
     opt.ring_order = 4;

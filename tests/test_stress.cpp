@@ -15,6 +15,7 @@
 #include "arch/counters.hpp"
 #include "queues/lcrq.hpp"
 #include "queues/lscq.hpp"
+#include "queues/lwcq.hpp"
 #include "queues/multilane.hpp"
 #include "registry/queue_registry.hpp"
 #include "test_support.hpp"
@@ -23,11 +24,12 @@
 namespace lcrq {
 namespace {
 
-// The list-of-rings stress tests run identically over both segment
-// disciplines: LCRQ (CAS2 rings) and LSCQ (cycle/threshold rings).
+// The list-of-rings stress tests run identically over all three segment
+// disciplines: LCRQ (CAS2 rings), LSCQ (cycle/threshold rings), and LwCQ
+// (cycle/threshold rings with the wait-free helping layer).
 template <typename Q>
 class ListQueueStress : public ::testing::Test {};
-using ListQueueTypes = ::testing::Types<LcrqQueue, LscqQueue>;
+using ListQueueTypes = ::testing::Types<LcrqQueue, LscqQueue, LwcqQueue>;
 TYPED_TEST_SUITE(ListQueueStress, ListQueueTypes);
 
 TEST(Stress, TinyRingDrivesAllTransitions) {

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "queues/lscq.hpp"
+#include "queues/lwcq.hpp"
 #include "queues/ms_queue.hpp"
 #include "queues/typed_queue.hpp"
 #include "test_support.hpp"
@@ -91,6 +92,27 @@ TEST(TypedQueue, WorksOverLscqBase) {
     for (int i = 0; i < 40; ++i) q.enqueue(i);
     for (int i = 0; i < 40; ++i) EXPECT_EQ(q.dequeue().value_or(-1), i);
     EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(TypedQueue, WorksOverLwcqBase) {
+    // The wait-free base under the facade, with zero patience so boxed
+    // pointers also travel the helping slow path.
+    QueueOptions opt;
+    opt.ring_order = 2;
+    opt.wcq_patience = 0;
+    Queue<int, LwcqQueue> q(opt);
+    for (int i = 0; i < 40; ++i) q.enqueue(i);
+    for (int i = 0; i < 40; ++i) EXPECT_EQ(q.dequeue().value_or(-1), i);
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(TypedQueue, BoxedPayloadOverLwcqReclaimsOnDestruction) {
+    // ~Queue must reclaim boxed payloads stranded in a wCQ base too (ASan
+    // guards the leak).
+    Queue<std::string, LwcqQueue> q;
+    for (int i = 0; i < 10; ++i) q.enqueue("boxed-" + std::to_string(i));
+    EXPECT_EQ(q.dequeue().value_or(""), "boxed-0");
+    // 9 strings intentionally left behind for the destructor.
 }
 
 TEST(TypedQueue, BoxedPayloadOverLscqReclaimsOnDestruction) {
