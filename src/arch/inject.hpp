@@ -63,6 +63,9 @@ enum class Point : std::uint8_t {
                            //   about to probe this lane
     kLaneCertify,          // Multilane dequeue, quiescent scan done, about to
                            //   re-read the started counters (round 2)
+    kWcqSlowCounted,       // WcqRing slow path, slow_count_ incremented but
+                           //   the request not yet published (a kill here
+                           //   leaves the counter one high, never negative)
     kWcqReqPublished,      // WcqRing slow path, helping record now pending
                            //   (req store succeeded; any peer can finish it)
     kWcqNotePlaced,        // WcqRing helper, cell reserved with a note CAS
@@ -86,8 +89,8 @@ constexpr std::string_view point_name(Point p) noexcept {
         "scq_after_cycle_load",  "scq_before_entry_cas", "scq_enq_published",
         "scq_deq_after_faa",     "scq_threshold_decrement", "scq_catchup",
         "lane_enq_pending",      "lane_scan",        "lane_certify",
-        "wcq_req_published",     "wcq_note_placed",  "wcq_before_commit",
-        "wcq_committed",         "wcq_help_scan",
+        "wcq_slow_counted",      "wcq_req_published", "wcq_note_placed",
+        "wcq_before_commit",     "wcq_committed",    "wcq_help_scan",
     };
     return names[static_cast<std::size_t>(p)];
 }

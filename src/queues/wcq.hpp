@@ -15,6 +15,15 @@
 //       req = (tag | kind | state | candidate ticket)
 //       arg = (tag | commit payload)   — the arbitration word
 //       val = (tag | value in/out)     — enqueue input / dequeue output
+//     Record reuse is owner-mediated: the req state walks
+//       IDLE -claim-> CLAIMED -publish-> PENDING -help-> DONE -owner-> IDLE
+//     where only the owning requester performs the claim (a CAS that
+//     refuses every non-IDLE state, so two threads hashing to the same
+//     slot can never both think they own it) and the final DONE -> IDLE
+//     release — after it has copied arg/val out.  Helpers stop at DONE;
+//     without that handshake a peer sharing the slot could reacquire the
+//     record and overwrite arg/val before the original requester read
+//     its result.
 //   * helpers read the candidate ticket from req (no F&A: the slow path
 //     adds no ticket traffic), examine the ring cell for that ticket, and
 //     either advance the candidate (CAS on req) or *reserve* the cell with
@@ -53,9 +62,17 @@
 //   * the entry steals 24 bits (note+kind+tag16+slot6) from the cycle
 //     field, so ring orders above 20 are rejected.
 //   * a killed thread leaks at most its in-flight free-list index and one
-//     helping record until the record's request completes — memory stays
-//     bounded per kill, the wCQ property the lwcq layer preserves by
-//     recycling rings (and their records) through the segment pool.
+//     helping record: peers still drive its published request to DONE
+//     (no operation is lost), but the DONE -> IDLE release is owner-only,
+//     so the dead owner's slot stays retired and threads hashing to it
+//     fall back to the (lock-free) fast path.  Memory stays bounded per
+//     kill, the wCQ property the lwcq layer preserves by recycling rings
+//     (and their records) through the segment pool.
+//   * a thread killed between counting a request (slow_count_) and
+//     publishing it leaves the counter permanently one high — helpers
+//     then run harmless empty scans.  The opposite order would let a
+//     helper's retire underflow the counter, which is why the increment
+//     comes first (kWcqSlowCounted marks the window).
 #pragma once
 
 #include <algorithm>
@@ -228,7 +245,10 @@ class WcqRing {
         return n < capacity_ ? n : capacity_;
     }
 
-    // Pending published requests (tests assert helping drains this).
+    // Pending published requests (tests assert helping drains this).  May
+    // over-count by one per thread killed between counting and publishing
+    // a request (the kWcqSlowCounted window) — an over-count only costs
+    // empty help scans, whereas the opposite order could underflow.
     std::uint64_t pending_requests() const noexcept {
         return slow_count_.load(std::memory_order_seq_cst);
     }
@@ -238,6 +258,13 @@ class WcqRing {
     // demonstrate that a peer's scan completes a dead thread's request).
     void help_all() {
         for (std::size_t s = 0; s < kWcqSlots; ++s) help_slot(s);
+    }
+
+    // Test-only visibility into the owner-mediated record lifecycle:
+    // 0 = idle, 1 = pending, 2 = done, 3 = claimed (see ReqState).
+    unsigned debug_record_state(std::size_t s) const {
+        return static_cast<unsigned>(
+            req_state(records_[s].req.load(std::memory_order_seq_cst)));
     }
 
     std::uint64_t debug_take_enqueue_ticket() {
@@ -263,7 +290,19 @@ class WcqRing {
     static constexpr std::uint64_t kEmptyPayload = kPayloadMask - 2;
     static constexpr std::uint64_t kMaxTicket = (std::uint64_t{1} << 45) - 1;
 
-    enum ReqState : std::uint64_t { kStIdle = 0, kStPending = 1, kStDone = 2 };
+    // Owner-mediated record lifecycle (see the header comment):
+    //   kStIdle    — unowned; the only state acquire_record accepts.
+    //   kStClaimed — acquired, request words not yet published; helpers
+    //                ignore it (and a kill here retires the slot).
+    //   kStPending — published; any thread may help and finish it.
+    //   kStDone    — finished; arg/val hold the result and stay frozen
+    //                until the owner copies them out and releases.
+    enum ReqState : std::uint64_t {
+        kStIdle = 0,
+        kStPending = 1,
+        kStDone = 2,
+        kStClaimed = 3
+    };
     enum ReqKind : std::uint64_t { kKindEnq = 0, kKindDeq = 1 };
 
     struct alignas(kDestructivePairSize) HelpRecord {
@@ -500,20 +539,26 @@ class WcqRing {
     std::optional<EnqueueResult> enqueue_slow(std::uint64_t idx) {
         const std::size_t s = my_slot();
         std::uint64_t g;
-        if (!acquire_record(s, g)) return std::nullopt;
+        if (!acquire_record(s, kKindEnq, g)) return std::nullopt;
         HelpRecord& rec = records_[s];
         rec.val.store(pack_tagged(g, idx), std::memory_order_seq_cst);
         rec.arg.store(pack_tagged(g, kNonePayload), std::memory_order_seq_cst);
+        // Count before publishing: a thread killed in between only leaves
+        // the counter one high (harmless extra scans).  Counting after
+        // would let a helper that finishes the orphan underflow it.
+        slow_count_.fetch_add(1, std::memory_order_seq_cst);
+        LCRQ_INJECT_POINT(kWcqSlowCounted);
         const std::uint64_t t0 =
             tail_->load(std::memory_order_seq_cst) & ~detail::kScqMsb;
         rec.req.store(pack_req(g, kKindEnq, kStPending, t0),
                       std::memory_order_seq_cst);
-        slow_count_.fetch_add(1, std::memory_order_seq_cst);
         stats::count(stats::Event::kWcqSlowPath);
         LCRQ_INJECT_POINT(kWcqReqPublished);
         wait_done(s, g);
-        const std::uint64_t pl =
-            payload_of(rec.arg.load(std::memory_order_seq_cst));
+        const std::uint64_t a = rec.arg.load(std::memory_order_seq_cst);
+        assert(tag_of(a) == g && "arg is frozen until the owner releases");
+        const std::uint64_t pl = payload_of(a);
+        release_record(s, g, kKindEnq);
         return pl == kClosedPayload ? EnqueueResult::kClosed : EnqueueResult::kOk;
     }
 
@@ -521,32 +566,53 @@ class WcqRing {
     bool dequeue_slow(std::optional<std::uint64_t>& out) {
         const std::size_t s = my_slot();
         std::uint64_t g;
-        if (!acquire_record(s, g)) return false;
+        if (!acquire_record(s, kKindDeq, g)) return false;
         HelpRecord& rec = records_[s];
         rec.val.store(pack_tagged(g, kNonePayload), std::memory_order_seq_cst);
         rec.arg.store(pack_tagged(g, kNonePayload), std::memory_order_seq_cst);
+        slow_count_.fetch_add(1, std::memory_order_seq_cst);
+        LCRQ_INJECT_POINT(kWcqSlowCounted);
         const std::uint64_t h0 = head_->load(std::memory_order_seq_cst);
         rec.req.store(pack_req(g, kKindDeq, kStPending, h0),
                       std::memory_order_seq_cst);
-        slow_count_.fetch_add(1, std::memory_order_seq_cst);
         stats::count(stats::Event::kWcqSlowPath);
         LCRQ_INJECT_POINT(kWcqReqPublished);
         wait_done(s, g);
-        if (payload_of(rec.arg.load(std::memory_order_seq_cst)) ==
-            kEmptyPayload) {
+        const std::uint64_t a = rec.arg.load(std::memory_order_seq_cst);
+        assert(tag_of(a) == g && "arg is frozen until the owner releases");
+        if (payload_of(a) == kEmptyPayload) {
             out = std::nullopt;
         } else {
-            out = payload_of(rec.val.load(std::memory_order_seq_cst));
+            const std::uint64_t vw = rec.val.load(std::memory_order_seq_cst);
+            assert(tag_of(vw) == g && "val is frozen until the owner releases");
+            out = payload_of(vw);
         }
+        release_record(s, g, kKindDeq);
         return true;
     }
 
-    bool acquire_record(std::size_t s, std::uint64_t& g) {
+    // Claim the slot's record for a new request.  Only an IDLE record is
+    // acquirable: PENDING/CLAIMED belong to a live (or dead) request in
+    // flight, and DONE still holds a result its owner has not copied out —
+    // handing the record over in either state would let this thread
+    // overwrite arg/val under the original requester.  The CAS into
+    // CLAIMED also means two threads sharing the slot can never both win
+    // the acquisition (a bare tag bump from IDLE could be observed and
+    // re-bumped by a racing peer before our publish).
+    bool acquire_record(std::size_t s, ReqKind kind, std::uint64_t& g) {
         HelpRecord& rec = records_[s];
         const std::uint64_t r = rec.req.load(std::memory_order_seq_cst);
-        if (req_state(r) == kStPending) return false;  // slot collision
+        if (req_state(r) != kStIdle) return false;  // slot collision
         g = (req_tag(r) + 1) & ((std::uint64_t{1} << kTagBits) - 1);
-        return counted_cas(rec.req, r, pack_req(g, kKindEnq, kStIdle, 0));
+        return counted_cas(rec.req, r, pack_req(g, kind, kStClaimed, 0));
+    }
+
+    // The owner's DONE -> IDLE handback, after copying the result out.
+    // Nothing else writes a DONE record (helpers require PENDING, acquire
+    // requires IDLE), so a plain store suffices.
+    void release_record(std::size_t s, std::uint64_t g, ReqKind kind) {
+        records_[s].req.store(pack_req(g, kind, kStIdle, 0),
+                              std::memory_order_seq_cst);
     }
 
     void wait_done(std::size_t s, std::uint64_t g) {
@@ -554,7 +620,8 @@ class WcqRing {
         for (;;) {
             help_slot(s);
             const std::uint64_t r = records_[s].req.load(std::memory_order_seq_cst);
-            if (req_tag(r) != g || req_state(r) != kStPending) return;
+            assert(req_tag(r) == g && "record reuse is owner-mediated");
+            if (req_state(r) == kStDone) return;
             waiter.spin();
         }
     }
@@ -833,6 +900,11 @@ class WcqRing {
 
     // Post-commit cleanup for a dequeue committed at ticket T: publish the
     // covered index through val, consume the cell, and pull head past T.
+    // The val publication is a CAS from the request's initial (g, NONE)
+    // word, not a store: a helper stalled here with the note snapshot in
+    // hand must not be able to replay the write after the request is done,
+    // the owner has released the record, and the slot carries a fresh
+    // request — a blind store would clobber the successor's val.
     void cleanup_dequeue(std::uint64_t T, std::size_t s, std::uint64_t g) {
         Entry& entry = entry_at(T);
         for (;;) {
@@ -841,8 +913,8 @@ class WcqRing {
                 cycle_of(e) != cycle_of_ticket(T)) {
                 break;  // already consumed; val was published first
             }
-            records_[s].val.store(pack_tagged(g, index_of(e)),
-                                  std::memory_order_seq_cst);
+            counted_cas(records_[s].val, pack_tagged(g, kNonePayload),
+                        pack_tagged(g, index_of(e)));
             if (counted_cas(entry, e,
                             pack(cycle_of_ticket(T), is_safe(e), bottom_))) {
                 break;

@@ -18,8 +18,11 @@
 //     (slot, 16-bit tag), bijective to a fresh record up to the
 //     documented tag-wrap bound.  The model gives every slow publication
 //     a fresh record (identity = index), dropping the wrap — and with it
-//     record collisions, which are a fallback-to-fast-path liveness
-//     detail, not a protocol transition.
+//     record collisions and the owner-mediated IDLE/CLAIMED/DONE
+//     acquisition states that guard reuse, which are a
+//     fallback-to-fast-path liveness detail, not a protocol transition
+//     (a fresh record per request is exactly what owner-mediated reuse
+//     guarantees each live requester).
 //   * no close path: like the SCQ ring model, the ring never closes, so
 //     the kClosed resolutions drop out and fix_tail always succeeds
 //     (it still takes its load+CAS steps — the tail race is real).

@@ -1,7 +1,8 @@
 // Schedule injection against the wCQ helping protocol: a requester killed
-// inside every slow-path window (request published, note placed, before
-// commit, after commit), a helper killed mid-help, and the production
-// threshold-exhaustion route into the slow path.  The acceptance property
+// inside every slow-path window (counted but not yet published, request
+// published, note placed, before commit, after commit), a helper killed
+// mid-help, and the production threshold-exhaustion route into the slow
+// path.  The acceptance property
 // throughout: survivors complete a BOUNDED number of operations and the
 // dead thread's request still reaches a decision — that is the wait-free
 // claim under the harshest adversary.  The same scenario with the helping
@@ -116,6 +117,104 @@ TEST_F(InjectWcq, HelpingDisabledAblationStrandsTheKilledRequester) {
     EXPECT_EQ(r.pending_requests(), 0u);
     EXPECT_EQ(r.dequeue().value_or(99), 3u)
         << "the stranded item must survive intact once help finally runs";
+}
+
+// The owner-mediated reuse rule: helpers finishing a dead requester's
+// request leave the record DONE with the result frozen in arg/val, and
+// only the owner (who is gone) may release it back to IDLE.  A thread
+// that later lands on the same slot — here by recycling the dead pair's
+// dense thread ids — must get a record collision and fall back to the
+// fast path, never acquire the record: handing it over would let the new
+// request overwrite arg/val underneath a requester that has not copied
+// its result out yet (garbage dequeue indices, kClosed misread as kOk at
+// >64 live threads).
+TEST_F(InjectWcq, CompletedDeadRequestersRecordRefusesReuse) {
+    WcqRing<> r(2, 0, 0, WcqConfig{/*patience=*/64, /*helping=*/true});
+    const auto out = run_killed_requester_at_publish(r);
+    EXPECT_TRUE(out.victim_killed);
+    ASSERT_TRUE(out.surfaced.has_value());
+    EXPECT_EQ(out.pending_after, 0u);
+
+    // The dead requester's record: finished by helpers but never released.
+    int done_slots = 0;
+    for (std::size_t s = 0; s < kWcqSlots; ++s) {
+        done_slots += r.debug_record_state(s) == 2 ? 1 : 0;  // kStDone
+    }
+    EXPECT_EQ(done_slots, 1) << "exactly the dead owner's record stays DONE";
+
+    ctl().reset();
+    // Two fresh threads reacquire the dense ids the dead pair freed, so
+    // between them they cover the victim's slot (DONE, never released —
+    // must collide) and a free one (IDLE — must work).  Each holds its
+    // thread id until both have run: dense ids are only distinct among
+    // concurrently live threads, and letting the first exit early would
+    // hand its id (and slot) to the second.
+    std::atomic<int> collisions{0};
+    std::atomic<int> successes{0};
+    std::atomic<int> finished{0};
+    run_threads(2, [&](int) {
+        const auto res = r.debug_enqueue_slow(1);
+        if (!res.has_value()) {
+            collisions.fetch_add(1);
+        } else {
+            EXPECT_EQ(*res, EnqueueResult::kOk);
+            successes.fetch_add(1);
+        }
+        finished.fetch_add(1);
+        while (finished.load() < 2) std::this_thread::yield();
+    });
+    EXPECT_EQ(collisions.load(), 1)
+        << "the dead owner's completed record must stay retired";
+    EXPECT_EQ(successes.load(), 1);
+    EXPECT_EQ(r.dequeue().value_or(99), 1u);
+    EXPECT_FALSE(r.dequeue().has_value());
+}
+
+// Window 0 — counted but not yet published: the requester dies between
+// bumping the pending-request counter and storing the req word, so the
+// request never became visible and nothing is recoverable.  The
+// obligations are the negative ones: the counter stays exactly one high
+// forever (an over-count, never an underflow — the reverse ordering would
+// let a later helper retire an orphan the counter never admitted and wrap
+// it to 2^64-1), the empty help scans that over-count triggers complete
+// without finding anything, and the ring keeps serving survivors.
+TEST_F(InjectWcq, KilledRequesterBetweenCountAndPublishOnlyOvercounts) {
+    WcqRing<> r(2);
+    ctl().kill_at(1, Point::kWcqSlowCounted, 1);
+    ctl().arm();
+
+    bool victim_killed = false;
+    bool survivor_done = false;
+    run_threads(2, [&](int id) {
+        ctl().bind_thread(id);
+        if (id == 1) {
+            try {
+                (void)r.debug_enqueue_slow(3);
+            } catch (const ThreadKilled&) {
+                victim_killed = true;
+            }
+        } else {
+            await([&] { return ctl().kills_fired() >= 1; });
+            // Every one of these ops sees the nonzero counter and runs a
+            // help scan first; the scan must find nothing (the record is
+            // stuck claimed, not pending) and the op must still succeed.
+            for (std::uint64_t i = 0; i < 8; ++i) {
+                ASSERT_EQ(r.enqueue(i % 4), EnqueueResult::kOk);
+                ASSERT_EQ(r.dequeue().value_or(99), i % 4);
+            }
+            survivor_done = true;
+        }
+    });
+
+    EXPECT_TRUE(victim_killed);
+    EXPECT_TRUE(survivor_done);
+    EXPECT_EQ(r.pending_requests(), 1u)
+        << "the documented over-count: one high, never underflowed";
+    ctl().reset();
+    r.help_all();  // a manual rescue pass must not retire the phantom
+    EXPECT_EQ(r.pending_requests(), 1u);
+    EXPECT_FALSE(r.dequeue().has_value())
+        << "the unpublished enqueue must never surface";
 }
 
 // Window 2 — help in flight: the requester dies right after turning a cell
