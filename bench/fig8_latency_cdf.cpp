@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
         cfg.latency_sample_every =
             static_cast<std::uint64_t>(cli.get_int("sample-every"));
         std::vector<std::string> queues =
-            multi ? std::vector<std::string>{"lcrq+h", "lcrq", "h-queue", "cc-queue"}
+            multi ? std::vector<std::string>{"lcrq-h", "lcrq", "h-queue", "cc-queue"}
                   : std::vector<std::string>{"lcrq", "cc-queue", "fc-queue", "ms"};
         if (const auto names = split_names(cli.get("queues")); !names.empty()) {
             queues = names;

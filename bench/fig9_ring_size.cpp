@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
 
     std::vector<std::string> header = {"R", "lcrq Mops/s", "vs cc-queue"};
     if (multi) {
-        header.push_back("lcrq+h Mops/s");
+        header.push_back("lcrq-h Mops/s");
         header.push_back("vs h-queue");
     }
     Table table(header);
@@ -78,8 +78,8 @@ int main(int argc, char** argv) {
                                              : 1),
                  2);
         if (multi) {
-            const RunResult rh = run_pairs("lcrq+h", qopt, cfg);
-            report.add_result(result_json("lcrq+h", cfg, rh)
+            const RunResult rh = run_pairs("lcrq-h", qopt, cfg);
+            report.add_result(result_json("lcrq-h", cfg, rh)
                                   .set("mode", mode_name)
                                   .set("ring_order", order));
             row.cell(rh.mean_ops_per_sec() / 1e6, 3);

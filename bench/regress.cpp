@@ -20,6 +20,16 @@
 //                          as many F&A as its base queue (the presence
 //                          bookkeeping is single-writer plain stores —
 //                          zero RMW added to the hot path).
+//   BENCH_hierarchy.json — §4.1.1 parity sweep: the flat bases vs the
+//                          hierarchical -h variants across the
+//                          -h<timeout_us> knob, on virtual clusters by
+//                          default so the handoff window executes on any
+//                          host.  Each result carries the
+//                          cluster_handoff_rate counter column the
+//                          compare script gates on.  The --paper profile
+//                          switches this phase to the discovered topology
+//                          (real sockets) — big-box-only, like the
+//                          paper's 4-socket Figure 7/Table 3 runs.
 //   BENCH_stall_latency.json — per-run p99 latency (mean + cv over runs)
 //                          of the pairs workload while CPU-hogging
 //                          preemptor threads oversubscribe the host, so
@@ -127,6 +137,17 @@ int main(int argc, char** argv) {
     cli.flag("lane-list", "2,4", "lane counts to sweep (-ml<N> knob)");
     cli.flag("lane-thread-list", "2,4,8",
              "thread counts for the producer-heavy lane sweep");
+    cli.flag("hier-queues", "lcrq-h,lscq-h",
+             "hierarchical queues for the handoff phase (empty = skip phase)");
+    cli.flag("hier-base-queues", "lcrq,lscq",
+             "flat baselines run alongside the hierarchical phase");
+    cli.flag("hier-timeout-list", "0,100",
+             "cluster-handoff timeouts in us, swept via the -h<timeout_us> knob");
+    cli.flag("hier-thread-list", "2,4",
+             "thread counts for the hierarchical phase");
+    cli.flag("clusters", "2",
+             "virtual clusters for the hierarchical phase (0 = discovered "
+             "topology; the --paper profile forces 0)");
     cli.flag("stall-queues", "lscq,lwcq",
              "queues for the stall-latency phase, baseline first "
              "(empty = skip phase)");
@@ -156,6 +177,11 @@ int main(int argc, char** argv) {
     std::vector<std::string> stall_queues = split_names(cli.get("stall-queues"));
     int stall_threads = static_cast<int>(cli.get_int("stall-threads"));
     int stall_preemptors = static_cast<int>(cli.get_int("stall-preemptors"));
+    std::vector<std::string> hier_queues = split_names(cli.get("hier-queues"));
+    std::vector<std::string> hier_bases = split_names(cli.get("hier-base-queues"));
+    std::vector<std::int64_t> hier_timeouts = cli.get_int_list("hier-timeout-list");
+    std::vector<std::int64_t> hier_threads = cli.get_int_list("hier-thread-list");
+    int hier_clusters = static_cast<int>(cli.get_int("clusters"));
 
     if (cli.get_bool("smoke")) {
         thread_list = {1, 2};
@@ -166,6 +192,8 @@ int main(int argc, char** argv) {
         latency_threads = 2;
         lane_list = {2};
         lane_threads = {2, 4};
+        hier_timeouts = {0, 100};
+        hier_threads = {2};
     } else if (cli.get_bool("paper")) {
         thread_list = {1, 2, 4, 8, 12, 16, 20};
         batch_list = {1, 4, 16, 64};
@@ -177,6 +205,12 @@ int main(int argc, char** argv) {
         lane_threads = {2, 4, 8, 16, 32};
         stall_threads = 8;
         stall_preemptors = 8;
+        // §4.1.1 is a cross-socket effect: the paper profile runs the
+        // hierarchical phase on the *discovered* topology (real sockets,
+        // paper timeout 100 µs) — only meaningful on a multi-socket box.
+        hier_clusters = 0;
+        hier_timeouts = {0, 10, 100, 1'000};
+        hier_threads = {2, 4, 8, 16, 20};
     }
 
     RunConfig base;
@@ -509,6 +543,61 @@ int main(int argc, char** argv) {
                         rows[i].queue.c_str(), rows[0].queue.c_str(), ratio);
         }
         if (!report.write(out_path("BENCH_stall_latency.json"))) return 1;
+    }
+
+    // --- phase 6: hierarchical cluster handoff -------------------------------
+    //
+    // The §4.1.1 parity sweep: flat bases vs the -h variants across the
+    // -h<timeout_us> knob.  Virtual clusters (default 2) keep the handoff
+    // window executing on any host; with unpinned placement the runner
+    // still assigns worker clusters round-robin, so foreign-cluster enters
+    // — and thus waits, claims, and handovers — occur at every thread
+    // count ≥ 2.  counters_json's cluster_handoff_rate column rides in
+    // every result; scripts/bench_compare.py gates its growth.
+    if (!hier_queues.empty()) {
+        RunConfig hier_cfg = base;
+        hier_cfg.clusters = hier_clusters;
+        JsonReport report("regress/hierarchy");
+        report.set_config(hier_cfg);
+        report.set_extra("queues", string_list_json(hier_queues));
+        report.set_extra("base_queues", string_list_json(hier_bases));
+        report.set_extra("timeout_list_us", int_list_json(hier_timeouts));
+        report.set_extra("thread_list", int_list_json(hier_threads));
+        report.set_extra("clusters",
+                         Json(static_cast<std::int64_t>(hier_clusters)));
+
+        const auto run_one = [&](const std::string& name, std::int64_t threads,
+                                 Json timeout_us) -> bool {
+            RunConfig cfg = hier_cfg;
+            cfg.threads = static_cast<int>(threads);
+            const RunResult r = run_pairs(name, qopt, cfg);
+            if (r.throughput.count() == 0) {
+                std::fprintf(stderr, "hierarchy: no completed run for %s\n",
+                             name.c_str());
+                return false;
+            }
+            Json entry = result_json(name, cfg, r);
+            entry.set("timeout_us", std::move(timeout_us));
+            report.add_result(std::move(entry));
+            std::printf("hierarchy  %-12s t=%-2lld  %s\n", name.c_str(),
+                        static_cast<long long>(threads),
+                        throughput_cell(r).c_str());
+            return true;
+        };
+
+        for (std::int64_t threads : hier_threads) {
+            for (const auto& name : hier_bases) {
+                if (!run_one(name, threads, Json())) return 1;
+            }
+            for (const auto& name : hier_queues) {
+                for (std::int64_t us : hier_timeouts) {
+                    if (!run_one(name + std::to_string(us), threads, Json(us))) {
+                        return 1;
+                    }
+                }
+            }
+        }
+        if (!report.write(out_path("BENCH_hierarchy.json"))) return 1;
     }
 
     return 0;

@@ -38,6 +38,14 @@ workload, threads, batch, ...) and three regression rules are applied:
                  canary: dequeues drifting from local hits to steals
                  means the home-lane mapping or the steal hint rotted,
                  trading coordination-free locality for scan traffic;
+  * cluster handoff rate: growth  >  --handoff-pct plus an absolute
+                 slack of 0.02, on counters.derived.cluster_handoff_rate
+                 (hierarchical -h variants only; the entry carries the
+                 metric iff the queue runs the hierarchy policy) — the
+                 §4.1.1 batching canary: enters resolving by timeout
+                 claims instead of same-cluster hits or handovers means
+                 the cluster batching rotted and the segment's cache
+                 lines are ping-ponging again;
   * stall p99:   growth           >  max(--stall-pct, 3 * cv)
                  on p99.mean_ns of stall_latency entries
                  (BENCH_stall_latency.json: per-run p99 under CPU-hog
@@ -173,6 +181,15 @@ class Comparison:
             "counters.derived.lane_steal_rate",
             "lane steal rate",
             rel_limit=self.args.lane_steal_pct / 100.0,
+            abs_slack=0.02,
+        )
+        self.check_metric_growth(
+            key,
+            base,
+            new,
+            "counters.derived.cluster_handoff_rate",
+            "cluster handoff rate",
+            rel_limit=self.args.handoff_pct / 100.0,
             abs_slack=0.02,
         )
         self.check_metric_shrink(
@@ -361,14 +378,17 @@ def synthetic_report(
     cas_fail=0.05,
     tickets=7.5,
     steal_rate=0.10,
+    handoff_rate=0.08,
 ):
-    def entry(queue, threads, tput, cv=0.01, lanes=None, producers=None):
+    def entry(queue, threads, tput, cv=0.01, lanes=None, producers=None,
+              timeout_us=None):
         return {
             "queue": queue,
             "workload": "pairs",
             "threads": threads,
             **({"lanes": lanes} if lanes is not None else {}),
             **({"producers": producers} if producers is not None else {}),
+            **({"timeout_us": timeout_us} if timeout_us is not None else {}),
             "throughput": {
                 "mean_ops_per_sec": None if lose_data and queue == "ms" else tput,
                 "cv": cv,
@@ -390,6 +410,11 @@ def synthetic_report(
                     **(
                         {"lane_steal_rate": steal_rate}
                         if lanes is not None
+                        else {}
+                    ),
+                    **(
+                        {"cluster_handoff_rate": handoff_rate}
+                        if queue.endswith("-h") or timeout_us is not None
                         else {}
                     ),
                 },
@@ -420,6 +445,9 @@ def synthetic_report(
             # key fields: they must index as distinct configurations.
             entry("lcrq-ml", 4, 7.2e6, lanes=2, producers=3),
             entry("lcrq-ml", 4, 7.4e6, lanes=4, producers=3),
+            # Hierarchy-phase point: carries cluster_handoff_rate (the
+            # knob spelling lives in the queue name, as regress writes it).
+            entry("lcrq-h100", 4, 6.8e6, timeout_us=100),
         ],
     }
 
@@ -480,7 +508,7 @@ def self_check(args):
         # 1. Self-compare must be clean.
         cmp = compare_files(baseline, baseline, args)
         expect(cmp.regressions == [], f"self-compare flagged: {cmp.regressions}")
-        expect(cmp.compared == 4, "self-compare did not compare every entry")
+        expect(cmp.compared == 5, "self-compare did not compare every entry")
 
         # 2. A 20% throughput drop must be flagged (cv 1% -> limit is the 5% floor).
         slow = write("slow.json", synthetic_report(throughput_scale=0.8))
@@ -565,6 +593,25 @@ def self_check(args):
         expect(
             not any("lane steal rate" in r for r in cmp.regressions),
             f"within-noise steal rate growth was flagged: {cmp.regressions}",
+        )
+
+        # 11a. Cluster batching rotting (handoff rate 0.08 -> 0.35) must
+        # be flagged on the hierarchical entry.
+        ponging = write("ponging.json", synthetic_report(handoff_rate=0.35))
+        cmp = compare_files(baseline, ponging, args)
+        expect(
+            any("cluster handoff rate grew" in r for r in cmp.regressions),
+            f"cluster handoff rate growth not flagged: {cmp.regressions}",
+        )
+
+        # 11b. ...but jitter inside the limit + slack must NOT be
+        # (0.08 -> 0.09 is 12.5% growth, under the 25% relative limit
+        # before the 0.02 absolute slack is even spent).
+        settling = write("settling.json", synthetic_report(handoff_rate=0.09))
+        cmp = compare_files(baseline, settling, args)
+        expect(
+            not any("cluster handoff rate" in r for r in cmp.regressions),
+            f"within-noise handoff rate growth was flagged: {cmp.regressions}",
         )
 
         # 12. Vanished data must be flagged, not read as infinitely fast.
@@ -685,6 +732,13 @@ def main(argv):
         default=25.0,
         help="allowed lane steal rate growth in %% plus 0.02 absolute "
         "slack, on multilane entries (default 25)",
+    )
+    parser.add_argument(
+        "--handoff-pct",
+        type=float,
+        default=25.0,
+        help="allowed cluster handoff rate growth in %% plus 0.02 absolute "
+        "slack, on hierarchical entries (default 25)",
     )
     parser.add_argument(
         "--stall-pct",

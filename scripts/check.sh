@@ -29,7 +29,7 @@ ctest --test-dir build-inject --output-on-failure -L inject
 cmake -B build-tsan-inject -G Ninja -DLCRQ_INJECT=ON -DLCRQ_ENABLE_TSAN=ON -DLCRQ_ENABLE_BENCH=OFF -DLCRQ_ENABLE_EXAMPLES=OFF
 cmake --build build-tsan-inject
 ctest --test-dir build-tsan-inject --output-on-failure -R \
-  "test_injection_points|test_injection_scq|test_injection_pool|test_injection_wcq"
+  "test_injection_points|test_injection_scq|test_injection_pool|test_injection_wcq|test_injection_hierarchy"
 
 # Perf smoke (EXPERIMENTS.md "Machine-readable pipeline"): generate the
 # BENCH_*.json artifacts at CI scale, prove the comparator's fixture suite

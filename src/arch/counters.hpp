@@ -48,6 +48,8 @@ enum class Event : unsigned {
     kEmptyTransition,  // dequeuer performed an empty transition
     kCombine,          // operations a combiner applied on behalf of others
     kCombinerAcquire,  // times a thread became combiner
+    kClusterEnter,     // hierarchical enter() calls (handoff-rate denominator)
+    kClusterWait,      // enters that found a foreign tag and spun for it
     kClusterHandoff,   // hierarchical cluster ownership changes
     kBulkEnqueue,      // completed enqueue_bulk operations
     kBulkDequeue,      // completed dequeue_bulk operations (incl. empty)
@@ -74,6 +76,7 @@ constexpr std::string_view event_name(Event e) noexcept {
         "dequeue_empty", "crq_close",    "crq_append",
         "ring_retry",    "spin_wait",    "unsafe_transition",
         "empty_transition", "combine",   "combiner_acquire",
+        "cluster_enter", "cluster_wait",
         "cluster_handoff", "bulk_enqueue", "bulk_dequeue",
         "bulk_faa",      "bulk_tickets", "bulk_wasted",
         "segment_alloc", "segment_reuse",

@@ -73,6 +73,16 @@ enum class Point : std::uint8_t {
     kWcqCommitted,         // WcqRing helper, commit CAS succeeded; cleanup
                            //   (materialize/consume + done) still owed
     kWcqHelpScan,          // WcqRing fast path, about to scan peer records
+    kClusterWait,          // ClusterHierarchy::enter, one wait-loop pass: a
+                           //   foreign tag was observed, the timeout has not
+                           //   expired (a hold here parks a waiter inside
+                           //   the handoff window; a kill here models a
+                           //   parked/dead waiter)
+    kClusterClaim,         // ClusterHierarchy::enter, timeout expired, the
+                           //   claiming tag CAS has not executed (a hold
+                           //   here lets another claimant win the CAS; a
+                           //   kill here models a claimant dying
+                           //   mid-handoff)
     kCount
 };
 
@@ -91,6 +101,7 @@ constexpr std::string_view point_name(Point p) noexcept {
         "lane_enq_pending",      "lane_scan",        "lane_certify",
         "wcq_slow_counted",      "wcq_req_published", "wcq_note_placed",
         "wcq_before_commit",     "wcq_committed",    "wcq_help_scan",
+        "cluster_wait",          "cluster_claim",
     };
     return names[static_cast<std::size_t>(p)];
 }

@@ -98,7 +98,15 @@ Json counters_json(const stats::Snapshot& delta) {
             .set("lane_steal_rate",
                  ratio(static_cast<double>(delta[stats::Event::kLaneSteal]),
                        static_cast<double>(delta[stats::Event::kLaneLocalHit] +
-                                           delta[stats::Event::kLaneSteal])));
+                                           delta[stats::Event::kLaneSteal])))
+            // Fraction of hierarchical enters that expired their timeout
+            // and claimed the cluster tag (§4.1.1); null for queues without
+            // the hierarchy policy.  Low = batching works (most enters find
+            // their own cluster or receive a handover); bench_compare.py
+            // gates on its growth.
+            .set("cluster_handoff_rate",
+                 ratio(static_cast<double>(delta[stats::Event::kClusterHandoff]),
+                       static_cast<double>(delta[stats::Event::kClusterEnter])));
     return Json::object().set("counts", std::move(counts)).set("derived",
                                                                std::move(derived));
 }

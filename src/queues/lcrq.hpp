@@ -29,7 +29,7 @@
 // Template parameters select the paper's evaluated variants:
 //   Lcrq<HardwareFaa, NoHierarchy>      — LCRQ
 //   Lcrq<CasLoopFaa,  NoHierarchy>      — LCRQ-CAS
-//   Lcrq<HardwareFaa, ClusterHierarchy> — LCRQ+H
+//   Lcrq<HardwareFaa, ClusterHierarchy> — LCRQ-H (the paper's LCRQ+H)
 #pragma once
 
 #include <atomic>
@@ -59,7 +59,7 @@ class Lcrq {
 
     explicit Lcrq(const QueueOptions& opt = {})
         : opt_(opt),
-          hierarchy_(opt.cluster_timeout_ns),
+          hierarchy_(opt.cluster_timeout_ns, opt.cluster_proceed_on_timeout),
           pool_(Pooled ? opt.segment_pool_cap : 0) {
         auto* q = alloc_ring();
         first_ = q;

@@ -36,20 +36,24 @@
 #include "arch/inject.hpp"
 #include "arch/thread_id.hpp"
 #include "hazard/hazard_pointers.hpp"
+#include "queues/hierarchy.hpp"
 #include "queues/queue_common.hpp"
 #include "queues/scq.hpp"
 #include "queues/segment_pool.hpp"
 
 namespace lcrq {
 
-template <class Faa = HardwareFaa, bool Protected = true, bool Pooled = true>
+template <class Faa = HardwareFaa, class Hierarchy = NoHierarchy,
+          bool Protected = true, bool Pooled = true>
 class Lscq {
   public:
     static constexpr const char* kName = "lscq";
     using ScqT = Scq<Faa>;
 
     explicit Lscq(const QueueOptions& opt = {})
-        : opt_(opt), pool_(Pooled ? opt.segment_pool_cap : 0) {
+        : opt_(opt),
+          hierarchy_(opt.cluster_timeout_ns, opt.cluster_proceed_on_timeout),
+          pool_(Pooled ? opt.segment_pool_cap : 0) {
         auto* q = alloc_segment();
         first_ = q;
         head_->store(q, std::memory_order_relaxed);
@@ -86,6 +90,7 @@ class Lscq {
                 counted_cas_ptr(*tail_, scq, next);
                 continue;
             }
+            hierarchy_.enter(*scq);
             const ScqPutResult r = scq->try_enqueue(x);
             if (r == ScqPutResult::kOk) {
                 release();
@@ -128,6 +133,7 @@ class Lscq {
                 counted_cas_ptr(*tail_, scq, next);
                 continue;
             }
+            hierarchy_.enter(*scq);
             const auto r = scq->try_enqueue_bulk(items.subspan(done));
             done += r.done;
             if (done == items.size()) {
@@ -175,6 +181,7 @@ class Lscq {
     std::optional<value_t> dequeue() {
         for (;;) {
             ScqT* scq = acquire(*head_);
+            hierarchy_.enter(*scq);
             if (auto v = scq->dequeue()) {
                 release();
                 return v;
@@ -212,6 +219,7 @@ class Lscq {
         std::size_t n = 0;
         for (;;) {
             ScqT* scq = acquire(*head_);
+            hierarchy_.enter(*scq);
             n += scq->dequeue_bulk(out + n, max - n);
             if (n == max) break;
             LCRQ_INJECT_POINT(kListEmptyObserved);
@@ -242,7 +250,7 @@ class Lscq {
     HazardDomain& hazard_domain() noexcept { return domain_; }
     SegmentPool<ScqT>& segment_pool() noexcept { return pool_; }
     static std::string variant_name() {
-        return std::string("lscq") +
+        return std::string("lscq") + Hierarchy::suffix() +
                (std::string(Faa::name()) == "cas-loop" ? "-cas" : "") +
                (Protected ? "" : "-noreclaim") + (Pooled ? "" : "-nopool");
     }
@@ -347,6 +355,7 @@ class Lscq {
     }
 
     QueueOptions opt_;
+    Hierarchy hierarchy_;
     // Before domain_ so the pool outlives every hazard drain that can run
     // the retire-to-pool deleter (see Lcrq's member-order note).
     SegmentPool<ScqT> pool_;
@@ -360,8 +369,11 @@ class Lscq {
 
 using LscqQueue = Lscq<HardwareFaa>;
 using LscqCasQueue = Lscq<CasLoopFaa>;
-using LscqNoReclaimQueue = Lscq<HardwareFaa, false>;
+// LSCQ-H: the §4.1.1 cluster handoff over the SCQ segment backend — the
+// hierarchical variant that stays CAS2-free (the tag CAS is single-word).
+using LscqHQueue = Lscq<HardwareFaa, ClusterHierarchy>;
+using LscqNoReclaimQueue = Lscq<HardwareFaa, NoHierarchy, false>;
 // Malloc-per-close ablation (cf. LcrqNoPoolQueue).
-using LscqNoPoolQueue = Lscq<HardwareFaa, true, false>;
+using LscqNoPoolQueue = Lscq<HardwareFaa, NoHierarchy, true, false>;
 
 }  // namespace lcrq

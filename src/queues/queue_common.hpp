@@ -137,8 +137,15 @@ struct QueueOptions {
     // before performing an empty transition (§4.1.1); 0 disables.
     unsigned spin_wait_iters = 64;
     // Cluster-handoff timeout for the hierarchical variants, in ns (§4.1.1
-    // uses 100 µs).
+    // uses 100 µs).  0 = claim a foreign segment immediately (ablation).
     std::uint64_t cluster_timeout_ns = 100'000;
+    // Hierarchical ablation knob: when false, a foreign-cluster thread
+    // waits for the tag *forever* instead of claiming after the timeout —
+    // the cohort-lock behaviour the paper explicitly avoids ("even if the
+    // CAS fails").  Exists so the injection suite's blocking probe can
+    // demonstrate that the timeout-proceed path is what keeps the
+    // hierarchical variants nonblocking.
+    bool cluster_proceed_on_timeout = true;
     // Number of clusters the hierarchical algorithms partition threads
     // into.  0 = use the discovered topology.
     int clusters = 0;

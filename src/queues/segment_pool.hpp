@@ -20,7 +20,16 @@
 //    cannot reappear under a CAS while that holder can still compare
 //    against it).
 //
-// The free list is a Treiber stack threaded through the segments' own
+// Cluster-ownership hint (§4.1.1 support): the free list is sharded by the
+// parking thread's cluster, and try_pop prefers the popper's own shard
+// before scanning the rest.  A segment drained by cluster C's batch has
+// its cache lines resident on C, so a ring reopened on C reuses the slab
+// the coherence protocol already placed there; on a flat host every thread
+// is cluster 0 and the pool degenerates to the single Treiber stack it was
+// before.  The hint is best-effort placement, never a partition: any
+// cluster can pop any shard, so capacity and correctness are unchanged.
+//
+// Each shard is a Treiber stack threaded through the segments' own
 // intrusive `next` link (unused while a segment is parked).  One textbook
 // deviation: pop takes the WHOLE stack with an exchange(nullptr), keeps
 // the head, and pushes the remainder back.  A classic one-node pop CAS is
@@ -29,50 +38,69 @@
 // `next` it just read under private ownership, so neither needs tags or
 // CAS2 (LSCQ stays free of double-width atomics).
 //
-// Capacity is approximate: `count_` is maintained with relaxed RMWs that
-// are not atomic with the list updates, so a burst of concurrent pushes
-// can briefly overshoot the cap by the number of pushers.  The cap exists
-// to bound idle memory, not to enforce an exact high-water mark.
+// Capacity is approximate and pool-wide: `count_` is maintained with
+// relaxed RMWs that are not atomic with the list updates, so a burst of
+// concurrent pushes can briefly overshoot the cap by the number of
+// pushers.  The cap exists to bound idle memory, not to enforce an exact
+// high-water mark.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+
+#include "arch/cacheline.hpp"
+#include "topology/topology.hpp"
 
 namespace lcrq {
 
 template <typename Seg>
 class SegmentPool {
   public:
+    // Enough shards for the paper's 4-socket testbed and the virtual
+    // topologies the tests build; larger cluster ids wrap, which only
+    // softens the hint.
+    static constexpr std::size_t kShards = 8;
+
     explicit SegmentPool(std::size_t capacity) : capacity_(capacity) {}
 
     ~SegmentPool() {
-        Seg* s = head_.exchange(nullptr, std::memory_order_acquire);
-        while (s != nullptr) {
-            Seg* next = s->next.load(std::memory_order_relaxed);
-            delete s;
-            s = next;
+        for (auto& head : heads_) {
+            Seg* s = head.ptr.exchange(nullptr, std::memory_order_acquire);
+            while (s != nullptr) {
+                Seg* next = s->next.load(std::memory_order_relaxed);
+                delete s;
+                s = next;
+            }
         }
     }
 
     SegmentPool(const SegmentPool&) = delete;
     SegmentPool& operator=(const SegmentPool&) = delete;
 
-    // Take one parked segment, or nullptr when the pool is empty.  The
-    // caller owns the returned segment exclusively and must reset() it
+    // Take one parked segment, or nullptr when the pool is empty.  Prefers
+    // the caller's own cluster shard (see the ownership-hint note above).
+    // The caller owns the returned segment exclusively and must reset() it
     // before publishing (its ring still holds the drained state).
     Seg* try_pop() {
-        Seg* s = head_.exchange(nullptr, std::memory_order_acquire);
-        if (s == nullptr) return nullptr;
-        Seg* rest = s->next.load(std::memory_order_relaxed);
-        count_.fetch_sub(1, std::memory_order_relaxed);
-        if (rest != nullptr) push_chain(rest);
-        s->next.store(nullptr, std::memory_order_relaxed);
-        return s;
+        const std::size_t home = shard_of(topo::current_cluster());
+        for (std::size_t i = 0; i < kShards; ++i) {
+            const std::size_t shard = (home + i) % kShards;
+            Seg* s = heads_[shard].ptr.exchange(nullptr, std::memory_order_acquire);
+            if (s == nullptr) continue;
+            Seg* rest = s->next.load(std::memory_order_relaxed);
+            count_.fetch_sub(1, std::memory_order_relaxed);
+            if (rest != nullptr) push_chain(shard, rest);
+            s->next.store(nullptr, std::memory_order_relaxed);
+            return s;
+        }
+        return nullptr;
     }
 
-    // Park `s` for reuse.  Always takes ownership; returns false when the
-    // pool was at capacity and the segment was deleted instead.  The caller
-    // must hold `s` exclusively (unpublished, or past a hazard scan).
+    // Park `s` for reuse, filed under the parking thread's cluster (the
+    // segment's last owner).  Always takes ownership; returns false when
+    // the pool was at capacity and the segment was deleted instead.  The
+    // caller must hold `s` exclusively (unpublished, or past a hazard
+    // scan).
     bool push(Seg* s) {
         if (count_.load(std::memory_order_relaxed) >= capacity_) {
             delete s;
@@ -80,7 +108,7 @@ class SegmentPool {
         }
         count_.fetch_add(1, std::memory_order_relaxed);
         s->next.store(nullptr, std::memory_order_relaxed);
-        push_chain(s);
+        push_chain(shard_of(topo::current_cluster()), s);
         return true;
     }
 
@@ -90,23 +118,46 @@ class SegmentPool {
     }
     std::size_t capacity() const noexcept { return capacity_; }
 
+    // Parked segments filed under `cluster`'s shard (tests/introspection;
+    // approximate under concurrency for the same reason size() is).
+    std::size_t shard_size(int cluster) const noexcept {
+        std::size_t n = 0;
+        for (Seg* s = heads_[shard_of(cluster)].ptr.load(std::memory_order_acquire);
+             s != nullptr; s = s->next.load(std::memory_order_relaxed)) {
+            ++n;
+        }
+        return n;
+    }
+
   private:
+    static std::size_t shard_of(int cluster) noexcept {
+        return static_cast<std::size_t>(cluster < 0 ? 0 : cluster) % kShards;
+    }
+
     // Push an already-linked chain (its tail's next may be anything; it is
     // rewritten).  The CAS is ABA-safe without tags: `old_head` feeds only
     // the store to a privately owned link, never a comparison against
     // memory that could have been recycled.
-    void push_chain(Seg* first) {
+    void push_chain(std::size_t shard, Seg* first) {
         Seg* last = first;
         while (Seg* n = last->next.load(std::memory_order_relaxed)) last = n;
-        Seg* old_head = head_.load(std::memory_order_relaxed);
+        auto& head = heads_[shard].ptr;
+        Seg* old_head = head.load(std::memory_order_relaxed);
         do {
             last->next.store(old_head, std::memory_order_relaxed);
-        } while (!head_.compare_exchange_weak(old_head, first,
-                                              std::memory_order_release,
-                                              std::memory_order_relaxed));
+        } while (!head.compare_exchange_weak(old_head, first,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
     }
 
-    std::atomic<Seg*> head_{nullptr};
+    // Shard heads on separate cache lines so cluster-local push/pop
+    // traffic does not false-share across clusters (the point of the
+    // hint).
+    struct alignas(kCacheLineSize) ShardHead {
+        std::atomic<Seg*> ptr{nullptr};
+    };
+
+    ShardHead heads_[kShards];
     std::atomic<std::size_t> count_{0};
     const std::size_t capacity_;
 };

@@ -93,8 +93,10 @@ const std::vector<Entry>& entries() {
         entry<LcrqCasQueue>("lcrq-cas", "LCRQ with F&A emulated by a CAS loop (ablation)",
                             true, false, false, false,
                             kSetSingleProcessor | kSetMultiProcessor),
-        entry<LcrqHQueue>("lcrq+h", "LCRQ with hierarchical cluster handoff", true, true,
-                          false, false, kSetMultiProcessor),
+        entry<LcrqHQueue>("lcrq-h",
+                          "LCRQ with hierarchical cluster handoff (§4.1.1; accepts "
+                          "-h<timeout_us>)",
+                          true, true, false, false, kSetMultiProcessor),
         entry<LcrqCompactQueue>("lcrq-compact",
                                 "LCRQ with unpadded 16-byte ring nodes (ablation)", true,
                                 false, false),
@@ -111,6 +113,10 @@ const std::vector<Entry>& entries() {
                          "(DISC'19; second segment backend)",
                          true, false, false, false,
                          kSetSingleProcessor | kSetMultiProcessor),
+        entry<LscqHQueue>("lscq-h",
+                          "LSCQ with hierarchical cluster handoff (CAS2-free; accepts "
+                          "-h<timeout_us>)",
+                          true, true, false, false, kSetMultiProcessor),
         entry<LscqNoPoolQueue>("lscq-nopool",
                                "LSCQ without the segment pool (malloc per segment close; "
                                "ablation)",
@@ -206,11 +212,43 @@ std::optional<MlKnob> split_ml_knob(const std::string& name) {
     return MlKnob{name.substr(0, pos + 3), lanes};
 }
 
+// "lcrq-h250" → {"lcrq-h", 250 µs}.  Same grammar as the -ml knob, with
+// one deliberate difference: 0 is a valid timeout ("claim a foreign
+// segment immediately" — a meaningful ablation), whereas 0 lanes is not a
+// queue.  The digit cap keeps the µs→ns conversion far from overflow.
+struct HKnob {
+    std::string base;
+    std::uint64_t timeout_us;
+};
+
+std::optional<HKnob> split_h_knob(const std::string& name) {
+    const std::size_t pos = name.rfind("-h");
+    if (pos == std::string::npos) return std::nullopt;
+    const std::string digits = name.substr(pos + 2);
+    if (digits.empty()) return std::nullopt;
+    std::uint64_t us = 0;
+    for (char c : digits) {
+        if (c < '0' || c > '9') return std::nullopt;
+        us = us * 10 + static_cast<std::uint64_t>(c - '0');
+        if (us > 10'000'000) return std::nullopt;  // > 10 s: not a timeout
+    }
+    return HKnob{name.substr(0, pos + 2), us};
+}
+
 const Entry* find_entry(const std::string& name) {
     for (const auto& e : entries()) {
         if (e.info.name == name) return &e;
     }
     return nullptr;
+}
+
+// The hierarchical variants were briefly catalogued as "lcrq+h"; the '+'
+// spelling stays resolvable (scripts, saved baselines) but is not listed.
+std::string canonical_name(const std::string& name) {
+    if (name.size() >= 2 && name.compare(name.size() - 2, 2, "+h") == 0) {
+        return name.substr(0, name.size() - 2) + "-h";
+    }
+    return name;
 }
 
 std::vector<std::string> tagged_set(unsigned bit) {
@@ -232,9 +270,13 @@ const std::vector<QueueInfo>& queue_catalog() {
     return catalog;
 }
 
-const QueueInfo* find_queue_info(const std::string& name) {
+const QueueInfo* find_queue_info(const std::string& raw) {
+    const std::string name = canonical_name(raw);
     if (const Entry* e = find_entry(name)) return &e->info;
     if (const auto knob = split_ml_knob(name)) {
+        if (const Entry* e = find_entry(knob->base)) return &e->info;
+    }
+    if (const auto knob = split_h_knob(name)) {
         if (const Entry* e = find_entry(knob->base)) return &e->info;
     }
     return nullptr;
@@ -248,13 +290,21 @@ std::vector<std::string> paper_multi_processor_set() {
     return tagged_set(kSetMultiProcessor);
 }
 
-std::unique_ptr<AnyQueue> make_queue(const std::string& name, const QueueOptions& opt) {
-    if (const Entry* e = find_entry(name)) return e->make(name, opt);
+std::unique_ptr<AnyQueue> make_queue(const std::string& raw, const QueueOptions& opt) {
+    const std::string name = canonical_name(raw);
+    if (const Entry* e = find_entry(name)) return e->make(raw, opt);
     if (const auto knob = split_ml_knob(name)) {
         if (const Entry* e = find_entry(knob->base)) {
             QueueOptions lane_opt = opt;
             lane_opt.lanes = knob->lanes;
-            return e->make(name, lane_opt);
+            return e->make(raw, lane_opt);
+        }
+    }
+    if (const auto knob = split_h_knob(name)) {
+        if (const Entry* e = find_entry(knob->base)) {
+            QueueOptions h_opt = opt;
+            h_opt.cluster_timeout_ns = knob->timeout_us * 1'000;
+            return e->make(raw, h_opt);
         }
     }
     return nullptr;

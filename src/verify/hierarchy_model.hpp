@@ -1,0 +1,190 @@
+// Exhaustive step-model of the §4.1.1 cluster-handoff protocol
+// (ClusterHierarchy::enter in queues/hierarchy.hpp).
+//
+// The enter() protocol is tiny — load the tag, spin a bounded budget,
+// then CAS and proceed regardless — but its correctness claim is global:
+// *no interleaving* of waiters, claimants, handovers, and dead threads can
+// leave a live thread stuck.  That is exactly the shape the explore.hpp
+// family checks for the queues, so the hierarchy policy gets the same
+// treatment: a self-contained model of the per-thread state machine
+//
+//   kLoad  --tag==mine-->  kEntered
+//   kLoad  --foreign---->  kWait(budget)
+//   kWait  --tag==mine-->  kEntered            (handover received)
+//   kWait  --budget>0--->  kWait(budget-1)
+//   kWait  --budget==0-->  kClaim              (timeout expired)
+//   kClaim --CAS win/lose-> kEntered           ("even if the CAS fails")
+//
+// and a DFS over every interleaving of every live thread's next step.
+// The model mirrors two deliberate details of the implementation: the
+// claiming CAS compares against the *last observed* tag (so it can lose
+// to a racing claimant), and the proceed-on-timeout ablation removes the
+// kWait -> kClaim edge, which is what turns the policy into the cohort
+// lock the paper rejects — the tests assert the model detects exactly
+// that as a blocked state.
+//
+// A thread may be configured to die at a phase (kill_phase): once it
+// reaches that phase it never steps again, but it still occupies its
+// state — a killed claimant holds the timeout expiry without ever CASing,
+// a killed owner never hands the tag over.  The nonblocking property is
+// then: every OTHER thread still enters in every interleaving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lcrq::verify {
+
+enum class HierPhase : std::uint8_t { kLoad = 0, kWait, kClaim, kEntered };
+
+struct HierarchyModelConfig {
+    // One entry per thread: the thread's cluster id.
+    std::vector<int> thread_cluster;
+    // Cluster tag the segment starts with.
+    int initial_tag = 0;
+    // Wait-loop passes before the timeout expires (keep tiny: the state
+    // space is exponential in total steps).
+    int wait_budget = 1;
+    // The paper's "even if the CAS fails" fall-through.  false = the
+    // cohort-lock ablation: a thread whose budget expired has no enabled
+    // transition until the tag becomes its own.
+    bool proceed_on_timeout = true;
+    // Thread that dies on *reaching* `kill_phase` (-1 = nobody dies).  A
+    // thread killed at kEntered completed its operation and then never
+    // hands over — the dead-owner scenario.
+    int killed_thread = -1;
+    HierPhase kill_phase = HierPhase::kEntered;
+};
+
+struct HierarchyModelResult {
+    std::uint64_t states = 0;        // interleaving prefixes explored
+    std::uint64_t leaves = 0;        // schedules run to quiescence
+    std::uint64_t blocked_leaves = 0;  // leaves with a live thread stuck
+    std::uint64_t cas_lost_entries = 0;  // leaves where a claimant lost the
+                                         // CAS and entered anyway
+    std::uint64_t handoffs = 0;      // claim transitions across all leaves
+    std::uint64_t max_depth = 0;     // longest schedule (bounded-steps witness)
+    bool all_live_entered = true;    // every live thread entered in every leaf
+};
+
+namespace detail {
+
+struct HierThread {
+    HierPhase phase = HierPhase::kLoad;
+    int budget = 0;
+    int observed = 0;    // tag value the claim CAS will compare against
+    bool cas_lost = false;
+};
+
+struct HierExplorer {
+    const HierarchyModelConfig& cfg;
+    HierarchyModelResult& res;
+
+    bool dead(int i, const HierThread& t) const {
+        return i == cfg.killed_thread && t.phase == cfg.kill_phase;
+    }
+
+    // A thread has an enabled transition unless it entered, died, or is a
+    // budget-exhausted waiter in the cohort-lock ablation whose tag is
+    // still foreign (the blocked state the ablation exists to exhibit).
+    bool enabled(int i, const HierThread& t, int tag) const {
+        if (t.phase == HierPhase::kEntered || dead(i, t)) return false;
+        if (t.phase == HierPhase::kWait && !cfg.proceed_on_timeout &&
+            t.budget == 0 && tag != cfg.thread_cluster[i]) {
+            return false;
+        }
+        return true;
+    }
+
+    void step(int i, HierThread& t, int& tag, std::uint64_t& leaf_handoffs) const {
+        const int mine = cfg.thread_cluster[i];
+        switch (t.phase) {
+            case HierPhase::kLoad:
+                t.observed = tag;
+                if (tag == mine) {
+                    t.phase = HierPhase::kEntered;
+                } else {
+                    t.phase = HierPhase::kWait;
+                    t.budget = cfg.wait_budget;
+                }
+                break;
+            case HierPhase::kWait:
+                t.observed = tag;
+                if (tag == mine) {
+                    t.phase = HierPhase::kEntered;
+                } else if (t.budget > 0) {
+                    --t.budget;
+                } else {
+                    t.phase = HierPhase::kClaim;  // proceed_on_timeout checked
+                }                                 // by enabled()
+                break;
+            case HierPhase::kClaim:
+                // compare_exchange against the last observed tag; the
+                // thread enters whether or not the CAS installs its
+                // cluster (paper: "even if the CAS fails").
+                if (tag == t.observed) {
+                    tag = mine;
+                } else {
+                    t.cas_lost = true;
+                }
+                ++leaf_handoffs;
+                t.phase = HierPhase::kEntered;
+                break;
+            case HierPhase::kEntered:
+                break;
+        }
+    }
+
+    void dfs(std::vector<HierThread>& threads, int tag, std::uint64_t depth,
+             std::uint64_t leaf_handoffs) {
+        ++res.states;
+        if (depth > res.max_depth) res.max_depth = depth;
+        bool any_enabled = false;
+        for (std::size_t i = 0; i < threads.size(); ++i) {
+            if (!enabled(static_cast<int>(i), threads[i], tag)) continue;
+            any_enabled = true;
+            HierThread saved = threads[i];
+            int saved_tag = tag;
+            std::uint64_t handoffs = leaf_handoffs;
+            step(static_cast<int>(i), threads[i], tag, handoffs);
+            dfs(threads, tag, depth + 1, handoffs);
+            threads[i] = saved;
+            tag = saved_tag;
+        }
+        if (any_enabled) return;
+
+        // Quiescent leaf: classify it.
+        ++res.leaves;
+        res.handoffs += leaf_handoffs;
+        bool blocked = false;
+        bool cas_lost = false;
+        for (std::size_t i = 0; i < threads.size(); ++i) {
+            const auto& t = threads[i];
+            if (dead(static_cast<int>(i), t)) continue;
+            if (t.phase != HierPhase::kEntered) blocked = true;
+            if (t.phase == HierPhase::kEntered && t.cas_lost) cas_lost = true;
+        }
+        if (blocked) {
+            ++res.blocked_leaves;
+            res.all_live_entered = false;
+        }
+        if (cas_lost) ++res.cas_lost_entries;
+    }
+};
+
+}  // namespace detail
+
+// Exhaustively explore every interleaving.  The DFS has no pruning and no
+// depth cap: each thread takes at most wait_budget + 3 steps, so every
+// schedule terminates (in the ablation, by blocking) and the exploration
+// is exhaustive by construction.
+inline HierarchyModelResult explore_hierarchy(const HierarchyModelConfig& cfg) {
+    HierarchyModelResult res;
+    std::vector<detail::HierThread> threads(cfg.thread_cluster.size());
+    detail::HierExplorer ex{cfg, res};
+    int tag = cfg.initial_tag;
+    ex.dfs(threads, tag, 0, 0);
+    return res;
+}
+
+}  // namespace lcrq::verify

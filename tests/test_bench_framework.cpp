@@ -63,7 +63,7 @@ TEST(Runner, WorksWithEveryPlacement) {
         cfg.pairs_per_thread = 500;
         cfg.placement = p;
         cfg.clusters = 2;
-        const auto r = run_pairs("lcrq+h", QueueOptions{}, cfg);
+        const auto r = run_pairs("lcrq-h", QueueOptions{}, cfg);
         EXPECT_GT(r.mean_ops_per_sec(), 0.0) << topo::placement_name(p);
     }
 }

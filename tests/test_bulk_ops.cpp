@@ -30,6 +30,7 @@
 #include "queues/typed_queue.hpp"
 #include "registry/queue_registry.hpp"
 #include "test_support.hpp"
+#include "topology/topology.hpp"
 #include "verify/history.hpp"
 #include "verify/lin_check.hpp"
 
@@ -40,6 +41,10 @@ static_assert(BulkConcurrentQueue<LcrqQueue>);
 static_assert(BulkConcurrentQueue<LcrqCasQueue>);
 static_assert(BulkConcurrentQueue<ScqQueue>);
 static_assert(BulkConcurrentQueue<LscqQueue>);
+// The hierarchy policy wraps the same batch paths (enter() in front of
+// every bulk claim), so the -h variants keep the full bulk interface.
+static_assert(BulkConcurrentQueue<LcrqHQueue>);
+static_assert(BulkConcurrentQueue<LscqHQueue>);
 // The wCQ family has no native batch path (batched tickets would widen the
 // helping records); it reaches the bulk interface through the loop
 // fallback, via BulkAdapter below and the registry dispatch.
@@ -256,6 +261,9 @@ TEST(LcrqBulk, MpmcBulkExchangeAllVariants) {
         std::atomic<std::uint64_t> consumed{0};
         std::vector<std::vector<value_t>> received(kConsumers);
         test::run_threads(kProducers + kConsumers, [&](int id) {
+            // Virtual-cluster rig: real foreign-tag traffic for the -h
+            // variants below, inert for the rest.
+            topo::set_current_cluster(id % 2);
             if (id < kProducers) {
                 const auto mine = tags(static_cast<unsigned>(id), kPer);
                 std::size_t done = 0;
@@ -291,6 +299,20 @@ TEST(LcrqBulk, MpmcBulkExchangeAllVariants) {
     }
     {
         LcrqNoReclaimQueue q(small_ring());
+        run(q);
+    }
+    {
+        // Hierarchy-wrapped, short claim timeout: batches straddle ring
+        // closes AND cluster handoffs at the same time.
+        QueueOptions opt = small_ring();
+        opt.cluster_timeout_ns = 20'000;
+        LcrqHQueue q(opt);
+        run(q);
+    }
+    {
+        QueueOptions opt = small_ring();
+        opt.cluster_timeout_ns = 20'000;
+        LscqHQueue q(opt);
         run(q);
     }
 }
@@ -331,6 +353,9 @@ TEST(LscqBulk, MpmcBulkExchangeAllVariantsAndBoundedScq) {
         std::atomic<std::uint64_t> consumed{0};
         std::vector<std::vector<value_t>> received(kConsumers);
         test::run_threads(kProducers + kConsumers, [&](int id) {
+            // Virtual-cluster rig: real foreign-tag traffic for the -h
+            // variants below, inert for the rest.
+            topo::set_current_cluster(id % 2);
             if (id < kProducers) {
                 const auto mine = tags(static_cast<unsigned>(id), kPer);
                 std::size_t done = 0;

@@ -1,0 +1,293 @@
+// Schedule injection against the §4.1.1 cluster-handoff window: a
+// claimant parked between its timeout expiry and its tag CAS while a
+// rival installs its own cluster (the CAS must lose and the thread must
+// enter anyway — the paper's "even if the CAS fails"), a claimant killed
+// inside that window (nobody else may block on the corpse), and the
+// acceptance probe — artificially disable the timeout-proceed path
+// (QueueOptions::cluster_proceed_on_timeout = false, the cohort lock the
+// paper rejects) and demonstrate that a waiter with a dead owner is then
+// stuck forever, where the identical schedule completes with the real
+// policy.
+//
+// Uses LscqHQueue throughout: TSan cannot instrument cmpxchg16b, so the
+// LCRQ-based hierarchy variant stays out of the sanitizer-built
+// injection binaries; the handoff policy under test is the same
+// ClusterHierarchy template either way.
+//
+// The virtual-cluster rig: threads place themselves with
+// topo::set_current_cluster(), so a 1-CPU host exercises real
+// cross-cluster traffic against a fresh segment that always starts
+// tagged for cluster 0.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "arch/counters.hpp"
+#include "queues/lscq.hpp"
+#include "test_support.hpp"
+#include "topology/topology.hpp"
+#include "verify/schedule_injection.hpp"
+
+namespace lcrq {
+namespace {
+
+using inject::Controller;
+using inject::Point;
+using inject::ThreadKilled;
+using test::run_threads;
+using test::tag;
+
+Controller& ctl() { return Controller::instance(); }
+
+struct InjectHierarchy : ::testing::Test {
+    void SetUp() override { ctl().reset(); }
+    void TearDown() override { ctl().reset(); }
+};
+
+template <typename Cond>
+void await(Cond cond) {
+    while (!cond()) std::this_thread::yield();
+}
+
+QueueOptions h_options(std::uint64_t timeout_ns) {
+    QueueOptions opt;
+    opt.cluster_timeout_ns = timeout_ns;
+    return opt;
+}
+
+// The handoff race, forced: two foreign claimants against a segment
+// tagged for cluster 0, timeout 0 so both expire immediately.  Thread 1
+// (cluster 2) reaches kClusterClaim first and parks there holding
+// observed tag 0; thread 0 (cluster 1) then claims 0 -> 1 and publishes
+// its item.  When the hold releases, thread 1's CAS compares against the
+// stale 0, loses to the installed 1 — and must enqueue anyway.  This is
+// the paper's nonblocking argument made into a schedule: the tag is a
+// hint, never a lock.
+TEST_F(InjectHierarchy, LosingTagCasStillEnters) {
+    stats::reset_all();
+    LscqHQueue q(h_options(0));  // expired from the start: every foreign enter claims
+    ctl().set_hold_deadline(std::chrono::seconds{10});
+    ctl().hold_until(1, Point::kClusterClaim, 1, 0, Point::kScqEnqPublished, 1);
+    ctl().arm();
+
+    run_threads(2, [&](int id) {
+        ctl().bind_thread(id);
+        if (id == 1) {
+            topo::set_current_cluster(2);
+            q.enqueue(2);  // parks at kClusterClaim with observed tag 0
+        } else {
+            topo::set_current_cluster(1);
+            await([&] { return ctl().visits(1, Point::kClusterClaim) >= 1; });
+            q.enqueue(1);  // claims 0 -> 1, publishes, releases the hold
+        }
+    });
+
+    EXPECT_EQ(ctl().hold_timeouts(), 0u) << "window was not constructed";
+    const stats::Snapshot snap = stats::global_snapshot();
+    EXPECT_EQ(snap[stats::Event::kClusterHandoff], 2u)
+        << "both claimants count a handoff, win or lose";
+    EXPECT_GE(snap[stats::Event::kCasFailure], 1u)
+        << "the parked claimant's tag CAS must have lost";
+    std::set<value_t> got;
+    got.insert(q.dequeue().value_or(0));
+    got.insert(q.dequeue().value_or(0));
+    EXPECT_EQ(got, (std::set<value_t>{1, 2}))
+        << "the CAS loser must have entered and enqueued regardless";
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+// A claimant killed at kClusterClaim died after its timeout expired but
+// before its CAS: the most adversarial corpse the window allows — it
+// consumed a full wait budget yet left the tag untouched and foreign to
+// everyone.  The survivor (a third cluster) must run a whole workload to
+// completion against that segment; its own timeout/claim path is what
+// keeps it live, and the kill must not have leaked anything the enqueue
+// side needs.
+TEST_F(InjectHierarchy, KilledClaimantMidHandoffBlocksNobody) {
+    stats::reset_all();
+    LscqHQueue q(h_options(20'000));  // 20 us
+    ctl().kill_at(1, Point::kClusterClaim, 1);
+    ctl().arm();
+
+    std::atomic<bool> victim_killed{false};
+    std::atomic<std::uint64_t> survivor_ops{0};
+    constexpr std::uint64_t kOps = 200;
+    run_threads(2, [&](int id) {
+        ctl().bind_thread(id);
+        if (id == 1) {
+            topo::set_current_cluster(2);
+            try {
+                q.enqueue(99);  // dies between timeout expiry and tag CAS
+            } catch (const ThreadKilled&) {
+                victim_killed.store(true, std::memory_order_release);
+            }
+        } else {
+            topo::set_current_cluster(1);
+            await([&] { return ctl().kills_fired() >= 1; });
+            for (std::uint64_t i = 0; i < kOps; ++i) {
+                q.enqueue(tag(0, i));
+                if (q.dequeue().has_value()) {
+                    survivor_ops.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        }
+    });
+
+    EXPECT_TRUE(victim_killed.load(std::memory_order_acquire));
+    EXPECT_EQ(survivor_ops.load(), kOps)
+        << "every survivor op must complete past the dead claimant";
+    const stats::Snapshot snap = stats::global_snapshot();
+    EXPECT_GE(snap[stats::Event::kClusterHandoff], 1u)
+        << "the survivor claimed the tag the corpse never installed";
+    EXPECT_FALSE(q.dequeue().has_value()) << "the victim died before publishing";
+}
+
+// Same shape one phase earlier: the victim dies parked *inside* its wait
+// loop (kClusterWait), i.e. a waiter that never even reached its timeout.
+// A parked waiter holds nothing — the survivor's progress must not depend
+// on it ever stepping again.
+TEST_F(InjectHierarchy, KilledWaiterBlocksNobody) {
+    stats::reset_all();
+    LscqHQueue q(h_options(50'000));  // long enough that the victim dies waiting
+    ctl().kill_at(1, Point::kClusterWait, 2);
+    ctl().arm();
+
+    std::atomic<bool> victim_killed{false};
+    std::atomic<std::uint64_t> survivor_ops{0};
+    constexpr std::uint64_t kOps = 200;
+    run_threads(2, [&](int id) {
+        ctl().bind_thread(id);
+        if (id == 1) {
+            topo::set_current_cluster(2);
+            try {
+                q.enqueue(99);  // dies on its second wait-loop pass
+            } catch (const ThreadKilled&) {
+                victim_killed.store(true, std::memory_order_release);
+            }
+        } else {
+            topo::set_current_cluster(1);
+            await([&] { return ctl().kills_fired() >= 1; });
+            for (std::uint64_t i = 0; i < kOps; ++i) {
+                q.enqueue(tag(0, i));
+                if (q.dequeue().has_value()) {
+                    survivor_ops.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        }
+    });
+
+    EXPECT_TRUE(victim_killed.load(std::memory_order_acquire));
+    EXPECT_EQ(survivor_ops.load(), kOps);
+    EXPECT_FALSE(q.dequeue().has_value());
+}
+
+// The acceptance probe, violating half: cluster_proceed_on_timeout =
+// false turns the policy into the cohort lock the paper rejects — a
+// budget-expired waiter has no exit until the tag becomes its own.  The
+// segment's owning cluster (0) has no threads ("dead owner"), so the
+// foreign enqueuer spins at kClusterWait forever.  The probe is the
+// visit counter: 20'000 wait-loop passes at a 1 us timeout is thousands
+// of expired budgets with zero progress — and the only thing that frees
+// the thread is the kill we armed as cleanup, not the policy.
+TEST_F(InjectHierarchy, BlockingProbeDetectsDisabledTimeoutProceed) {
+    stats::reset_all();
+    QueueOptions opt = h_options(1'000);  // 1 us: expires within a few spins
+    opt.cluster_proceed_on_timeout = false;
+    LscqHQueue q(opt);
+    constexpr std::uint64_t kStuck = 20'000;
+    ctl().kill_at(0, Point::kClusterWait, kStuck);
+    ctl().arm();
+
+    std::atomic<bool> killed{false};
+    run_threads(1, [&](int id) {
+        ctl().bind_thread(id);
+        topo::set_current_cluster(1);
+        try {
+            q.enqueue(1);  // never returns on its own
+        } catch (const ThreadKilled&) {
+            killed.store(true, std::memory_order_release);
+        }
+    });
+
+    EXPECT_TRUE(killed.load(std::memory_order_acquire))
+        << "with proceed disabled the waiter must be stuck until killed";
+    EXPECT_GE(ctl().visits(0, Point::kClusterWait), kStuck);
+    const stats::Snapshot snap = stats::global_snapshot();
+    EXPECT_EQ(snap[stats::Event::kClusterHandoff], 0u)
+        << "the ablation must never reach the claim";
+}
+
+// The same dead-owner schedule under the real policy: one expired
+// timeout, one claim, done.  Together with the probe above this is the
+// acceptance pair — handoff enabled passes, handoff disabled is caught.
+TEST_F(InjectHierarchy, SameProbeCompletesWithTimeoutProceedEnabled) {
+    stats::reset_all();
+    LscqHQueue q(h_options(1'000));
+    ctl().arm();
+
+    run_threads(1, [&](int id) {
+        ctl().bind_thread(id);
+        topo::set_current_cluster(1);
+        q.enqueue(1);  // expires its budget, claims, enters
+    });
+
+    EXPECT_EQ(ctl().kills_fired(), 0u);
+    const stats::Snapshot snap = stats::global_snapshot();
+    EXPECT_EQ(snap[stats::Event::kClusterHandoff], 1u) << "exactly one timeout claim";
+    EXPECT_EQ(q.dequeue().value_or(0), 1u);
+}
+
+// Seeded random sweeps over an MPMC exchange with the virtual-cluster
+// rig live (threads split across two clusters, timeout short enough
+// that claims actually happen), validated against the per-producer FIFO
+// checker.  LCRQ_INJECT_SEEDS=n widens the sweep.
+TEST_F(InjectHierarchy, RandomSweepKeepsExchangeValid) {
+    constexpr int kProducers = 2;
+    constexpr int kConsumers = 2;
+    constexpr std::uint64_t kPerProducer = 150;
+
+    for (const std::uint64_t seed : test::inject_seeds(0x4a11, 8)) {
+        ctl().reset();
+        stats::reset_all();
+        ctl().arm_random(seed, 96);
+        LscqHQueue q(h_options(5'000));
+
+        const std::uint64_t total = kProducers * kPerProducer;
+        std::atomic<std::uint64_t> consumed{0};
+        std::vector<std::vector<value_t>> received(kConsumers);
+        run_threads(kProducers + kConsumers, [&](int id) {
+            ctl().bind_thread(id);
+            topo::set_current_cluster(id % 2);
+            if (id < kProducers) {
+                for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+                    q.enqueue(tag(static_cast<unsigned>(id), i));
+                }
+            } else {
+                auto& mine = received[static_cast<std::size_t>(id - kProducers)];
+                while (consumed.load(std::memory_order_acquire) < total) {
+                    if (auto v = q.dequeue()) {
+                        mine.push_back(*v);
+                        consumed.fetch_add(1, std::memory_order_acq_rel);
+                    } else {
+                        std::this_thread::yield();
+                    }
+                }
+            }
+        });
+
+        SCOPED_TRACE("replay: " + ctl().replay_hint());
+        test::expect_exchange_valid(received, kProducers, kPerProducer);
+        EXPECT_FALSE(q.dequeue().has_value());
+        const stats::Snapshot snap = stats::global_snapshot();
+        EXPECT_GT(snap[stats::Event::kClusterEnter], 0u)
+            << "the hierarchy policy must actually have been on the path";
+    }
+}
+
+}  // namespace
+}  // namespace lcrq

@@ -133,7 +133,7 @@ TEST(LcrqCompact, ConcurrentExchange) {
 TEST(Lcrq, VariantNames) {
     EXPECT_EQ(LcrqQueue::variant_name(), "lcrq");
     EXPECT_EQ(LcrqCasQueue::variant_name(), "lcrq-cas");
-    EXPECT_EQ(LcrqHQueue::variant_name(), "lcrq+h");
+    EXPECT_EQ(LcrqHQueue::variant_name(), "lcrq-h");
 }
 
 TEST(Lcrq, ManyShortLivedQueues) {

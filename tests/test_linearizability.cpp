@@ -9,6 +9,7 @@
 
 #include "registry/queue_registry.hpp"
 #include "test_support.hpp"
+#include "topology/topology.hpp"
 #include "verify/history.hpp"
 #include "verify/lin_check.hpp"
 
@@ -20,8 +21,17 @@ QueueOptions tiny_options() {
     opt.ring_order = 2;  // tiny CRQ rings: maximum transition churn
     opt.bounded_order = 12;
     opt.clusters = 2;
+    // Short handoff timeout: with the virtual-cluster rig below, the
+    // hierarchical variants cross the wait/claim path constantly instead
+    // of idling on the same-cluster fast path.
+    opt.cluster_timeout_ns = 20'000;
     return opt;
 }
+
+// Virtual-cluster rig: every worker places itself on one of two
+// clusters, so the hierarchical variants see real foreign-tag traffic.
+// A no-op for every other queue (NoHierarchy never reads it).
+void place(int id) { topo::set_current_cluster(id % 2); }
 
 class QueueLinearizability : public ::testing::TestWithParam<std::string> {};
 
@@ -58,6 +68,7 @@ TEST_P(QueueLinearizability, PairsHistoryPassesFastCheck) {
     for (int t = 0; t < kThreads; ++t) logs.emplace_back(t, 2 * kPairs);
 
     test::run_threads(kThreads, [&](int id) {
+        place(id);
         auto& log = logs[static_cast<std::size_t>(id)];
         for (std::uint64_t i = 0; i < kPairs; ++i) {
             log.enqueue(*q, test::tag(static_cast<unsigned>(id), i));
@@ -83,6 +94,7 @@ TEST_P(QueueLinearizability, ProducerConsumerHistoryPassesFastCheck) {
     std::atomic<std::uint64_t> consumed{0};
 
     test::run_threads(kProducers + kConsumers, [&](int id) {
+        place(id);
         auto& log = logs[static_cast<std::size_t>(id)];
         if (id < kProducers) {
             for (std::uint64_t i = 0; i < kPer; ++i) {
@@ -113,6 +125,7 @@ TEST_P(QueueLinearizability, SmallHistoriesPassExactCheck) {
         for (int t = 0; t < kThreads; ++t) logs.emplace_back(t, 8);
 
         test::run_threads(kThreads, [&](int id) {
+            place(id);
             auto& log = logs[static_cast<std::size_t>(id)];
             const auto u = static_cast<unsigned>(id);
             // Mixed pattern including EMPTY-prone dequeues.
@@ -132,9 +145,12 @@ TEST_P(QueueLinearizability, SmallHistoriesPassExactCheck) {
 std::vector<std::string> checked_queues() {
     std::vector<std::string> names;
     for (const auto& info : queue_catalog()) names.push_back(info.name);
-    // One knob spelling rides along so the -ml<N> resolution path is
-    // exercised under real concurrency, not just in the registry test.
+    // Knob spellings ride along so the -ml<N> / -h<timeout_us>
+    // resolution paths are exercised under real concurrency, not just in
+    // the registry test (-h50: a 50 us claim timeout, short enough that
+    // the rig's two clusters actually trade segments).
     names.push_back("lscq-ml4");
+    names.push_back("lcrq-h50");
     return names;
 }
 

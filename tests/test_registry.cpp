@@ -225,10 +225,64 @@ TEST(Registry, PaperSetsComeFromCatalogTags) {
     EXPECT_FALSE(contains(single, "lcrq-ml"));
 }
 
+TEST(Registry, HierarchyVariantsAreCatalogued) {
+    // lcrq-h / lscq-h are first-class entries: present, unbounded,
+    // nonblocking, and in the multi-processor line-up (the policy only
+    // means something across clusters).
+    for (const std::string name : {"lcrq-h", "lscq-h"}) {
+        const QueueInfo* info = find_queue_info(name);
+        ASSERT_NE(info, nullptr) << name;
+        EXPECT_FALSE(info->bounded) << name;
+        EXPECT_TRUE(info->nonblocking) << name;
+        EXPECT_NE(info->paper_sets & kSetMultiProcessor, 0u) << name;
+    }
+}
+
+TEST(Registry, HKnobResolvesAndReportsItsSpelling) {
+    // "-h<timeout_us>" picks the hierarchical variant with that claim
+    // timeout.  -h0 is VALID (claim a foreign segment immediately — the
+    // no-batching ablation), unlike -ml0 where zero lanes is nonsense.
+    for (const std::string name : {"lcrq-h200", "lscq-h50", "lcrq-h0", "lscq-h0"}) {
+        auto q = make_queue(name);
+        ASSERT_NE(q, nullptr) << name;
+        EXPECT_EQ(q->name(), name);
+        for (value_t v = 1; v <= 10; ++v) q->enqueue(v);
+        for (value_t v = 1; v <= 10; ++v) {
+            EXPECT_EQ(q->dequeue().value_or(0), v) << name;
+        }
+        EXPECT_FALSE(q->dequeue().has_value()) << name;
+    }
+    const QueueInfo* knob = find_queue_info("lscq-h200");
+    ASSERT_NE(knob, nullptr);
+    EXPECT_EQ(knob->name, "lscq-h");
+}
+
+TEST(Registry, MalformedHKnobsAreRejected) {
+    // Digits only, bounded magnitude, on a registered hierarchical base.
+    for (const std::string name :
+         {"lcrq-hx", "lcrq-h2x", "lcrq-h99999999999", "ms-h4", "-h4",
+          "lscq-h-h2"}) {
+        EXPECT_EQ(make_queue(name), nullptr) << name;
+        EXPECT_EQ(find_queue_info(name), nullptr) << name;
+    }
+}
+
+TEST(Registry, PlusHAliasStillResolves) {
+    // The variants were briefly catalogued as "lcrq+h"; scripts and JSON
+    // artifacts carrying the old spelling must keep working.
+    const QueueInfo* info = find_queue_info("lcrq+h");
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->name, "lcrq-h");
+    auto q = make_queue("lscq+h");
+    ASSERT_NE(q, nullptr);
+    q->enqueue(3);
+    EXPECT_EQ(q->dequeue().value_or(0), 3u);
+}
+
 TEST(Registry, LcrqVariantsAreDistinctObjects) {
     auto a = make_queue("lcrq");
     auto b = make_queue("lcrq-cas");
-    auto c = make_queue("lcrq+h");
+    auto c = make_queue("lcrq-h");
     ASSERT_TRUE(a && b && c);
     a->enqueue(1);
     EXPECT_FALSE(b->dequeue().has_value());

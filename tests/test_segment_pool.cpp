@@ -16,6 +16,7 @@
 #include "queues/scq.hpp"
 #include "queues/segment_pool.hpp"
 #include "test_support.hpp"
+#include "topology/topology.hpp"
 
 namespace lcrq {
 namespace {
@@ -164,6 +165,40 @@ TEST(ScqRingReset, SeededResetMatchesSeededConstruction) {
     EXPECT_EQ(ring.dequeue().value_or(99), 1u);
     EXPECT_EQ(ring.dequeue().value_or(99), 2u);
     EXPECT_FALSE(ring.dequeue().has_value());
+}
+
+// The per-cluster ownership hint (§4.1.1 companion): push files a parked
+// segment under the parking thread's cluster shard, try_pop serves the
+// popper's home shard first, and only then scans the others — so a
+// recycled segment's lines tend to stay inside the cluster that last
+// touched them, without ever failing a pop that any shard could serve.
+TEST(SegmentPool, ClusterHintFilesAndPrefersHomeShard) {
+    SegmentPool<PoolNode> pool(8);
+    auto* parked0 = new PoolNode;
+    auto* parked1 = new PoolNode;
+    topo::set_current_cluster(0);
+    EXPECT_TRUE(pool.push(parked0));
+    topo::set_current_cluster(1);
+    EXPECT_TRUE(pool.push(parked1));
+    EXPECT_EQ(pool.shard_size(0), 1u);
+    EXPECT_EQ(pool.shard_size(1), 1u);
+
+    // A cluster-1 popper is served from its own shard, not cluster 0's.
+    EXPECT_EQ(pool.try_pop(), parked1);
+    topo::set_current_cluster(0);
+    EXPECT_EQ(pool.try_pop(), parked0);
+
+    // The hint never strands a segment: a popper whose home shard is
+    // empty scans the rest and still finds the foreign-parked one.
+    topo::set_current_cluster(1);
+    EXPECT_TRUE(pool.push(parked1));
+    topo::set_current_cluster(0);
+    EXPECT_EQ(pool.shard_size(0), 0u);
+    EXPECT_EQ(pool.try_pop(), parked1);
+    EXPECT_EQ(pool.try_pop(), nullptr);
+    delete parked0;
+    delete parked1;
+    topo::set_current_cluster(0);
 }
 
 TEST(ScqReset, DrainedClosedSegmentRecyclesToSeededState) {

@@ -19,17 +19,34 @@
 #include "queues/multilane.hpp"
 #include "registry/queue_registry.hpp"
 #include "test_support.hpp"
+#include "topology/topology.hpp"
 #include "util/xorshift.hpp"
 
 namespace lcrq {
 namespace {
 
-// The list-of-rings stress tests run identically over all three segment
-// disciplines: LCRQ (CAS2 rings), LSCQ (cycle/threshold rings), and LwCQ
-// (cycle/threshold rings with the wait-free helping layer).
+// The list-of-rings stress tests run identically over all the segment
+// disciplines: LCRQ (CAS2 rings), LSCQ (cycle/threshold rings), LwCQ
+// (cycle/threshold rings with the wait-free helping layer), and the
+// hierarchical LCRQ-H/LSCQ-H (§4.1.1 cluster handoff in front of the
+// same rings).  Workers place themselves across two virtual clusters —
+// meaningless to the non-hierarchical types, real foreign-tag traffic
+// for the -h ones.
 template <typename Q>
-class ListQueueStress : public ::testing::Test {};
-using ListQueueTypes = ::testing::Types<LcrqQueue, LscqQueue, LwcqQueue>;
+class ListQueueStress : public ::testing::Test {
+  protected:
+    static void place(int id) { topo::set_current_cluster(id % 2); }
+    static QueueOptions options(unsigned ring_order) {
+        QueueOptions opt;
+        opt.ring_order = ring_order;
+        // Short claim timeout so the rig's clusters actually trade
+        // segments instead of one side monopolizing the tag.
+        opt.cluster_timeout_ns = 20'000;
+        return opt;
+    }
+};
+using ListQueueTypes =
+    ::testing::Types<LcrqQueue, LscqQueue, LwcqQueue, LcrqHQueue, LscqHQueue>;
 TYPED_TEST_SUITE(ListQueueStress, ListQueueTypes);
 
 TEST(Stress, TinyRingDrivesAllTransitions) {
@@ -123,8 +140,7 @@ TYPED_TEST(ListQueueStress, TokenConservationBetweenTwoQueues) {
     // kTokens distinct tokens circulate A -> B -> A ... through racing
     // mover threads.  Any loss, duplication, or invention breaks the
     // final census.
-    QueueOptions opt;
-    opt.ring_order = 3;
+    const QueueOptions opt = this->options(3);
     TypeParam a(opt), b(opt);
     constexpr std::uint64_t kTokens = 64;
     constexpr std::uint64_t kMoves = 20'000;
@@ -133,6 +149,7 @@ TYPED_TEST(ListQueueStress, TokenConservationBetweenTwoQueues) {
 
     std::atomic<std::uint64_t> moves{0};
     test::run_threads(4, [&](int id) {
+        this->place(id);
         TypeParam& from = (id % 2 == 0) ? a : b;
         TypeParam& to = (id % 2 == 0) ? b : a;
         while (moves.load(std::memory_order_relaxed) < kMoves) {
@@ -164,10 +181,12 @@ TEST(Stress, EveryQueueSurvivesHighChurnPairs) {
     opt.ring_order = 4;
     opt.bounded_order = 12;
     opt.clusters = 2;
+    opt.cluster_timeout_ns = 20'000;  // the catalog now carries -h entries
     for (const auto& info : queue_catalog()) {
         auto q = make_queue(info.name, opt);
         std::atomic<std::uint64_t> balance{0};
         test::run_threads(6, [&](int id) {
+            topo::set_current_cluster(id % 2);
             Xoshiro256 rng(static_cast<std::uint64_t>(id) + 99);
             std::uint64_t local_enq = 0, local_deq = 0;
             for (int i = 0; i < 2'000; ++i) {
@@ -192,9 +211,9 @@ TYPED_TEST(ListQueueStress, QueueConstructionChurnAcrossThreads) {
     // threads: exercises hazard-record reuse, thread-id recycling, and
     // destructor paths under the dirtiest realistic lifecycle.
     test::run_threads(4, [&](int id) {
+        this->place(id);
         for (int i = 0; i < 50; ++i) {
-            QueueOptions opt;
-            opt.ring_order = 2;
+            const QueueOptions opt = this->options(2);
             TypeParam q(opt);
             for (value_t v = 1; v <= 20; ++v) {
                 q.enqueue(test::tag(static_cast<unsigned>(id), v));
@@ -207,11 +226,11 @@ TYPED_TEST(ListQueueStress, QueueConstructionChurnAcrossThreads) {
 TYPED_TEST(ListQueueStress, LongRunSegmentTurnover) {
     // One long-lived list queue with tiny rings cycles through thousands
     // of segments; reclamation must keep the live list short throughout.
-    QueueOptions opt;
-    opt.ring_order = 2;
+    const QueueOptions opt = this->options(2);
     TypeParam q(opt);
     std::atomic<bool> ok{true};
     test::run_threads(2, [&](int id) {
+        this->place(id);
         if (id == 0) {
             for (std::uint64_t i = 0; i < 30'000; ++i) q.enqueue(test::tag(0, i));
         } else {
@@ -238,7 +257,12 @@ TYPED_TEST(ListQueueStress, LongRunSegmentTurnover) {
 // run constantly.  (EveryQueueSurvivesHighChurnPairs already covers them
 // via the catalog sweep; these pin the composite-specific invariants.)
 template <typename Q>
-class MultilaneStress : public ::testing::Test {};
+class MultilaneStress : public ::testing::Test {
+  protected:
+    // Same virtual-cluster placement as ListQueueStress: inert for the
+    // multilane types, but keeps the worker bodies uniform.
+    static void place(int id) { topo::set_current_cluster(id % 2); }
+};
 using MlQueueTypes = ::testing::Types<MultilaneLcrq, MultilaneLscq>;
 TYPED_TEST_SUITE(MultilaneStress, MlQueueTypes);
 
@@ -254,6 +278,7 @@ TYPED_TEST(MultilaneStress, TokenConservationBetweenTwoQueues) {
 
     std::atomic<std::uint64_t> moves{0};
     test::run_threads(4, [&](int id) {
+        this->place(id);
         TypeParam& from = (id % 2 == 0) ? a : b;
         TypeParam& to = (id % 2 == 0) ? b : a;
         while (moves.load(std::memory_order_relaxed) < kMoves) {

@@ -160,6 +160,49 @@ TEST(Topology, VirtualClustersUnevenSplit) {
     }
 }
 
+TEST(Topology, VirtualClustersPreserveCpusAndCoverEveryId) {
+    Topology base;
+    base.cpus = {0, 1, 2, 3, 4, 5, 6, 7};
+    base.cluster_of_cpu.assign(8, 0);
+    base.num_clusters = 1;
+    const Topology v = make_virtual(base, 2);
+    // Regrouping only relabels: the CPU list itself is untouched.
+    EXPECT_EQ(v.cpus, base.cpus);
+    ASSERT_EQ(v.cluster_of_cpu.size(), v.cpus.size());
+    // Every advertised cluster id is actually used (no empty virtual
+    // cluster when CPUs outnumber clusters), and blocks are contiguous
+    // (cluster ids nondecreasing along the CPU list).
+    std::set<int> used(v.cluster_of_cpu.begin(), v.cluster_of_cpu.end());
+    EXPECT_EQ(used, (std::set<int>{0, 1}));
+    for (std::size_t i = 1; i < v.cluster_of_cpu.size(); ++i) {
+        EXPECT_LE(v.cluster_of_cpu[i - 1], v.cluster_of_cpu[i]);
+    }
+}
+
+// The rig end to end: a virtual regrouping flows through placement
+// planning into the per-thread slots that pin_self() publishes as
+// current_cluster() — exactly how the runner hands RunConfig.clusters
+// down to the hierarchy policy's topo::current_cluster() reads.
+TEST(Placement, VirtualClustersFlowIntoPlacementSlots) {
+    Topology base;
+    base.cpus = {0, 1, 2, 3, 4, 5, 6, 7};
+    base.cluster_of_cpu.assign(8, 0);
+    base.num_clusters = 1;
+    const Topology v = make_virtual(base, 2);
+    const auto plan = plan_placement(v, 4, Placement::kRoundRobin);
+    ASSERT_EQ(plan.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        const auto& s = plan[static_cast<std::size_t>(i)];
+        EXPECT_EQ(s.cluster, i % 2);
+        // The CPU comes from the virtual cluster's contiguous block.
+        if (s.cluster == 0) {
+            EXPECT_LE(s.cpu, 3);
+        } else {
+            EXPECT_GE(s.cpu, 4);
+        }
+    }
+}
+
 TEST(Topology, DescribeTruncatesLongLists) {
     Topology t;
     for (int i = 0; i < 64; ++i) {
