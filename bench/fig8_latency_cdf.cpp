@@ -63,12 +63,17 @@ int main(int argc, char** argv) {
     for (const auto& name : queues) {
         const RunResult r = run_pairs(name, qopt, cfg);
         hists.push_back(r.latency);
-        report.add_result(result_json(name, cfg, r).set("mode", multi ? "multi" : "single"));
-        std::printf("%-10s mean %.2fus  samples %llu\n", name.c_str(),
+        report.add_result(result_json(name, cfg, r)
+                              .set("mode", multi ? "multi" : "single")
+                              .set("latency_kind", "service_time_closed_loop"));
+        std::printf("%-10s mean service time %.2fus  samples %llu\n", name.c_str(),
                     r.latency.mean() / 1e3,
                     static_cast<unsigned long long>(r.latency.total()));
     }
-    std::printf("\n");
+    std::printf("Closed-loop measurement: timestamps start when the operation "
+                "starts, so these are service times — queueing delay under "
+                "overload is excluded (coordinated omission).  For end-to-end "
+                "latency from intended arrival, see bench/dispatch_server.\n\n");
 
     const std::uint64_t probes_ns[] = {100,    240,    500,     1'000,    2'000,
                                        5'000,  10'000, 25'000,  100'000,  1'000'000};
@@ -90,7 +95,7 @@ int main(int argc, char** argv) {
         table.print();
     }
 
-    Table pct({"queue", "p50 us", "p90 us", "p99 us", "p999 us"});
+    Table pct({"queue", "svc p50 us", "svc p90 us", "svc p99 us", "svc p999 us"});
     for (std::size_t i = 0; i < queues.size(); ++i) {
         pct.row()
             .cell(queues[i])

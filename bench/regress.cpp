@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "arch/backoff.hpp"
+#include "bench_framework/dispatch.hpp"
 #include "bench_framework/json_report.hpp"
 #include "bench_framework/report.hpp"
 #include "topology/pinning.hpp"
@@ -154,6 +155,18 @@ int main(int argc, char** argv) {
     cli.flag("stall-threads", "2", "queue threads for the stall phase");
     cli.flag("stall-preemptors", "2",
              "CPU-hogging threads run alongside the stall phase");
+    cli.flag("dispatch-queues", "lcrq,lscq",
+             "backends for the open-loop dispatch phase (empty = skip phase)");
+    cli.flag("dispatch-load-list", "100,300",
+             "offered loads for the dispatch sweep, in kreq/s");
+    cli.flag("dispatch-producers", "1", "dispatch load-generator threads");
+    cli.flag("dispatch-workers", "1", "dispatch worker threads");
+    cli.flag("dispatch-duration-ms", "300", "dispatch window per load point");
+    cli.flag("dispatch-capacity", "1024", "dispatch facade watermark");
+    cli.flag("dispatch-service-ns", "250", "dispatch per-request service spin");
+    cli.flag("dispatch-deadline-us", "2000", "dispatch per-request deadline");
+    cli.flag("dispatch-p99-target-us", "1000",
+             "dispatch SLO: e2e p99 must stay under this");
     cli.flag("ring-order", "12", "log2 of the CRQ/SCQ ring size");
     cli.flag("placement", "unpinned", "single-cluster | round-robin | unpinned");
     cli.flag("delay-ns", "100", "max random inter-operation delay in ns");
@@ -182,6 +195,20 @@ int main(int argc, char** argv) {
     std::vector<std::int64_t> hier_timeouts = cli.get_int_list("hier-timeout-list");
     std::vector<std::int64_t> hier_threads = cli.get_int_list("hier-thread-list");
     int hier_clusters = static_cast<int>(cli.get_int("clusters"));
+    std::vector<std::string> dispatch_queues = split_names(cli.get("dispatch-queues"));
+    std::vector<std::int64_t> dispatch_loads_kops =
+        cli.get_int_list("dispatch-load-list");
+    DispatchConfig dispatch_base;
+    dispatch_base.producers = static_cast<int>(cli.get_int("dispatch-producers"));
+    dispatch_base.workers = static_cast<int>(cli.get_int("dispatch-workers"));
+    dispatch_base.duration_ms =
+        static_cast<std::uint64_t>(cli.get_int("dispatch-duration-ms"));
+    dispatch_base.capacity = static_cast<std::size_t>(cli.get_int("dispatch-capacity"));
+    dispatch_base.service_ns =
+        static_cast<std::uint64_t>(cli.get_int("dispatch-service-ns"));
+    dispatch_base.deadline_us =
+        static_cast<std::uint64_t>(cli.get_int("dispatch-deadline-us"));
+    double dispatch_p99_target_us = cli.get_double("dispatch-p99-target-us");
 
     if (cli.get_bool("smoke")) {
         thread_list = {1, 2};
@@ -194,6 +221,8 @@ int main(int argc, char** argv) {
         lane_threads = {2, 4};
         hier_timeouts = {0, 100};
         hier_threads = {2};
+        dispatch_loads_kops = {50, 200};
+        dispatch_base.duration_ms = 150;
     } else if (cli.get_bool("paper")) {
         thread_list = {1, 2, 4, 8, 12, 16, 20};
         batch_list = {1, 4, 16, 64};
@@ -211,6 +240,10 @@ int main(int argc, char** argv) {
         hier_clusters = 0;
         hier_timeouts = {0, 10, 100, 1'000};
         hier_threads = {2, 4, 8, 16, 20};
+        dispatch_loads_kops = {500, 1'000, 2'000, 4'000};
+        dispatch_base.producers = 4;
+        dispatch_base.workers = 4;
+        dispatch_base.duration_ms = 2'000;
     }
 
     RunConfig base;
@@ -329,10 +362,15 @@ int main(int argc, char** argv) {
         JsonReport report("regress/latency");
         report.set_config(cfg);
         report.set_extra("queues", string_list_json(queues));
+        // Closed loop: each thread starts its next op only when the last
+        // one finished, so these are *service times* — queueing delay is
+        // invisible (coordinated omission).  The dispatch phase below is
+        // the open-loop measurement; latency_kind labels which is which.
         for (const auto& name : queues) {
             const RunResult r = run_pairs(name, qopt, cfg);
-            report.add_result(result_json(name, cfg, r));
-            std::printf("latency    %-10s t=%-2d  p99=%lluns (%llu samples)\n",
+            report.add_result(result_json(name, cfg, r)
+                                  .set("latency_kind", "service_time_closed_loop"));
+            std::printf("latency    %-10s t=%-2d  service-time p99=%lluns (%llu samples)\n",
                         name.c_str(), cfg.threads,
                         static_cast<unsigned long long>(r.latency.percentile(0.99)),
                         static_cast<unsigned long long>(r.latency.total()));
@@ -598,6 +636,59 @@ int main(int argc, char** argv) {
             }
         }
         if (!report.write(out_path("BENCH_hierarchy.json"))) return 1;
+    }
+
+    // --- phase 7: open-loop dispatch (macro-workload SLO gate) ---------------
+    //
+    // The production-server scenario: Poisson offered-load sweep against
+    // the bounded BlockingQueue facade, latency stamped from *intended*
+    // arrival (no coordinated omission), shed/deadline accounting, and a
+    // per-backend dispatch_slo summary row.  bench_compare.py gates e2e
+    // p99, shed_rate, deadline_miss_rate, and max_sustainable_mops.
+    if (!dispatch_queues.empty() && !dispatch_loads_kops.empty()) {
+        JsonReport report("regress/dispatch");
+        report.set_extra("queues", string_list_json(dispatch_queues));
+        report.set_extra("load_list_kops", int_list_json(dispatch_loads_kops));
+        const std::uint64_t p99_target_ns =
+            static_cast<std::uint64_t>(dispatch_p99_target_us * 1e3);
+        constexpr double kMaxShedRate = 0.01;
+        for (const auto& name : dispatch_queues) {
+            std::vector<DispatchConfig> cfgs;
+            std::vector<DispatchResult> results;
+            for (std::int64_t kops : dispatch_loads_kops) {
+                DispatchConfig cfg = dispatch_base;
+                cfg.queue = name;
+                cfg.ring_order = qopt.ring_order;
+                cfg.offered_mops = static_cast<double>(kops) / 1e3;
+                DispatchResult r = run_dispatch(cfg);
+                if (!r.ok) {
+                    std::fprintf(stderr, "dispatch: unknown queue %s\n", name.c_str());
+                    return 1;
+                }
+                report.add_result(dispatch_result_json(cfg, r));
+                std::printf(
+                    "dispatch   %-10s offered=%.3fMops  p99=%.1fus  shed=%.2f%%  "
+                    "miss=%.2f%%\n",
+                    name.c_str(), cfg.offered_mops,
+                    static_cast<double>(r.e2e.percentile(0.99)) / 1e3,
+                    r.offered > 0
+                        ? 100.0 * static_cast<double>(r.shed) / static_cast<double>(r.offered)
+                        : 0.0,
+                    r.completed > 0 ? 100.0 * static_cast<double>(r.deadline_missed) /
+                                          static_cast<double>(r.completed)
+                                    : 0.0);
+                cfgs.push_back(cfg);
+                results.push_back(std::move(r));
+            }
+            const double sustainable =
+                max_sustainable_mops(cfgs, results, p99_target_ns, kMaxShedRate);
+            report.add_result(dispatch_slo_json(name, dispatch_base.producers,
+                                                dispatch_base.capacity, p99_target_ns,
+                                                kMaxShedRate, sustainable));
+            std::printf("dispatch   %-10s max sustainable %.3f Mops at p99<=%.0fus\n",
+                        name.c_str(), sustainable, dispatch_p99_target_us);
+        }
+        if (!report.write(out_path("BENCH_dispatch.json"))) return 1;
     }
 
     return 0;

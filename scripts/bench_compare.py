@@ -56,6 +56,14 @@ workload, threads, batch, ...) and three regression rules are applied:
                  backends' bounded-stall win from quietly eroding.  The
                  companion stall_p99_ratio entries (tail inflation vs
                  the baseline queue) are gated with the same percentage.
+  * dispatch SLO (BENCH_dispatch.json, open-loop macro-bench):
+                 e2e.p99_ns growth > --slo-pct AND > --slo-abs-ns (end-to-
+                 end latency from intended arrival is the noisiest tail of
+                 all — both bars must clear); shed_rate and
+                 deadline_miss_rate growth > --shed-pct plus 0.05 absolute
+                 slack; max_sustainable_mops (the dispatch_slo summary
+                 row: highest offered load meeting the p99 target) shrink
+                 > --sustain-pct plus 0.1 absolute slack.
 
 Data that is missing on one side only is itself a finding: a null metric
 in NEW where BASELINE had a number means a run stopped producing data and
@@ -86,6 +94,9 @@ KEY_FIELDS = (
     "experiment",
     "preemptors",
     "base_queue",
+    "workers",
+    "offered_mops",
+    "capacity",
 )
 
 
@@ -211,7 +222,57 @@ class Comparison:
             rel_limit=self.args.stall_pct / 100.0,
             abs_slack=0.02,
         )
+        self.check_dispatch_p99(key, base, new)
+        self.check_metric_growth(
+            key,
+            base,
+            new,
+            "shed_rate",
+            "shed rate",
+            rel_limit=self.args.shed_pct / 100.0,
+            abs_slack=0.05,
+        )
+        self.check_metric_growth(
+            key,
+            base,
+            new,
+            "deadline_miss_rate",
+            "deadline miss rate",
+            rel_limit=self.args.shed_pct / 100.0,
+            abs_slack=0.05,
+        )
+        self.check_metric_shrink(
+            key,
+            base,
+            new,
+            "max_sustainable_mops",
+            "max sustainable Mops",
+            rel_limit=self.args.sustain_pct / 100.0,
+            abs_slack=0.1,
+        )
         self.check_missing(key, base, new, "ns_per_op")
+
+    def check_dispatch_p99(self, key, base, new):
+        # Open-loop end-to-end p99 (dispatch entries).  Same both-bars
+        # shape as check_latency, but with its own, wider limits: e2e
+        # latency includes queueing delay and OS scheduling, far noisier
+        # than closed-loop service time on a shared host.
+        b = as_number(get_path(base, "e2e.p99_ns"))
+        n = as_number(get_path(new, "e2e.p99_ns"))
+        if b is None and n is None:
+            return
+        if b is not None and n is None:
+            self.flag(key, "e2e p99 disappeared (baseline had data, new is null)")
+            return
+        if b is None or b <= 0:
+            return
+        growth = (n - b) / b
+        if growth > self.args.slo_pct / 100.0 and n - b > self.args.slo_abs_ns:
+            self.flag(
+                key,
+                f"e2e p99 grew {100 * growth:.0f}% ({b:.0f}ns -> {n:.0f}ns; "
+                f"limit {self.args.slo_pct}% and {self.args.slo_abs_ns:.0f}ns)",
+            )
 
     def check_throughput(self, key, base, new):
         b = as_number(get_path(base, "throughput.mean_ops_per_sec"))
@@ -489,6 +550,57 @@ def synthetic_stall_report(p99=480.0, cv=0.02, ratio=0.62):
     }
 
 
+def synthetic_dispatch_report(p99=400000.0, shed=0.01, miss=0.02, sustain=0.3):
+    # Mirrors regress.cpp phase 7: per-(queue, offered-load) dispatch rows
+    # plus the per-queue dispatch_slo summary row.
+    def entry(offered, p99_ns, shed_rate, miss_rate):
+        return {
+            "experiment": "dispatch",
+            "queue": "lcrq",
+            "producers": 1,
+            "workers": 1,
+            "offered_mops": offered,
+            "capacity": 1024,
+            "requests": 30000,
+            "accepted": int(30000 * (1 - shed_rate)),
+            "shed": int(30000 * shed_rate),
+            "shed_rate": shed_rate,
+            "completed": int(30000 * (1 - shed_rate)),
+            "deadline_missed": int(30000 * miss_rate),
+            "deadline_miss_rate": miss_rate,
+            "achieved_mops": offered * (1 - shed_rate),
+            "e2e": {
+                "samples": 30000,
+                "mean_ns": p99_ns / 4,
+                "p50_ns": p99_ns / 8,
+                "p90_ns": p99_ns / 2,
+                "p99_ns": p99_ns,
+                "p999_ns": p99_ns * 2,
+                "max_ns": p99_ns * 3,
+            },
+            "latency_kind": "e2e_intended_start",
+        }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "regress/dispatch",
+        "host": {"description": "self-check", "cpus": 1, "clusters": 1, "hw_threads": 1},
+        "results": [
+            entry(0.1, p99 / 2, 0.0, 0.0),
+            entry(0.3, p99, shed, miss),
+            {
+                "experiment": "dispatch_slo",
+                "queue": "lcrq",
+                "producers": 1,
+                "capacity": 1024,
+                "p99_target_us": 1000.0,
+                "max_shed_rate": 0.01,
+                "max_sustainable_mops": sustain,
+            },
+        ],
+    }
+
+
 def self_check(args):
     failures = []
 
@@ -664,6 +776,74 @@ def self_check(args):
             f"stall p99 ratio erosion not flagged: {cmp.regressions}",
         )
 
+        # 18-23: the dispatch artifact — open-loop SLO gating.
+        disp_base = write("disp_base.json", synthetic_dispatch_report())
+        cmp = compare_files(disp_base, disp_base, args)
+        expect(cmp.regressions == [], f"dispatch self-compare flagged: {cmp.regressions}")
+        expect(cmp.compared == 3, "dispatch self-compare did not compare every entry")
+
+        # 18. An e2e p99 blowup (400us -> 2ms: 400% and 1.6ms absolute)
+        # must flag on the overloaded row.
+        slow_disp = write("disp_slow.json", synthetic_dispatch_report(p99=2000000.0))
+        cmp = compare_files(disp_base, slow_disp, args)
+        expect(
+            any("e2e p99 grew" in r for r in cmp.regressions),
+            f"dispatch e2e p99 blowup not flagged: {cmp.regressions}",
+        )
+
+        # 19. 25% growth is under the 75% relative bar: not a regression
+        # (e2e tails on a shared host swing far more than service time).
+        warm_disp = write("disp_warm.json", synthetic_dispatch_report(p99=500000.0))
+        cmp = compare_files(disp_base, warm_disp, args)
+        expect(
+            not any("e2e p99" in r for r in cmp.regressions),
+            f"within-noise dispatch p99 growth was flagged: {cmp.regressions}",
+        )
+
+        # 20. The shed rate exploding (1% -> 20%) must flag — backpressure
+        # discarding requests the baseline served is a capacity loss even
+        # when the latency of the survivors looks fine.
+        shedding = write("disp_shed.json", synthetic_dispatch_report(shed=0.20))
+        cmp = compare_files(disp_base, shedding, args)
+        expect(
+            any("shed rate grew" in r for r in cmp.regressions),
+            f"shed rate growth not flagged: {cmp.regressions}",
+        )
+
+        # 21. ...but 1% -> 4% sits inside the 50% + 0.05 slack: no flag.
+        trickle = write("disp_trickle.json", synthetic_dispatch_report(shed=0.04))
+        cmp = compare_files(disp_base, trickle, args)
+        expect(
+            not any("shed rate" in r for r in cmp.regressions),
+            f"within-noise shed growth was flagged: {cmp.regressions}",
+        )
+
+        # 22. Deadline misses exploding (2% -> 30%) must flag.
+        missing = write("disp_miss.json", synthetic_dispatch_report(miss=0.30))
+        cmp = compare_files(disp_base, missing, args)
+        expect(
+            any("deadline miss rate grew" in r for r in cmp.regressions),
+            f"deadline miss rate growth not flagged: {cmp.regressions}",
+        )
+
+        # 23. Max sustainable throughput collapsing (0.3 -> 0 Mops: the
+        # backend no longer meets the SLO at any swept load) must flag on
+        # the dispatch_slo summary row.
+        unsustained = write("disp_unsust.json", synthetic_dispatch_report(sustain=0.0))
+        cmp = compare_files(disp_base, unsustained, args)
+        expect(
+            any("max sustainable Mops shrank" in r for r in cmp.regressions),
+            f"max sustainable collapse not flagged: {cmp.regressions}",
+        )
+
+        # 23a. ...but 0.3 -> 0.25 is inside the 50% + 0.1 slack: no flag.
+        steady_disp = write("disp_steady.json", synthetic_dispatch_report(sustain=0.25))
+        cmp = compare_files(disp_base, steady_disp, args)
+        expect(
+            not any("max sustainable" in r for r in cmp.regressions),
+            f"within-noise sustainable dip was flagged: {cmp.regressions}",
+        )
+
         # 13. Wrong schema version must be rejected.
         bad = synthetic_report()
         bad["schema_version"] = SCHEMA_VERSION + 1
@@ -746,6 +926,34 @@ def main(argv):
         default=10.0,
         help="stall-latency p99 growth floor in %% (widened by 3*cv of the "
         "per-run p99 statistic; default 10)",
+    )
+    parser.add_argument(
+        "--slo-pct",
+        type=float,
+        default=75.0,
+        help="allowed dispatch e2e p99 growth in %% (default 75; both this "
+        "and --slo-abs-ns must be exceeded to flag)",
+    )
+    parser.add_argument(
+        "--slo-abs-ns",
+        type=float,
+        default=250000.0,
+        help="dispatch e2e p99 growth below this many ns never flags "
+        "(default 250000)",
+    )
+    parser.add_argument(
+        "--shed-pct",
+        type=float,
+        default=50.0,
+        help="allowed shed / deadline-miss rate growth in %% plus 0.05 "
+        "absolute slack, on dispatch entries (default 50)",
+    )
+    parser.add_argument(
+        "--sustain-pct",
+        type=float,
+        default=50.0,
+        help="allowed max_sustainable_mops shrink in %% plus 0.1 absolute "
+        "slack, on dispatch_slo entries (default 50)",
     )
     parser.add_argument(
         "--self-check",

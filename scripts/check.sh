@@ -25,11 +25,12 @@ ctest --test-dir build-inject --output-on-failure -L inject
 
 # Injection under TSan (cmpxchg16b keeps the CRQ/LCRQ binaries out; the
 # controller itself plus the CAS2-free SCQ-family suites — including the
-# segment-pool recycling windows — are fully instrumentable).
+# segment-pool recycling windows and the blocking-facade lost-notify/drain
+# kills over an LSCQ base — are fully instrumentable).
 cmake -B build-tsan-inject -G Ninja -DLCRQ_INJECT=ON -DLCRQ_ENABLE_TSAN=ON -DLCRQ_ENABLE_BENCH=OFF -DLCRQ_ENABLE_EXAMPLES=OFF
 cmake --build build-tsan-inject
 ctest --test-dir build-tsan-inject --output-on-failure -R \
-  "test_injection_points|test_injection_scq|test_injection_pool|test_injection_wcq|test_injection_hierarchy"
+  "test_injection_points|test_injection_scq|test_injection_pool|test_injection_wcq|test_injection_hierarchy|test_injection_blocking"
 
 # Perf smoke (EXPERIMENTS.md "Machine-readable pipeline"): generate the
 # BENCH_*.json artifacts at CI scale, prove the comparator's fixture suite
@@ -39,6 +40,8 @@ ctest --test-dir build-tsan-inject --output-on-failure -R \
 if command -v python3 >/dev/null 2>&1; then
   mkdir -p bench_artifacts
   ./build/bench/regress --smoke --out-dir bench_artifacts
+  ./build/bench/dispatch_server --smoke \
+    --json bench_artifacts/BENCH_dispatch_server.json
   python3 scripts/bench_compare.py --self-check
   for f in bench_artifacts/BENCH_*.json; do
     python3 scripts/bench_compare.py "$f" "$f"

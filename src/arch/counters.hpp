@@ -63,6 +63,9 @@ enum class Event : unsigned {
     kLaneEmptyScan,    // multilane full-lane scans that found nothing
     kWcqSlowPath,      // wCQ operations that published a helping record
     kWcqHelp,          // wCQ helping passes over a pending request
+    kBlockedEnq,       // blocking-facade enqueues that slept for capacity
+    kBlockedDeq,       // blocking-facade dequeues that slept for an item
+    kShed,             // bounded-facade enqueues refused at the watermark
     kCount
 };
 
@@ -82,6 +85,7 @@ constexpr std::string_view event_name(Event e) noexcept {
         "segment_alloc", "segment_reuse",
         "lane_local_hit", "lane_steal",  "lane_empty_scan",
         "wcq_slow_path", "wcq_help",
+        "blocked_enq",   "blocked_deq",  "shed",
     };
     return names[static_cast<std::size_t>(e)];
 }

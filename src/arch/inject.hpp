@@ -83,6 +83,17 @@ enum class Point : std::uint8_t {
                            //   here lets another claimant win the CAS; a
                            //   kill here models a claimant dying
                            //   mid-handoff)
+    kBlockWait,            // BlockingQueue, waiter registered and re-check
+                           //   done, about to sleep on the eventcount (a
+                           //   kill here models a consumer/producer dying
+                           //   while parked)
+    kBlockNotify,          // BlockingQueue, item published and epoch
+                           //   bumped, the futex wake not yet issued (a
+                           //   kill here models a producer dying between
+                           //   publish and notify — sleepers must still
+                           //   make progress via the sliced wait)
+    kDrain,                // BlockingQueue::drain, one drain-loop pass (a
+                           //   kill here models a consumer dying mid-drain)
     kCount
 };
 
@@ -101,7 +112,8 @@ constexpr std::string_view point_name(Point p) noexcept {
         "lane_enq_pending",      "lane_scan",        "lane_certify",
         "wcq_slow_counted",      "wcq_req_published", "wcq_note_placed",
         "wcq_before_commit",     "wcq_committed",    "wcq_help_scan",
-        "cluster_wait",          "cluster_claim",
+        "cluster_wait",          "cluster_claim",    "block_wait",
+        "block_notify",          "drain",
     };
     return names[static_cast<std::size_t>(p)];
 }

@@ -2,120 +2,496 @@
 //
 // The algorithms in this library are *total*: dequeue returns EMPTY
 // instead of waiting (that totality is what the paper's progress claims
-// are about).  Applications that want consumers to sleep when idle layer
-// this facade on top: a C++20 atomic eventcount turns the nonblocking
-// dequeue into wait_dequeue() without touching the queue's hot path —
-// consumers only enter the futex slow path after the fast dequeue misses,
-// and producers only notify when a waiter is registered.
+// are about).  Applications that want consumers to sleep when idle — and
+// producers to feel backpressure instead of growing the queue without
+// bound — layer this facade on top.  Two futex eventcounts turn the
+// nonblocking operations into blocking ones without touching the queue's
+// hot path: consumers only enter the futex slow path after the fast
+// dequeue misses, producers only pay a wake syscall when a waiter is
+// registered, and (bounded mode) producers sleep on a second eventcount
+// that dequeues bump.
 //
 // Semantics:
-//   enqueue(x)        — as the base queue; wakes sleeping consumers.
-//   wait_dequeue()    — blocks until an item arrives or close() is called;
-//                       nullopt only after close() with the queue drained.
-//   try_dequeue()     — the base queue's nonblocking dequeue.
-//   close()           — wakes everyone; further enqueues are dropped
-//                       (returns false), pending items remain dequeueable.
+//   try_enqueue(x)      — nonblocking admission: false when closed or (a
+//                         bounded facade) at the capacity watermark.  A
+//                         watermark refusal counts as a shed.
+//   enqueue(x)          — alias for try_enqueue (historical name).
+//   wait_enqueue[_for]  — bounded-mode producers sleep until space, close,
+//                         or the deadline; returns WaitStatus.
+//   try_dequeue()       — the base queue's nonblocking dequeue.
+//   wait_dequeue()      — blocks until an item arrives or close() is
+//                         called; nullopt only after close() with the
+//                         queue drained.
+//   wait_dequeue_for()  — timed wait returning a WaitResult tri-state, so
+//                         callers can tell "timed out, retry later" from
+//                         "closed and drained, stop".  Sleeps for real: a
+//                         futex timed wait on Linux (sliced, so a lost
+//                         notify costs bounded latency, never a strand),
+//                         a sliced sleep_for elsewhere.
+//   close()             — wakes everyone; further enqueues are refused,
+//                         pending items remain dequeueable.
+//   drain(timeout_ns)   — close (if needed) and dequeue the remainder
+//                         until a conclusive post-close EMPTY or the
+//                         deadline; reports {drained, complete,
+//                         stragglers}.
+//
+// Capacity model: the watermark reads the base's approx_size() when it
+// has one (LCRQ/LSCQ/SCQ/wCQ all do); otherwise the facade maintains its
+// own enq/deq counters.  approx_size is approximate under concurrency by
+// design, so capacity is a watermark, not a hard invariant — transient
+// overshoot by the number of in-flight enqueuers is possible and fine for
+// backpressure (the server-side shed accounting is exact either way).
+//
+// Post-close drain: a single EMPTY observation after close() is not
+// conclusive — enqueuers admitted before the close may still be
+// publishing (the base accepts them; only *new* admissions are refused).
+// Every closed-path exit therefore re-checks EMPTY for a bounded number
+// of rounds before reporting closed-and-drained.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <concepts>
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <utility>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <climits>
+#include <ctime>
+#else
+#include <chrono>
+#include <thread>
+#endif
 
 #include "arch/backoff.hpp"
+#include "arch/counters.hpp"
+#include "arch/inject.hpp"
 #include "queues/lcrq.hpp"
 #include "queues/queue_common.hpp"
+#include "util/timing.hpp"
 
 namespace lcrq {
 
+// Outcome of a bounded blocking operation.
+enum class WaitStatus : std::uint8_t {
+    kOk,       // dequeue: item delivered / enqueue: item accepted
+    kTimeout,  // deadline expired with the queue still open — retrying later
+               //   can succeed
+    kClosed,   // queue closed (and, for dequeue, drained) — retrying cannot
+};
+
+// Tri-state result of wait_dequeue_for: kOk carries the item; kTimeout and
+// kClosed are distinguishable so callers know whether to retry.
+struct WaitResult {
+    WaitStatus status = WaitStatus::kTimeout;
+    value_t value = kBottom;
+
+    bool ok() const noexcept { return status == WaitStatus::kOk; }
+    bool timed_out() const noexcept { return status == WaitStatus::kTimeout; }
+    bool closed() const noexcept { return status == WaitStatus::kClosed; }
+    std::optional<value_t> to_optional() const noexcept {
+        return ok() ? std::optional<value_t>(value) : std::nullopt;
+    }
+};
+
+// Result of drain(): how far the post-close sweep got before the deadline.
+struct DrainReport {
+    std::uint64_t drained = 0;     // items this call delivered to the sink
+    bool complete = false;         // reached a conclusive post-close EMPTY
+    std::uint64_t stragglers = 0;  // approx items still inside at the deadline
+};
+
+namespace detail {
+
+// 32-bit futex eventcount: epoch word sleepers wait on + waiter count so
+// the notifier's wake syscall is skipped when nobody sleeps.  32-bit
+// because FUTEX_WAIT compares exactly 4 bytes; epoch wraparound after 2^32
+// signals is harmless (a sleeper whose observed epoch is re-reached after
+// a full wrap eats one spurious slice timeout and re-checks).
+class EventCount {
+  public:
+    // Snapshot the epoch *before* the final condition re-check; pass it to
+    // wait_slice so a signal between re-check and sleep is never missed.
+    std::uint32_t prepare() const noexcept {
+        return epoch_.load(std::memory_order_acquire);
+    }
+
+    void announce_waiter() noexcept { waiters_.fetch_add(1, std::memory_order_seq_cst); }
+    void retract_waiter() noexcept { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+
+    // Publish "the condition may have changed".  The seq_cst epoch bump
+    // orders against the waiter-side announce+re-check: either the sleeper
+    // sees the new epoch and refuses to sleep, or the signaler sees the
+    // registered waiter and issues the wake.
+    void bump() noexcept { epoch_.fetch_add(1, std::memory_order_seq_cst); }
+    void wake_if_waiters() noexcept {
+        if (waiters_.load(std::memory_order_seq_cst) != 0) wake_all();
+    }
+    void signal() noexcept {
+        bump();
+        wake_if_waiters();
+    }
+
+    // Sleep until the epoch moves past `observed` or roughly `slice_ns`
+    // elapse — one OS wait, callers loop.  Spurious returns are fine (the
+    // caller re-checks its condition).  Slices are how a *lost* wake —
+    // a notifier dying between bump and wake (kill injection), or the
+    // futex-less fallback — costs bounded extra latency instead of a
+    // stranded sleeper: no single sleep is unbounded.
+    void wait_slice(std::uint32_t observed, std::uint64_t slice_ns) noexcept {
+        if (slice_ns == 0) return;
+#if defined(__linux__)
+        timespec ts;
+        ts.tv_sec = static_cast<time_t>(slice_ns / 1'000'000'000u);
+        ts.tv_nsec = static_cast<long>(slice_ns % 1'000'000'000u);
+        syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
+                FUTEX_WAIT_PRIVATE, observed, &ts, nullptr, 0);
+#else
+        if (epoch_.load(std::memory_order_acquire) == observed) {
+            constexpr std::uint64_t kFallbackCapNs = 1'000'000;  // poll at >= 1kHz
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(std::min(slice_ns, kFallbackCapNs)));
+        }
+#endif
+    }
+
+  private:
+    void wake_all() noexcept {
+#if defined(__linux__)
+        syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&epoch_),
+                FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+#endif
+        // Fallback sleepers poll on slice expiry; no wake needed.
+    }
+
+    static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
+    alignas(kCacheLineSize) std::atomic<std::uint32_t> epoch_{0};
+    alignas(kCacheLineSize) std::atomic<std::uint32_t> waiters_{0};
+};
+
+// Decrement-on-unwind guard: a waiter killed while parked (injection
+// harness) must not leave the waiter count stuck high, or producers would
+// pay wake syscalls forever.
+class WaiterGuard {
+  public:
+    explicit WaiterGuard(EventCount& ec) noexcept : ec_(ec) { ec_.announce_waiter(); }
+    ~WaiterGuard() { ec_.retract_waiter(); }
+    WaiterGuard(const WaiterGuard&) = delete;
+    WaiterGuard& operator=(const WaiterGuard&) = delete;
+
+  private:
+    EventCount& ec_;
+};
+
+}  // namespace detail
+
+// Adapter so the facade composes over a registry-constructed backend:
+// BlockingQueue<UniquePtrBase<AnyQueue>> wraps any catalog queue picked at
+// runtime.  AnyQueue exposes only the total enqueue/dequeue, so the facade
+// falls back to its own size counters for the capacity watermark.
+template <typename Q>
+class UniquePtrBase {
+  public:
+    explicit UniquePtrBase(std::unique_ptr<Q> q) noexcept : q_(std::move(q)) {}
+    UniquePtrBase(UniquePtrBase&&) noexcept = default;
+    UniquePtrBase& operator=(UniquePtrBase&&) noexcept = default;
+
+    void enqueue(value_t x) { q_->enqueue(x); }
+    std::optional<value_t> dequeue() { return q_->dequeue(); }
+
+    Q& operator*() noexcept { return *q_; }
+    Q* operator->() noexcept { return q_.get(); }
+
+  private:
+    std::unique_ptr<Q> q_;
+};
+
 template <typename Base = LcrqQueue>
 class BlockingQueue {
+    static constexpr bool kBaseHasTryEnqueue =
+        requires(Base& b, value_t v) { { b.try_enqueue(v) } -> std::same_as<bool>; };
+    static constexpr bool kBaseHasApproxSize =
+        requires(Base& b) { { b.approx_size() } -> std::convertible_to<std::uint64_t>; };
+
   public:
-    explicit BlockingQueue(const QueueOptions& opt = {}) : base_(opt) {}
+    // capacity == 0 means unbounded (no watermark, no shedding).
+    explicit BlockingQueue(const QueueOptions& opt = {}, std::size_t capacity = 0)
+        : base_(opt), capacity_(capacity) {}
+    // Adopt an externally constructed base (e.g. UniquePtrBase over a
+    // registry queue).
+    explicit BlockingQueue(Base base, std::size_t capacity = 0)
+        : base_(std::move(base)), capacity_(capacity) {}
 
     BlockingQueue(const BlockingQueue&) = delete;
     BlockingQueue& operator=(const BlockingQueue&) = delete;
 
-    bool enqueue(value_t x) {
-        if (closed_.load(std::memory_order_acquire)) return false;
-        // The base queue may have been closed directly via base().close(),
-        // which our flag cannot see; the asserting base_.enqueue(x) would
-        // silently drop the item in release builds (and abort in debug).
-        // Bases with a try_enqueue report that instead of asserting.
-        if constexpr (requires { { base_.try_enqueue(x) } -> std::same_as<bool>; }) {
-            if (!base_.try_enqueue(x)) return false;
-        } else {
-            base_.enqueue(x);
-        }
-        // Epoch bump + notify: only consumers that already registered as
-        // waiters (bumped waiters_) cost producers a futex syscall.
-        epoch_.fetch_add(1, std::memory_order_release);
-        if (waiters_.load(std::memory_order_seq_cst) != 0) {
-            epoch_.notify_all();
-        }
-        return true;
+    // --- producer side -----------------------------------------------------
+
+    // Nonblocking admission.  False when the facade is closed, when the
+    // base refused (it was closed directly via base().close(), which our
+    // flag cannot see), or when a bounded facade is at its watermark (that
+    // refusal counts as a shed).
+    bool try_enqueue(value_t x) {
+        const Admission a = admit(x);
+        if (a == Admission::kFull) stats::count(stats::Event::kShed);
+        return a == Admission::kAccepted;
+    }
+    bool enqueue(value_t x) { return try_enqueue(x); }
+
+    WaitStatus wait_enqueue(value_t x) { return wait_enqueue_until(x, kNoDeadline); }
+    WaitStatus wait_enqueue_for(value_t x, std::uint64_t timeout_ns) {
+        return wait_enqueue_until(x, saturating_deadline(timeout_ns));
     }
 
-    std::optional<value_t> try_dequeue() { return base_.dequeue(); }
-
-    std::optional<value_t> wait_dequeue() {
+    // Bounded-mode producer wait: sleeps on the space eventcount (bumped by
+    // every successful dequeue) until the item is admitted, the queue
+    // closes, or the deadline passes.  A timeout counts as a shed — the
+    // caller's request is dropped at the watermark, just later.
+    WaitStatus wait_enqueue_until(value_t x, std::uint64_t deadline_ns) {
         SpinWait spinner;
+        bool counted_block = false;
         for (;;) {
-            // Fast path: a handful of optimistic attempts before sleeping.
-            for (int i = 0; i < 64; ++i) {
-                if (auto v = base_.dequeue()) return v;
-                if (closed_.load(std::memory_order_acquire)) {
-                    // Drain-then-report-closed: one more attempt races any
-                    // enqueue that completed before the close.
-                    return base_.dequeue();
+            for (int i = 0; i < kFastAttempts; ++i) {
+                switch (admit(x)) {
+                    case Admission::kAccepted:
+                        return WaitStatus::kOk;
+                    case Admission::kClosed:
+                        return WaitStatus::kClosed;
+                    case Admission::kFull:
+                        break;
+                }
+                if (now_ns() >= deadline_ns) {
+                    stats::count(stats::Event::kShed);
+                    return WaitStatus::kTimeout;
                 }
                 spinner.spin();
             }
-            // Slow path: register, re-check (an enqueue may have landed
-            // between the miss and the registration), then sleep on the
-            // epoch word until a producer bumps it.
-            const std::uint64_t observed = epoch_.load(std::memory_order_acquire);
-            waiters_.fetch_add(1, std::memory_order_seq_cst);
-            if (auto v = base_.dequeue()) {
-                waiters_.fetch_sub(1, std::memory_order_seq_cst);
-                return v;
+            // Slow path: register on the space eventcount, re-check (a
+            // dequeue may have landed between the miss and registration),
+            // then sleep one slice.
+            const std::uint32_t observed = space_ec_.prepare();
+            {
+                detail::WaiterGuard guard(space_ec_);
+                switch (admit(x)) {
+                    case Admission::kAccepted:
+                        return WaitStatus::kOk;
+                    case Admission::kClosed:
+                        return WaitStatus::kClosed;
+                    case Admission::kFull:
+                        break;
+                }
+                if (!counted_block) {
+                    stats::count(stats::Event::kBlockedEnq);
+                    counted_block = true;
+                }
+                LCRQ_INJECT_POINT(kBlockWait);
+                const std::uint64_t nw = now_ns();
+                if (nw >= deadline_ns) {
+                    stats::count(stats::Event::kShed);
+                    return WaitStatus::kTimeout;
+                }
+                space_ec_.wait_slice(observed,
+                                     std::min(deadline_ns - nw, kMaxSliceNs));
             }
-            if (!closed_.load(std::memory_order_acquire)) {
-                epoch_.wait(observed, std::memory_order_acquire);
-            }
-            waiters_.fetch_sub(1, std::memory_order_seq_cst);
             spinner.reset();
         }
     }
 
-    // wait_dequeue with a deadline: returns nullopt on timeout (or closed
-    // and drained).  std::atomic::wait has no timed form, so this variant
-    // never enters the futex — it spins politely (pause → sched_yield)
-    // until the deadline.  Use wait_dequeue() for indefinite waits (those
-    // do sleep) and this only where a bounded wait is the point.
-    std::optional<value_t> wait_dequeue_for(std::uint64_t timeout_ns) {
-        const std::uint64_t deadline = now_ns() + timeout_ns;
+    // --- consumer side -----------------------------------------------------
+
+    std::optional<value_t> try_dequeue() {
+        auto v = base_.dequeue();
+        if (v.has_value()) note_dequeued();
+        return v;
+    }
+
+    // Indefinite wait; nullopt only after close() with the queue drained.
+    std::optional<value_t> wait_dequeue() {
+        return wait_dequeue_until(kNoDeadline).to_optional();
+    }
+
+    WaitResult wait_dequeue_for(std::uint64_t timeout_ns) {
+        return wait_dequeue_until(saturating_deadline(timeout_ns));
+    }
+
+    // Timed wait.  Optimistic attempts first, then register on the items
+    // eventcount and sleep in deadline-capped slices (futex on Linux).  The
+    // slice cap bounds the damage of a lost notify: a producer killed
+    // between publish and wake (kBlockNotify) delays the sleeper by at most
+    // one slice instead of stranding it.
+    WaitResult wait_dequeue_until(std::uint64_t deadline_ns) {
         SpinWait spinner;
+        bool counted_block = false;
         for (;;) {
-            if (auto v = base_.dequeue()) return v;
-            if (closed_.load(std::memory_order_acquire)) return base_.dequeue();
-            if (now_ns() >= deadline) return std::nullopt;
-            spinner.spin();
+            for (int i = 0; i < kFastAttempts; ++i) {
+                if (auto v = try_dequeue()) return {WaitStatus::kOk, *v};
+                if (closed_.load(std::memory_order_acquire)) return drain_after_close();
+                if (now_ns() >= deadline_ns) return {WaitStatus::kTimeout, kBottom};
+                spinner.spin();
+            }
+            const std::uint32_t observed = items_ec_.prepare();
+            {
+                detail::WaiterGuard guard(items_ec_);
+                if (auto v = try_dequeue()) return {WaitStatus::kOk, *v};
+                if (closed_.load(std::memory_order_acquire)) return drain_after_close();
+                if (!counted_block) {
+                    stats::count(stats::Event::kBlockedDeq);
+                    counted_block = true;
+                }
+                LCRQ_INJECT_POINT(kBlockWait);
+                const std::uint64_t nw = now_ns();
+                if (nw >= deadline_ns) return {WaitStatus::kTimeout, kBottom};
+                items_ec_.wait_slice(observed, std::min(deadline_ns - nw, kMaxSliceNs));
+            }
+            spinner.reset();
         }
     }
 
+    // --- lifecycle ---------------------------------------------------------
+
     void close() {
         closed_.store(true, std::memory_order_seq_cst);
-        epoch_.fetch_add(1, std::memory_order_seq_cst);
-        epoch_.notify_all();
+        items_ec_.signal();
+        space_ec_.signal();
     }
 
     bool closed() const noexcept { return closed_.load(std::memory_order_acquire); }
+
+    // Graceful shutdown: close (if not already closed) and dequeue the
+    // remainder into `sink` until a conclusive post-close EMPTY or the
+    // deadline.  Single sweeper per call; concurrent drains are safe (they
+    // split the items).  `complete == false` means the deadline hit first —
+    // `stragglers` approximates what is still inside (in-flight pre-close
+    // enqueuers may still be publishing).
+    template <typename Sink>
+    DrainReport drain(std::uint64_t timeout_ns, Sink&& sink) {
+        if (!closed()) close();
+        const std::uint64_t deadline_ns = saturating_deadline(timeout_ns);
+        DrainReport rep;
+        SpinWait spinner;
+        int empty_rounds = 0;
+        for (;;) {
+            LCRQ_INJECT_POINT(kDrain);
+            if (auto v = try_dequeue()) {
+                sink(*v);
+                ++rep.drained;
+                empty_rounds = 0;
+                spinner.reset();
+                continue;
+            }
+            if (++empty_rounds >= kClosedRecheckRounds) {
+                rep.complete = true;
+                break;
+            }
+            if (now_ns() >= deadline_ns) break;
+            spinner.spin();
+        }
+        if (!rep.complete) rep.stragglers = approx_size();
+        return rep;
+    }
+    DrainReport drain(std::uint64_t timeout_ns) {
+        return drain(timeout_ns, [](value_t) {});
+    }
+
+    // --- introspection -----------------------------------------------------
+
+    // Items currently inside, approximately: the base's hazard-protected
+    // segment walk when available, else the facade's own enq/deq counters.
+    std::uint64_t approx_size() {
+        if constexpr (kBaseHasApproxSize) {
+            return base_.approx_size();
+        } else {
+            const std::uint64_t enq = enq_count_.load(std::memory_order_relaxed);
+            const std::uint64_t deq = deq_count_.load(std::memory_order_relaxed);
+            return enq > deq ? enq - deq : 0;
+        }
+    }
+
+    std::size_t capacity() const noexcept { return capacity_; }
     Base& base() noexcept { return base_; }
 
+    // Epoch snapshots for layers that build their own waiters on the same
+    // words (the coroutine facade): capture before the final nonblocking
+    // re-check, compare after registering, exactly like wait_slice callers.
+    std::uint32_t items_epoch() const noexcept { return items_ec_.prepare(); }
+    std::uint32_t space_epoch() const noexcept { return space_ec_.prepare(); }
+
   private:
+    enum class Admission : std::uint8_t { kAccepted, kFull, kClosed };
+
+    static constexpr int kFastAttempts = 64;
+    // Bounded post-close EMPTY re-check (see file comment).
+    static constexpr int kClosedRecheckRounds = 16;
+    // Cap on any single sleep; the recovery bound after a lost notify.
+    static constexpr std::uint64_t kMaxSliceNs = 10'000'000;
+    static constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+
+    static std::uint64_t saturating_deadline(std::uint64_t timeout_ns) noexcept {
+        const std::uint64_t now = now_ns();
+        return timeout_ns > kNoDeadline - now ? kNoDeadline : now + timeout_ns;
+    }
+
+    // One admission attempt: closed check, watermark check, base insert,
+    // publish.  Does not count sheds — callers decide whether a kFull is
+    // final (try_enqueue) or retryable (wait_enqueue).
+    Admission admit(value_t x) {
+        if (closed_.load(std::memory_order_acquire)) return Admission::kClosed;
+        if (capacity_ != 0 && approx_size() >= capacity_) return Admission::kFull;
+        if constexpr (kBaseHasTryEnqueue) {
+            // The base may have been closed directly via base().close(),
+            // which our flag cannot see; the asserting base_.enqueue(x)
+            // would silently drop the item in release builds.  Bases with
+            // a try_enqueue report that instead.
+            if (!base_.try_enqueue(x)) return Admission::kClosed;
+        } else {
+            base_.enqueue(x);
+        }
+        if constexpr (!kBaseHasApproxSize) {
+            enq_count_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Epoch bump + conditional wake: only consumers that already
+        // registered as waiters cost this producer a futex syscall.  The
+        // injection point sits exactly in the publish-to-wake window.
+        items_ec_.bump();
+        LCRQ_INJECT_POINT(kBlockNotify);
+        items_ec_.wake_if_waiters();
+        return Admission::kAccepted;
+    }
+
+    void note_dequeued() {
+        if constexpr (!kBaseHasApproxSize) {
+            deq_count_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Bounded producers may be parked on the space eventcount.
+        if (capacity_ != 0) space_ec_.signal();
+    }
+
+    // Closed observed on the dequeue path: deliver any remaining item.  One
+    // EMPTY is not conclusive while pre-close enqueuers may still be
+    // publishing, so EMPTY is re-checked kClosedRecheckRounds times before
+    // reporting closed-and-drained.
+    WaitResult drain_after_close() {
+        SpinWait spinner;
+        for (int round = 0; round < kClosedRecheckRounds; ++round) {
+            if (auto v = try_dequeue()) return {WaitStatus::kOk, *v};
+            spinner.spin();
+        }
+        return {WaitStatus::kClosed, kBottom};
+    }
+
     Base base_;
-    alignas(kCacheLineSize) std::atomic<std::uint64_t> epoch_{0};
-    alignas(kCacheLineSize) std::atomic<std::uint64_t> waiters_{0};
+    const std::size_t capacity_;
+    detail::EventCount items_ec_;  // consumers sleep; enqueues signal
+    detail::EventCount space_ec_;  // bounded producers sleep; dequeues signal
+    // Watermark fallback when the base has no approx_size.
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> enq_count_{0};
+    alignas(kCacheLineSize) std::atomic<std::uint64_t> deq_count_{0};
     alignas(kCacheLineSize) std::atomic<bool> closed_{false};
 };
 

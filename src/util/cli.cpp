@@ -8,9 +8,17 @@ namespace lcrq {
 
 namespace {
 
+// Word spellings only: these make a flag a bare switch at declaration.
+// "0"/"1" must NOT — a numeric flag whose default happens to be 0 or 1
+// (e.g. --enqueue-wait-us 0, --producers 1) is still a value flag.
+bool is_bool_word(const std::string& s) {
+    return s == "true" || s == "false" || s == "yes" || s == "no" || s == "on" ||
+           s == "off";
+}
+
+// Accepted as an explicit boolean *value* (`--smoke 1`, `--csv=0`).
 bool is_bool_literal(const std::string& s) {
-    return s == "1" || s == "0" || s == "true" || s == "false" || s == "yes" ||
-           s == "no" || s == "on" || s == "off";
+    return s == "1" || s == "0" || is_bool_word(s);
 }
 
 }  // namespace
@@ -18,7 +26,7 @@ bool is_bool_literal(const std::string& s) {
 Cli& Cli::flag(const std::string& name, const std::string& def, const std::string& help) {
     // Flags declared with a boolean default act as switches: bare `--flag`
     // means true, `--flag=false` / `--flag false` still work.
-    flags_[name] = Flag{def, def, help, is_bool_literal(def)};
+    flags_[name] = Flag{def, def, help, is_bool_word(def)};
     order_.push_back(name);
     return *this;
 }

@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 #if defined(__x86_64__)
 #include <x86intrin.h>
@@ -35,6 +36,20 @@ double tsc_per_ns();
 
 inline double tsc_to_ns(std::uint64_t ticks) {
     return static_cast<double>(ticks) / tsc_per_ns();
+}
+
+// CPU time consumed by the calling thread, in nanoseconds (0 where no
+// per-thread clock exists).  Witness tests use the wall-vs-CPU gap to
+// prove a bounded wait actually sleeps instead of spinning.
+inline std::uint64_t thread_cpu_ns() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000u +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+    return 0;
+#endif
 }
 
 // Busy-wait for approximately `ns` nanoseconds without yielding — the

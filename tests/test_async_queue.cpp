@@ -1,0 +1,166 @@
+// AsyncQueue: co_await-able enqueue/dequeue over the blocking facade.
+//
+// Resumption threading: a parked coroutine frame resumes on whichever
+// thread performed the wake (an enqueue_sync, a dequeue, or close), so
+// everything a frame touches after a suspension point is atomics-only.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "queues/async_queue.hpp"
+#include "queues/lscq.hpp"
+#include "test_support.hpp"
+#include "util/timing.hpp"
+
+namespace lcrq {
+namespace {
+
+QueueOptions tiny() {
+    QueueOptions opt;
+    opt.ring_order = 2;
+    opt.starvation_limit = 4;
+    return opt;
+}
+
+Task<std::uint64_t> forty_two() { co_return 42u; }
+
+Task<std::uint64_t> add_one(Task<std::uint64_t> inner) {
+    const std::uint64_t v = co_await std::move(inner);
+    co_return v + 1;
+}
+
+TEST(AsyncTask, SyncWaitDrivesLazyTask) {
+    EXPECT_EQ(sync_wait(forty_two()), 42u);
+}
+
+TEST(AsyncTask, TasksComposeBySymmetricTransfer) {
+    EXPECT_EQ(sync_wait(add_one(add_one(forty_two()))), 44u);
+}
+
+TEST(AsyncQueue, DequeueCompletesWithoutParkingWhenItemReady) {
+    AsyncQueue<> q(tiny());
+    ASSERT_TRUE(q.enqueue_sync(7));
+    const auto v = sync_wait(q.dequeue());
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7u);
+}
+
+TEST(AsyncQueue, AwaitEnqueueThenAwaitDequeueRoundtrip) {
+    AsyncQueue<> q(tiny());
+    EXPECT_TRUE(sync_wait(q.enqueue(11)));
+    EXPECT_TRUE(sync_wait(q.enqueue(12)));
+    EXPECT_EQ(sync_wait(q.dequeue()).value_or(0), 11u);
+    EXPECT_EQ(sync_wait(q.dequeue()).value_or(0), 12u);
+}
+
+TEST(AsyncQueue, ParkedDequeueResumesOnCrossThreadEnqueue) {
+    AsyncQueue<> q(tiny());
+    std::optional<value_t> got;
+    std::thread consumer([&] { got = sync_wait(q.dequeue()); });
+    spin_for_ns(2'000'000);  // give the frame time to park
+    ASSERT_TRUE(q.enqueue_sync(99));
+    consumer.join();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 99u);
+}
+
+TEST(AsyncQueue, ParkedDequeueResumesOnCoroutineEnqueue) {
+    // The waker here is itself a coroutine: co_await enqueue() must pop the
+    // consumer waiter stack just like the thread-side bridge does.
+    AsyncQueue<> q(tiny());
+    std::optional<value_t> got;
+    std::thread consumer([&] { got = sync_wait(q.dequeue()); });
+    spin_for_ns(2'000'000);
+    EXPECT_TRUE(sync_wait(q.enqueue(31)));
+    consumer.join();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 31u);
+}
+
+TEST(AsyncQueue, CloseWakesParkedConsumerToNullopt) {
+    AsyncQueue<> q(tiny());
+    std::optional<value_t> got = 1;  // sentinel: must become nullopt
+    std::thread consumer([&] { got = sync_wait(q.dequeue()); });
+    spin_for_ns(2'000'000);
+    q.close();
+    consumer.join();
+    EXPECT_FALSE(got.has_value());
+}
+
+TEST(AsyncQueue, BoundedEnqueueParksUntilSpaceFrees) {
+    AsyncQueue<> q(tiny(), /*capacity=*/1);
+    ASSERT_TRUE(q.enqueue_sync(1));
+    std::atomic<int> result{-1};
+    std::thread producer([&] { result.store(sync_wait(q.enqueue(2)) ? 1 : 0); });
+    spin_for_ns(2'000'000);
+    EXPECT_EQ(result.load(), -1) << "enqueue must park while the queue is full";
+    EXPECT_EQ(q.try_dequeue_sync().value_or(0), 1u);
+    producer.join();
+    EXPECT_EQ(result.load(), 1);
+    EXPECT_EQ(q.try_dequeue_sync().value_or(0), 2u);
+}
+
+TEST(AsyncQueue, CloseFailsParkedBoundedProducer) {
+    AsyncQueue<> q(tiny(), /*capacity=*/1);
+    ASSERT_TRUE(q.enqueue_sync(1));
+    std::atomic<int> result{-1};
+    std::thread producer([&] { result.store(sync_wait(q.enqueue(2)) ? 1 : 0); });
+    spin_for_ns(2'000'000);
+    q.close();
+    producer.join();
+    EXPECT_EQ(result.load(), 0) << "close must fail the parked producer";
+}
+
+TEST(AsyncQueue, EnqueueReturnsFalseAfterClose) {
+    AsyncQueue<> q(tiny());
+    q.close();
+    EXPECT_FALSE(sync_wait(q.enqueue(5)));
+}
+
+TEST(AsyncQueue, DequeueDrainsPrecloseItemsThenNullopt) {
+    AsyncQueue<> q(tiny());
+    for (value_t v = 1; v <= 20; ++v) ASSERT_TRUE(q.enqueue_sync(v));
+    q.close();
+    for (value_t v = 1; v <= 20; ++v) {
+        EXPECT_EQ(sync_wait(q.dequeue()).value_or(0), v);
+    }
+    EXPECT_FALSE(sync_wait(q.dequeue()).has_value());
+}
+
+// Detached logical workers: many consumer coroutines multiplexed over the
+// wakers' threads, counting every delivered item exactly once.
+DetachedTask detached_consumer(AsyncQueue<LscqQueue>& q, std::atomic<std::uint64_t>& sum,
+                               std::atomic<int>& live) {
+    for (;;) {
+        const auto v = co_await q.dequeue();
+        if (!v.has_value()) break;
+        sum.fetch_add(*v, std::memory_order_relaxed);
+    }
+    live.fetch_sub(1, std::memory_order_release);
+}
+
+TEST(AsyncQueue, DetachedWorkersDrainEverythingAcrossThreads) {
+    AsyncQueue<LscqQueue> q(tiny());
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<int> live{4};
+    for (int i = 0; i < 4; ++i) detached_consumer(q, sum, live);
+
+    constexpr std::uint64_t kPerProducer = 2'000;
+    test::run_threads(2, [&](int id) {
+        for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+            const value_t v = static_cast<value_t>(id * kPerProducer + i + 1);
+            while (!q.enqueue_sync(v)) std::this_thread::yield();
+        }
+    });
+    q.close();
+    while (live.load(std::memory_order_acquire) != 0) std::this_thread::yield();
+
+    const std::uint64_t n = 2 * kPerProducer;
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "items lost or duplicated";
+}
+
+}  // namespace
+}  // namespace lcrq

@@ -132,6 +132,34 @@ TEST(Cli, EmptyListAndTrailingComma) {
     EXPECT_EQ(cli2.get_int_list("list"), (std::vector<std::int64_t>{5}));
 }
 
+// A numeric flag whose *default* happens to be "0" or "1" must stay a
+// value flag, not silently become a bare switch (that made
+// `--enqueue-wait-us 200` fail with "unexpected argument '200'").
+TEST(Cli, NumericZeroOneDefaultIsNotASwitch) {
+    Cli cli("prog", "test");
+    cli.flag("wait-us", "0", "numeric, default zero")
+        .flag("producers", "1", "numeric, default one");
+    Argv a({"prog", "--wait-us", "200", "--producers", "8"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_EQ(cli.get_int("wait-us"), 200);
+    EXPECT_EQ(cli.get_int("producers"), 8);
+}
+
+// Word-literal defaults remain switches, and still accept 0/1 as an
+// explicit following value.
+TEST(Cli, SwitchConsumesFollowingBoolLiteral) {
+    Cli cli = make_cli();
+    Argv a({"prog", "--verbose", "1"});
+    ASSERT_TRUE(cli.parse(a.argc(), a.argv()));
+    EXPECT_TRUE(cli.get_bool("verbose"));
+
+    Cli cli2 = make_cli();
+    Argv b({"prog", "--verbose", "--threads", "2"});
+    ASSERT_TRUE(cli2.parse(b.argc(), b.argv()));
+    EXPECT_TRUE(cli2.get_bool("verbose"));
+    EXPECT_EQ(cli2.get_int("threads"), 2);
+}
+
 TEST(Cli, LastValueWins) {
     Cli cli = make_cli();
     Argv a({"prog", "--threads=2", "--threads=9"});

@@ -1,0 +1,130 @@
+// The dispatch macro-benchmark harness: open-loop accounting invariants
+// (every scheduled request is accepted or shed, every accepted request
+// completes before the harness returns), latency bookkeeping, the SLO
+// aggregation, and the JSON row schema the comparator keys on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_framework/dispatch.hpp"
+#include "test_support.hpp"
+
+namespace lcrq::bench {
+namespace {
+
+DispatchConfig tiny_cfg() {
+    DispatchConfig cfg;
+    cfg.queue = "lscq";
+    cfg.producers = 1;
+    cfg.workers = 1;
+    cfg.offered_mops = 0.05;
+    cfg.duration_ms = 60;
+    cfg.service_ns = 0;
+    cfg.capacity = 256;
+    cfg.deadline_us = 5'000;
+    cfg.ring_order = 4;
+    return cfg;
+}
+
+TEST(Dispatch, AccountingBalancesExactly) {
+    const DispatchConfig cfg = tiny_cfg();
+    const DispatchResult r = run_dispatch(cfg);
+    ASSERT_TRUE(r.ok);
+    EXPECT_GT(r.offered, 0u) << "a 60 ms window at 50 kreq/s must schedule requests";
+    // Open loop: nothing silently skipped — every scheduled arrival was
+    // either admitted or shed, and the post-close drain completes every
+    // admitted request before run_dispatch returns.
+    EXPECT_EQ(r.offered, r.accepted + r.shed);
+    EXPECT_EQ(r.completed, r.accepted);
+    EXPECT_EQ(r.e2e.total(), r.completed) << "one latency sample per completion";
+    EXPECT_LE(r.deadline_missed, r.completed);
+    EXPECT_GT(r.wall_secs, 0.0);
+}
+
+TEST(Dispatch, ScheduleIsDeterministicPerSeed) {
+    DispatchConfig cfg = tiny_cfg();
+    const std::uint64_t offered_a = run_dispatch(cfg).offered;
+    const std::uint64_t offered_b = run_dispatch(cfg).offered;
+    EXPECT_EQ(offered_a, offered_b) << "same seed must offer the same schedule";
+    cfg.rng_seed += 1;
+    // A different seed draws different interarrival gaps; the count almost
+    // surely differs, but the rate must stay in the same regime.
+    const DispatchResult r = run_dispatch(cfg);
+    const double expected = cfg.offered_mops * 1e6 * cfg.duration_ms / 1e3;
+    EXPECT_GT(static_cast<double>(r.offered), expected * 0.5);
+    EXPECT_LT(static_cast<double>(r.offered), expected * 1.5);
+}
+
+TEST(Dispatch, UnknownQueueFailsCleanly) {
+    DispatchConfig cfg = tiny_cfg();
+    cfg.queue = "no-such-queue";
+    EXPECT_FALSE(run_dispatch(cfg).ok);
+}
+
+TEST(Dispatch, BoundedEnqueueWaitPathRuns) {
+    DispatchConfig cfg = tiny_cfg();
+    cfg.capacity = 4;              // constant backpressure
+    cfg.enqueue_wait_us = 100;     // producers ride wait_enqueue_for
+    const DispatchResult r = run_dispatch(cfg);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.offered, r.accepted + r.shed);
+    EXPECT_EQ(r.completed, r.accepted);
+}
+
+TEST(Dispatch, ResultJsonCarriesComparatorKeysAndSloFields) {
+    const DispatchConfig cfg = tiny_cfg();
+    const DispatchResult r = run_dispatch(cfg);
+    ASSERT_TRUE(r.ok);
+
+    const Json row = dispatch_result_json(cfg, r);
+    // KEY_FIELDS the comparator matches rows on, plus the gated metrics.
+    for (const char* key :
+         {"experiment", "queue", "producers", "workers", "offered_mops", "capacity",
+          "requests", "accepted", "shed", "shed_rate", "completed", "deadline_missed",
+          "deadline_miss_rate", "achieved_mops", "gen_lag_ns", "e2e", "latency_kind",
+          "counters"}) {
+        EXPECT_NE(row.find(key), nullptr) << "missing field: " << key;
+    }
+    EXPECT_EQ(row.at("experiment").as_string(), "dispatch");
+    EXPECT_EQ(row.at("latency_kind").as_string(), "e2e_intended_start");
+    EXPECT_NE(row.at("e2e").find("p99_ns"), nullptr);
+
+    const Json slo = dispatch_slo_json(cfg.queue, cfg.producers, cfg.capacity,
+                                       1'000'000, 0.01, 0.05);
+    EXPECT_EQ(slo.at("experiment").as_string(), "dispatch_slo");
+    EXPECT_NE(slo.find("max_sustainable_mops"), nullptr);
+    EXPECT_NE(slo.find("p99_target_us"), nullptr);
+}
+
+TEST(Dispatch, MaxSustainableIsHighestPassingLoad) {
+    std::vector<DispatchConfig> cfgs(3);
+    cfgs[0].offered_mops = 0.1;
+    cfgs[1].offered_mops = 0.2;
+    cfgs[2].offered_mops = 0.4;
+    std::vector<DispatchResult> results(3);
+    for (auto& r : results) {
+        r.ok = true;
+        r.offered = 100;
+        r.shed = 0;
+    }
+    results[0].e2e.record(100'000);   // p99 100 us: passes
+    results[1].e2e.record(400'000);   // p99 400 us: passes
+    results[2].e2e.record(5'000'000); // p99 5 ms: fails the 1 ms target
+    EXPECT_DOUBLE_EQ(max_sustainable_mops(cfgs, results, 1'000'000, 0.01), 0.2);
+
+    // Excess shed disqualifies a load even when its p99 is fine.
+    results[1].shed = 50;
+    EXPECT_DOUBLE_EQ(max_sustainable_mops(cfgs, results, 1'000'000, 0.01), 0.1);
+
+    // Nothing passes -> 0 (the "not sustainable at this SLO" signal).
+    results[0].e2e = LatencyHistogram();
+    results[0].e2e.record(2'000'000);
+    results[1].shed = 0;
+    results[1].e2e = LatencyHistogram();
+    results[1].e2e.record(2'000'000);
+    EXPECT_DOUBLE_EQ(max_sustainable_mops(cfgs, results, 1'000'000, 0.01), 0.0);
+}
+
+}  // namespace
+}  // namespace lcrq::bench

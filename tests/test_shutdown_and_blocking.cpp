@@ -3,10 +3,13 @@
 
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "queues/blocking_queue.hpp"
 #include "queues/lcrq.hpp"
+#include "registry/queue_registry.hpp"
 #include "test_support.hpp"
+#include "util/timing.hpp"
 
 namespace lcrq {
 namespace {
@@ -181,9 +184,9 @@ TEST(BlockingQueue, ProducerConsumerThroughputWithShutdown) {
 TEST(BlockingQueue, WaitForTimesOutWhenIdle) {
     BlockingQueue<> q;
     const auto t0 = now_ns();
-    const auto v = q.wait_dequeue_for(3'000'000);  // 3 ms
+    const WaitResult r = q.wait_dequeue_for(3'000'000);  // 3 ms
     const auto elapsed = now_ns() - t0;
-    EXPECT_FALSE(v.has_value());
+    EXPECT_TRUE(r.timed_out()) << "idle open queue: timeout, not closed";
     EXPECT_GE(elapsed, 2'000'000u) << "returned before the deadline";
 }
 
@@ -191,8 +194,9 @@ TEST(BlockingQueue, WaitForReturnsEarlyWithItem) {
     BlockingQueue<> q;
     q.enqueue(9);
     const auto t0 = now_ns();
-    const auto v = q.wait_dequeue_for(1'000'000'000);  // 1 s budget
-    EXPECT_EQ(v.value_or(0), 9u);
+    const WaitResult r = q.wait_dequeue_for(1'000'000'000);  // 1 s budget
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value, 9u);
     EXPECT_LT(now_ns() - t0, 500'000'000u) << "did not return promptly";
 }
 
@@ -202,17 +206,162 @@ TEST(BlockingQueue, WaitForSeesConcurrentProducer) {
         spin_for_ns(1'000'000);
         q.enqueue(77);
     });
-    const auto v = q.wait_dequeue_for(2'000'000'000);
-    EXPECT_EQ(v.value_or(0), 77u);
+    const WaitResult r = q.wait_dequeue_for(2'000'000'000);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value, 77u);
     producer.join();
 }
 
-TEST(BlockingQueue, WaitForAfterCloseDrainsThenNull) {
+TEST(BlockingQueue, WaitForAfterCloseDrainsThenClosed) {
     BlockingQueue<> q;
     q.enqueue(5);
     q.close();
-    EXPECT_EQ(q.wait_dequeue_for(1'000'000).value_or(0), 5u);
-    EXPECT_FALSE(q.wait_dequeue_for(1'000'000).has_value());
+    const WaitResult first = q.wait_dequeue_for(1'000'000);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.value, 5u);
+    // Regression: the old API returned nullopt for both "timed out" and
+    // "closed and drained"; the tri-state must say closed here.
+    const WaitResult second = q.wait_dequeue_for(1'000'000);
+    EXPECT_TRUE(second.closed());
+    EXPECT_FALSE(second.timed_out());
+}
+
+TEST(BlockingQueue, WaitForSleepsInsteadOfSpinning) {
+    // CPU-time witness for the busy-wait bugfix: the old wait_dequeue_for
+    // spin/yielded to the deadline, so a 200 ms idle wait burned ~200 ms
+    // of CPU.  The futex-backed wait must burn only a small fraction.
+    BlockingQueue<> q;
+    constexpr std::uint64_t kWaitNs = 200'000'000;  // 200 ms
+    const std::uint64_t cpu0 = thread_cpu_ns();
+    const std::uint64_t t0 = now_ns();
+    const WaitResult r = q.wait_dequeue_for(kWaitNs);
+    const std::uint64_t wall = now_ns() - t0;
+    const std::uint64_t cpu = thread_cpu_ns() - cpu0;
+    EXPECT_TRUE(r.timed_out());
+    ASSERT_GE(wall, kWaitNs - 1'000'000) << "deadline not honored";
+    // The old implementation burned ~100% of wall as CPU; the sliced futex
+    // wait costs the 64 optimistic attempts plus ~20 wakeups.  Even on a
+    // loaded CI host, a quarter of the wall budget is an order of
+    // magnitude above what sleeping costs and far below what spinning did.
+    EXPECT_LT(cpu, wall / 4) << "wait_dequeue_for burned CPU like a spin loop";
+}
+
+TEST(BlockingQueue, BoundedTryEnqueueShedsAtWatermark) {
+    BlockingQueue<> q(QueueOptions{}, /*capacity=*/8);
+    for (value_t v = 1; v <= 8; ++v) {
+        EXPECT_TRUE(q.try_enqueue(v)) << "under capacity";
+    }
+    EXPECT_FALSE(q.try_enqueue(9)) << "watermark reached: shed";
+    EXPECT_EQ(q.try_dequeue().value_or(0), 1u);
+    EXPECT_TRUE(q.try_enqueue(9)) << "space freed: accepted again";
+}
+
+TEST(BlockingQueue, WaitEnqueueBlocksUntilSpace) {
+    BlockingQueue<> q(QueueOptions{}, /*capacity=*/4);
+    for (value_t v = 1; v <= 4; ++v) ASSERT_TRUE(q.try_enqueue(v));
+    std::thread consumer([&] {
+        spin_for_ns(2'000'000);
+        EXPECT_EQ(q.try_dequeue().value_or(0), 1u);
+    });
+    const WaitStatus st = q.wait_enqueue_for(5, 2'000'000'000);
+    EXPECT_EQ(st, WaitStatus::kOk) << "blocked producer must land after the dequeue";
+    consumer.join();
+}
+
+TEST(BlockingQueue, WaitEnqueueTimesOutWhenFull) {
+    BlockingQueue<> q(QueueOptions{}, /*capacity=*/2);
+    ASSERT_TRUE(q.try_enqueue(1));
+    ASSERT_TRUE(q.try_enqueue(2));
+    const auto t0 = now_ns();
+    EXPECT_EQ(q.wait_enqueue_for(3, 3'000'000), WaitStatus::kTimeout);
+    EXPECT_GE(now_ns() - t0, 2'000'000u);
+    q.close();
+    EXPECT_EQ(q.wait_enqueue_for(4, 1'000'000), WaitStatus::kClosed);
+}
+
+TEST(BlockingQueue, WaitEnqueueWakesOnClose) {
+    BlockingQueue<> q(QueueOptions{}, /*capacity=*/1);
+    ASSERT_TRUE(q.try_enqueue(1));
+    std::thread closer([&] {
+        spin_for_ns(2'000'000);
+        q.close();
+    });
+    EXPECT_EQ(q.wait_enqueue(2), WaitStatus::kClosed);
+    closer.join();
+}
+
+TEST(BlockingQueue, DrainDeliversRemainderAndReportsComplete) {
+    BlockingQueue<> q;
+    for (value_t v = 1; v <= 50; ++v) ASSERT_TRUE(q.enqueue(v));
+    std::vector<value_t> got;
+    const DrainReport rep =
+        q.drain(1'000'000'000, [&](value_t v) { got.push_back(v); });
+    EXPECT_TRUE(q.closed()) << "drain closes an open queue";
+    EXPECT_TRUE(rep.complete);
+    EXPECT_EQ(rep.drained, 50u);
+    EXPECT_EQ(rep.stragglers, 0u);
+    ASSERT_EQ(got.size(), 50u);
+    for (value_t v = 1; v <= 50; ++v) EXPECT_EQ(got[v - 1], v);
+}
+
+TEST(BlockingQueue, DrainOnEmptyClosedQueueIsComplete) {
+    BlockingQueue<> q;
+    q.close();
+    const DrainReport rep = q.drain(100'000'000);
+    EXPECT_TRUE(rep.complete);
+    EXPECT_EQ(rep.drained, 0u);
+}
+
+TEST(BlockingQueue, DrainRacesConcurrentConsumersWithoutLoss) {
+    // drain() and wait_dequeue consumers split the remainder; nothing is
+    // lost and nothing is double-delivered.
+    BlockingQueue<> q;
+    constexpr std::uint64_t kItems = 10'000;
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+        ASSERT_TRUE(q.enqueue(test::tag(1, i)));
+    }
+    std::atomic<std::uint64_t> consumed{0};
+    std::atomic<std::uint64_t> drained{0};
+    test::run_threads(3, [&](int id) {
+        if (id == 0) {
+            const DrainReport rep = q.drain(2'000'000'000);
+            drained.fetch_add(rep.drained);
+        } else {
+            while (q.wait_dequeue().has_value()) consumed.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(consumed.load() + drained.load(), kItems);
+}
+
+TEST(BlockingQueue, ComposesOverRegistryBackend) {
+    // The production shape: facade over a runtime-selected backend.
+    // AnyQueue has no approx_size, so the watermark runs on the facade's
+    // own counters.
+    auto base = make_queue("lscq");
+    ASSERT_NE(base, nullptr);
+    BlockingQueue<UniquePtrBase<AnyQueue>> q(
+        UniquePtrBase<AnyQueue>(std::move(base)), /*capacity=*/4);
+    for (value_t v = 1; v <= 4; ++v) EXPECT_TRUE(q.try_enqueue(v));
+    EXPECT_EQ(q.approx_size(), 4u);
+    EXPECT_FALSE(q.try_enqueue(5)) << "facade-side watermark must shed";
+    EXPECT_EQ(q.try_dequeue().value_or(0), 1u);
+    EXPECT_TRUE(q.try_enqueue(5));
+    q.close();
+    for (value_t v = 2; v <= 5; ++v) {
+        EXPECT_EQ(q.wait_dequeue_for(100'000'000).value, v);
+    }
+    EXPECT_TRUE(q.wait_dequeue_for(1'000'000).closed());
+}
+
+TEST(BlockingQueue, ShedAndBlockCountersFire) {
+    stats::reset_all();
+    BlockingQueue<> q(QueueOptions{}, /*capacity=*/1);
+    ASSERT_TRUE(q.try_enqueue(1));
+    EXPECT_FALSE(q.try_enqueue(2));
+    EXPECT_EQ(q.wait_enqueue_for(3, 1'000'000), WaitStatus::kTimeout);
+    const stats::Snapshot s = stats::global_snapshot();
+    EXPECT_EQ(s[stats::Event::kShed], 2u) << "watermark refusal + bounded timeout";
+    EXPECT_EQ(s[stats::Event::kBlockedEnq], 1u) << "the bounded wait registered";
 }
 
 }  // namespace
