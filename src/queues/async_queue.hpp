@@ -19,12 +19,18 @@
 // bump (it aborts the park and resumes itself), or the push precedes the
 // pop in the head's modification order and the waker resumes it.
 //
-// Node ownership: nodes are heap-allocated, one per park.  Once pushed, a
-// node belongs to whoever CASes its state away from kParked — the waker
-// (kResumed: it resumes the frame and frees the node) or the awaiter
-// itself (kAborted: it resumes inline; the node is freed by a later
-// pop_all or the queue destructor).  The awaiter never touches the node
-// after the CAS loses, so a waker may resume + free concurrently.
+// Node ownership: nodes are heap-allocated, one per park, and reference
+// counted by the two parties that may touch them concurrently: the
+// awaiter (which must still run its kParked->kAborted CAS even when a
+// waker is racing it) and the stack side (whichever pop_all — a waker or
+// the destructor — takes the node out).  Each party drops its reference
+// exactly once; the second drop frees.  Who resumes the frame is decided
+// by the state CAS: the waker (kParked->kResumed) or the awaiter itself
+// (kParked->kAborted, resuming inline).  Because the winning waker may
+// resume the frame — and thereby destroy the awaiter, which lives in the
+// frame — before await_suspend returns, await_suspend copies everything
+// it needs into locals before the push and touches only those locals and
+// the refcounted node afterwards.
 //
 // Completion model: Task<T> is a lazy, move-only coroutine task with
 // symmetric-transfer continuation chaining; sync_wait() bridges to
@@ -180,17 +186,23 @@ class AsyncQueue {
         }
     }
 
-    // co_await q.enqueue(x) -> bool; false once closed (or the unbounded
-    // base refused).  Bounded mode parks until a dequeue frees space.
+    // co_await q.enqueue(x) -> bool; false only once closed.  A full
+    // refusal — the facade watermark or a bounded base ring — parks until
+    // a dequeue frees space.  Goes through the non-counting try_admit so
+    // one logical enqueue that retries after parking cannot record a shed
+    // per retry (the async path never sheds: it parks or fails closed).
     Task<bool> enqueue(value_t x) {
         for (;;) {
             const std::uint32_t epoch = bq_.space_epoch();
-            if (bq_.try_enqueue(x)) {
-                wake(consumer_waiters_);  // parked consumer frames, if any
-                co_return true;
+            switch (bq_.try_admit(x)) {
+                case Admission::kAccepted:
+                    wake(consumer_waiters_);  // parked consumer frames, if any
+                    co_return true;
+                case Admission::kClosed:
+                    co_return false;
+                case Admission::kFull:
+                    break;
             }
-            if (bq_.closed()) co_return false;
-            if (bq_.capacity() == 0) co_return false;  // base-side refusal
             co_await ParkAwaiter(*this, producer_waiters_, epoch, Side::kSpace);
         }
     }
@@ -223,7 +235,15 @@ class AsyncQueue {
     struct WaiterNode {
         std::coroutine_handle<> handle{};
         std::atomic<int> state{kParked};
+        // Two owners: the awaiter that pushed the node and the stack side
+        // (waker pop_all or destructor).  Both must finish their state CAS
+        // before the memory can go away — see the file comment.
+        std::atomic<int> refs{2};
         WaiterNode* next = nullptr;
+
+        void release() noexcept {
+            if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+        }
     };
 
     struct WaiterStack {
@@ -250,6 +270,13 @@ class AsyncQueue {
         bool await_ready() const noexcept { return changed(); }
 
         bool await_suspend(std::coroutine_handle<> h) {
+            // Copy everything the post-push code needs into locals first:
+            // the moment the node is reachable, a waker may win the state
+            // CAS and resume (then destroy) the frame — and this awaiter
+            // lives in the frame, so `this` is off-limits after the push.
+            BlockingQueue<Base>& bq = q_.bq_;
+            const Side side = side_;
+            const std::uint32_t observed = observed_;
             auto* node = new WaiterNode;
             node->handle = h;
             stack_.push(node);
@@ -257,26 +284,31 @@ class AsyncQueue {
             // it, either we observe the bump (abort the park) or our push
             // is visible to the waker's pop_all.
             std::atomic_thread_fence(std::memory_order_seq_cst);
-            if (changed()) {
+            if (epoch_changed(bq, side, observed)) {
                 int expected = kParked;
                 if (node->state.compare_exchange_strong(expected, kAborted,
                                                         std::memory_order_acq_rel)) {
-                    return false;  // resume inline; node freed by a future pop
+                    node->release();
+                    return false;  // resume inline; a future pop drops the
+                                   // stack's reference
                 }
                 // A waker already claimed the node and will resume us.
             }
+            node->release();
             return true;
         }
 
         void await_resume() const noexcept {}
 
       private:
-        bool changed() const noexcept {
-            if (q_.bq_.closed()) return true;
-            const std::uint32_t now = side_ == Side::kItems ? q_.bq_.items_epoch()
-                                                            : q_.bq_.space_epoch();
-            return now != observed_;
+        static bool epoch_changed(BlockingQueue<Base>& bq, Side side,
+                                  std::uint32_t observed) noexcept {
+            if (bq.closed()) return true;
+            const std::uint32_t now =
+                side == Side::kItems ? bq.items_epoch() : bq.space_epoch();
+            return now != observed;
         }
+        bool changed() const noexcept { return epoch_changed(q_.bq_, side_, observed_); }
 
         AsyncQueue& q_;
         WaiterStack& stack_;
@@ -284,8 +316,10 @@ class AsyncQueue {
         Side side_;
     };
 
-    // Resume every parked frame on `stack`.  Aborted nodes (their frame
-    // already resumed itself) are just freed here.
+    // Resume every parked frame on `stack`.  Each pop drops the stack's
+    // reference; the node is freed once the awaiter has dropped its own
+    // (aborted nodes — their frame already resumed itself — only get the
+    // reference drop here).
     void wake(WaiterStack& stack) {
         std::atomic_thread_fence(std::memory_order_seq_cst);
         WaiterNode* n = stack.pop_all();
@@ -295,10 +329,10 @@ class AsyncQueue {
             if (n->state.compare_exchange_strong(expected, kResumed,
                                                  std::memory_order_acq_rel)) {
                 auto h = n->handle;
-                delete n;
+                n->release();
                 h.resume();
             } else {
-                delete n;
+                n->release();
             }
             n = next;
         }
@@ -308,7 +342,7 @@ class AsyncQueue {
         WaiterNode* n = stack.pop_all();
         while (n != nullptr) {
             WaiterNode* next = n->next;
-            delete n;
+            n->release();
             n = next;
         }
     }

@@ -12,9 +12,12 @@
 // that dequeues bump.
 //
 // Semantics:
-//   try_enqueue(x)      — nonblocking admission: false when closed or (a
-//                         bounded facade) at the capacity watermark.  A
-//                         watermark refusal counts as a shed.
+//   try_enqueue(x)      — nonblocking admission: false when closed, at the
+//                         capacity watermark, or when a bounded base ring
+//                         is full.  A full refusal counts as a shed.
+//   try_admit(x)        — the same attempt as an Admission tri-state and
+//                         without the shed accounting, for layers that run
+//                         their own retry loop (the coroutine facade).
 //   enqueue(x)          — alias for try_enqueue (historical name).
 //   wait_enqueue[_for]  — bounded-mode producers sleep until space, close,
 //                         or the deadline; returns WaitStatus.
@@ -85,6 +88,13 @@ enum class WaitStatus : std::uint8_t {
                //   can succeed
     kClosed,   // queue closed (and, for dequeue, drained) — retrying cannot
 };
+
+// Outcome of one admission attempt.  kFull is *retryable* — the facade
+// watermark or the base's bounded ring refused, and a dequeue can free
+// space — while kClosed is final.  Layers that run their own retry/park
+// loop (wait_enqueue, the coroutine facade) branch on this tri-state;
+// try_enqueue collapses it to bool and counts the kFull as a shed.
+enum class Admission : std::uint8_t { kAccepted, kFull, kClosed };
 
 // Tri-state result of wait_dequeue_for: kOk carries the item; kTimeout and
 // kClosed are distinguishable so callers know whether to retry.
@@ -218,6 +228,17 @@ class BlockingQueue {
         requires(Base& b, value_t v) { { b.try_enqueue(v) } -> std::same_as<bool>; };
     static constexpr bool kBaseHasApproxSize =
         requires(Base& b) { { b.approx_size() } -> std::convertible_to<std::uint64_t>; };
+    // A closed() probe disambiguates a base-side try_enqueue refusal: full
+    // (retryable) vs closed (final).  Bases without one never close
+    // themselves (the bounded ring wrappers), so a refusal means full.
+    static constexpr bool kBaseHasClosedProbe =
+        requires(const Base& b) { { b.closed() } -> std::convertible_to<bool>; };
+    // A bounded base can refuse with kFull even when the facade itself is
+    // unbounded (capacity_ == 0); dequeues must then signal the space
+    // eventcount or wait_enqueue producers would only make slice-timeout
+    // progress.
+    static constexpr bool kBaseIsBounded =
+        requires(const Base& b) { { b.capacity() } -> std::convertible_to<std::uint64_t>; };
 
   public:
     // capacity == 0 means unbounded (no watermark, no shedding).
@@ -234,15 +255,22 @@ class BlockingQueue {
     // --- producer side -----------------------------------------------------
 
     // Nonblocking admission.  False when the facade is closed, when the
-    // base refused (it was closed directly via base().close(), which our
-    // flag cannot see), or when a bounded facade is at its watermark (that
-    // refusal counts as a shed).
+    // base refused (full ring or closed directly via base().close()), or
+    // when a bounded facade is at its watermark.  A full refusal counts as
+    // a shed; a closed refusal does not.
     bool try_enqueue(value_t x) {
         const Admission a = admit(x);
         if (a == Admission::kFull) stats::count(stats::Event::kShed);
         return a == Admission::kAccepted;
     }
     bool enqueue(value_t x) { return try_enqueue(x); }
+
+    // Non-counting admission for layers that run their own retry/park loop
+    // (the coroutine facade): same attempt as try_enqueue, but a kFull is
+    // reported to the caller instead of being counted as a shed — one
+    // logical enqueue that parks and retries must record at most one final
+    // outcome, not one shed per retry.
+    Admission try_admit(value_t x) { return admit(x); }
 
     WaitStatus wait_enqueue(value_t x) { return wait_enqueue_until(x, kNoDeadline); }
     WaitStatus wait_enqueue_for(value_t x, std::uint64_t timeout_ns) {
@@ -383,14 +411,15 @@ class BlockingQueue {
                 ++rep.drained;
                 empty_rounds = 0;
                 spinner.reset();
-                continue;
-            }
-            if (++empty_rounds >= kClosedRecheckRounds) {
+            } else if (++empty_rounds >= kClosedRecheckRounds) {
                 rep.complete = true;
                 break;
+            } else {
+                spinner.spin();
             }
+            // Checked on the success path too: a large backlog fed to a
+            // slow sink must stop at the deadline, not after the backlog.
             if (now_ns() >= deadline_ns) break;
-            spinner.spin();
         }
         if (!rep.complete) rep.stragglers = approx_size();
         return rep;
@@ -423,8 +452,6 @@ class BlockingQueue {
     std::uint32_t space_epoch() const noexcept { return space_ec_.prepare(); }
 
   private:
-    enum class Admission : std::uint8_t { kAccepted, kFull, kClosed };
-
     static constexpr int kFastAttempts = 64;
     // Bounded post-close EMPTY re-check (see file comment).
     static constexpr int kClosedRecheckRounds = 16;
@@ -444,11 +471,19 @@ class BlockingQueue {
         if (closed_.load(std::memory_order_acquire)) return Admission::kClosed;
         if (capacity_ != 0 && approx_size() >= capacity_) return Admission::kFull;
         if constexpr (kBaseHasTryEnqueue) {
-            // The base may have been closed directly via base().close(),
-            // which our flag cannot see; the asserting base_.enqueue(x)
-            // would silently drop the item in release builds.  Bases with
-            // a try_enqueue report that instead.
-            if (!base_.try_enqueue(x)) return Admission::kClosed;
+            // A base-side refusal is either a full bounded ring (retryable:
+            // a dequeue frees a slot) or a base closed directly via
+            // base().close(), which our flag cannot see (final; the
+            // asserting base_.enqueue(x) would silently drop the item in
+            // release builds).  The closed() probe tells them apart; bases
+            // without one never close themselves, so their refusal is full.
+            if (!base_.try_enqueue(x)) {
+                if constexpr (kBaseHasClosedProbe) {
+                    return base_.closed() ? Admission::kClosed : Admission::kFull;
+                } else {
+                    return Admission::kFull;
+                }
+            }
         } else {
             base_.enqueue(x);
         }
@@ -468,8 +503,10 @@ class BlockingQueue {
         if constexpr (!kBaseHasApproxSize) {
             deq_count_.fetch_add(1, std::memory_order_relaxed);
         }
-        // Bounded producers may be parked on the space eventcount.
-        if (capacity_ != 0) space_ec_.signal();
+        // Producers may be parked on the space eventcount: always when the
+        // facade is bounded, and even with capacity_ == 0 when the *base*
+        // ring is bounded (admit() reports its full as retryable kFull).
+        if (kBaseIsBounded || capacity_ != 0) space_ec_.signal();
     }
 
     // Closed observed on the dequeue path: deliver any remaining item.  One

@@ -619,6 +619,11 @@ class BasicScqQueue {
         return q_.dequeue_bulk(out, max);
     }
 
+    // The wrapper never closes the ring itself, but base().close() can;
+    // the blocking facade probes this to tell a full refusal from a
+    // closed one.
+    bool closed() const noexcept { return q_.closed(); }
+
     std::uint64_t capacity() const noexcept { return q_.capacity(); }
     std::uint64_t approx_size() const noexcept { return q_.approx_size(); }
     Scq<Faa>& base() noexcept { return q_; }

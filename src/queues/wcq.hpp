@@ -1105,6 +1105,10 @@ class BasicWcqQueue {
 
     std::optional<value_t> dequeue() { return q_.dequeue(); }
 
+    // Never closed by the wrapper itself; probed by the blocking facade
+    // to tell a full refusal from a base().close() (cf. BasicScqQueue).
+    bool closed() const noexcept { return q_.closed(); }
+
     std::uint64_t capacity() const noexcept { return q_.capacity(); }
     std::uint64_t approx_size() const noexcept { return q_.approx_size(); }
     Wcq<Faa>& base() noexcept { return q_; }

@@ -114,6 +114,25 @@ TEST(AsyncQueue, CloseFailsParkedBoundedProducer) {
     EXPECT_EQ(result.load(), 0) << "close must fail the parked producer";
 }
 
+TEST(AsyncQueue, ParkingEnqueueDoesNotInflateShedCounter) {
+    // Regression: the bounded enqueue retry loop used to call try_enqueue,
+    // which counts a shed on every watermark refusal — one logical co_await
+    // that parked and then succeeded recorded many sheds.  The async path
+    // never sheds: it parks on full and fails only on close.
+    stats::reset_all();
+    AsyncQueue<> q(tiny(), /*capacity=*/1);
+    ASSERT_TRUE(sync_wait(q.enqueue(1)));
+    std::atomic<int> result{-1};
+    std::thread producer([&] { result.store(sync_wait(q.enqueue(2)) ? 1 : 0); });
+    spin_for_ns(2'000'000);  // let the producer hit full and park
+    EXPECT_EQ(q.try_dequeue_sync().value_or(0), 1u);
+    producer.join();
+    EXPECT_EQ(result.load(), 1);
+    const stats::Snapshot s = stats::global_snapshot();
+    EXPECT_EQ(s[stats::Event::kShed], 0u)
+        << "a parked-then-admitted co_await enqueue must not record sheds";
+}
+
 TEST(AsyncQueue, EnqueueReturnsFalseAfterClose) {
     AsyncQueue<> q(tiny());
     q.close();
@@ -159,6 +178,45 @@ TEST(AsyncQueue, DetachedWorkersDrainEverythingAcrossThreads) {
     while (live.load(std::memory_order_acquire) != 0) std::this_thread::yield();
 
     const std::uint64_t n = 2 * kPerProducer;
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "items lost or duplicated";
+}
+
+DetachedTask detached_producer(AsyncQueue<LscqQueue>& q, std::uint64_t first,
+                               std::uint64_t n, std::atomic<int>& live) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!co_await q.enqueue(first + i)) break;
+    }
+    live.fetch_sub(1, std::memory_order_release);
+}
+
+TEST(AsyncQueue, ParkAbortWakeChurnStress) {
+    // Hammers the park-abort-vs-wake CAS race (regression for the waiter
+    // node use-after-free: the losing awaiter still runs its state CAS, so
+    // the node must stay alive until both parties are done).  Capacity 1
+    // keeps the producer frames parking on nearly every item while two
+    // dequeuing threads race the awaiters for the nodes.
+    AsyncQueue<LscqQueue> q(tiny(), /*capacity=*/1);
+    constexpr std::uint64_t kPer = 3'000;
+    std::atomic<int> live{3};
+    for (int i = 0; i < 3; ++i) detached_producer(q, i * kPer + 1, kPer, live);
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<bool> stop{false};
+    std::thread helper([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            if (auto v = q.try_dequeue_sync()) {
+                sum.fetch_add(*v, std::memory_order_relaxed);
+            }
+        }
+    });
+    while (live.load(std::memory_order_acquire) != 0) {
+        if (auto v = q.try_dequeue_sync()) {
+            sum.fetch_add(*v, std::memory_order_relaxed);
+        }
+    }
+    stop.store(true, std::memory_order_release);
+    helper.join();
+    while (auto v = q.try_dequeue_sync()) sum.fetch_add(*v, std::memory_order_relaxed);
+    const std::uint64_t n = 3 * kPer;
     EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "items lost or duplicated";
 }
 

@@ -7,6 +7,7 @@
 
 #include "queues/blocking_queue.hpp"
 #include "queues/lcrq.hpp"
+#include "queues/scq.hpp"
 #include "registry/queue_registry.hpp"
 #include "test_support.hpp"
 #include "util/timing.hpp"
@@ -351,6 +352,58 @@ TEST(BlockingQueue, ComposesOverRegistryBackend) {
         EXPECT_EQ(q.wait_dequeue_for(100'000'000).value, v);
     }
     EXPECT_TRUE(q.wait_dequeue_for(1'000'000).closed());
+}
+
+TEST(BlockingQueue, BoundedBaseFullIsRetryableNotClosed) {
+    // Regression: a full bounded base ring used to map to
+    // Admission::kClosed, so wait_enqueue_for reported kClosed ("retrying
+    // cannot succeed") for a transiently full *open* queue and producers
+    // gave up instead of blocking for space.
+    QueueOptions opt;
+    opt.bounded_order = 2;  // ring capacity 4
+    BlockingQueue<ScqQueue> q(opt);
+    while (q.try_enqueue(7)) {
+    }
+    EXPECT_FALSE(q.closed());
+    EXPECT_EQ(q.wait_enqueue_for(8, 1'000'000), WaitStatus::kTimeout)
+        << "full open queue must time out, not report closed";
+    // A dequeue frees a slot and must signal the space eventcount even
+    // though the facade itself is unbounded (capacity() == 0).
+    std::thread consumer([&] {
+        spin_for_ns(2'000'000);
+        EXPECT_TRUE(q.try_dequeue().has_value());
+    });
+    EXPECT_EQ(q.wait_enqueue(9), WaitStatus::kOk);
+    consumer.join();
+}
+
+TEST(BlockingQueue, BoundedBaseClosedDirectlyReportsClosed) {
+    // The closed() probe keeps the final refusal final: closing the inner
+    // ring via base().base().close() must not read as retryable full.
+    QueueOptions opt;
+    opt.bounded_order = 2;
+    BlockingQueue<ScqQueue> q(opt);
+    ASSERT_TRUE(q.try_enqueue(1));
+    q.base().base().close();
+    EXPECT_EQ(q.wait_enqueue_for(2, 1'000'000), WaitStatus::kClosed);
+    EXPECT_FALSE(q.try_enqueue(3));
+    EXPECT_EQ(q.try_dequeue().value_or(0), 1u) << "pre-close item still drains";
+}
+
+TEST(BlockingQueue, DrainDeadlineHoldsAgainstSlowSink) {
+    // Regression: drain() only consulted the clock after an EMPTY round, so
+    // a backlog fed to a slow sink overran the deadline by the whole
+    // backlog (50 items x 2 ms here = 100 ms against a 10 ms deadline).
+    BlockingQueue<> q;
+    for (value_t v = 1; v <= 50; ++v) ASSERT_TRUE(q.enqueue(v));
+    const std::uint64_t start = now_ns();
+    const DrainReport rep =
+        q.drain(10'000'000, [](value_t) { spin_for_ns(2'000'000); });
+    const std::uint64_t elapsed = now_ns() - start;
+    EXPECT_FALSE(rep.complete);
+    EXPECT_LT(rep.drained, 50u);
+    EXPECT_GT(rep.stragglers, 0u);
+    EXPECT_LT(elapsed, 60'000'000u) << "deadline overrun: " << elapsed << " ns";
 }
 
 TEST(BlockingQueue, ShedAndBlockCountersFire) {
