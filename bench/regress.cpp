@@ -41,6 +41,12 @@
 //                          Each non-baseline queue also gets a
 //                          "stall_p99_ratio" comparator entry against
 //                          the first queue in --stall-queues.
+//   BENCH_ring_autotune.json — fig9 ring-order sweep per queue joining
+//                          throughput with segment_reuse_rate and the
+//                          dTLB/LLC per-op miss rates, plus a
+//                          "ring_autotune_pick" row recommending the
+//                          smallest order within tolerance of the best
+//                          (validated by scripts/ring_autotune.py).
 //
 // scripts/bench_compare.py diffs two generations of these files using
 // each metric's recorded cv and exits nonzero on a regression, so every
@@ -167,6 +173,14 @@ int main(int argc, char** argv) {
     cli.flag("dispatch-deadline-us", "2000", "dispatch per-request deadline");
     cli.flag("dispatch-p99-target-us", "1000",
              "dispatch SLO: e2e p99 must stay under this");
+    cli.flag("autotune-queues", "lcrq,lscq",
+             "queues for the ring-size autotune sweep (empty = skip phase)");
+    cli.flag("autotune-orders", "6,8,10,12",
+             "ring orders (log2) swept by the autotune phase");
+    cli.flag("autotune-threads", "4", "thread count for the autotune sweep");
+    cli.flag("autotune-tolerance-pct", "5",
+             "autotune pick rule: smallest order within this percentage of "
+             "the best mean throughput");
     cli.flag("ring-order", "12", "log2 of the CRQ/SCQ ring size");
     cli.flag("placement", "unpinned", "single-cluster | round-robin | unpinned");
     cli.flag("delay-ns", "100", "max random inter-operation delay in ns");
@@ -209,6 +223,10 @@ int main(int argc, char** argv) {
     dispatch_base.deadline_us =
         static_cast<std::uint64_t>(cli.get_int("dispatch-deadline-us"));
     double dispatch_p99_target_us = cli.get_double("dispatch-p99-target-us");
+    std::vector<std::string> autotune_queues = split_names(cli.get("autotune-queues"));
+    std::vector<std::int64_t> autotune_orders = cli.get_int_list("autotune-orders");
+    int autotune_threads = static_cast<int>(cli.get_int("autotune-threads"));
+    const double autotune_tol_pct = cli.get_double("autotune-tolerance-pct");
 
     if (cli.get_bool("smoke")) {
         thread_list = {1, 2};
@@ -223,6 +241,8 @@ int main(int argc, char** argv) {
         hier_threads = {2};
         dispatch_loads_kops = {50, 200};
         dispatch_base.duration_ms = 150;
+        autotune_orders = {4, 6, 8};
+        autotune_threads = 2;
     } else if (cli.get_bool("paper")) {
         thread_list = {1, 2, 4, 8, 12, 16, 20};
         batch_list = {1, 4, 16, 64};
@@ -244,6 +264,10 @@ int main(int argc, char** argv) {
         dispatch_base.producers = 4;
         dispatch_base.workers = 4;
         dispatch_base.duration_ms = 2'000;
+        // Include the paper's R = 2^17 so the autotuner can answer "was
+        // the paper's ring size right for this host?"
+        autotune_orders = {8, 10, 12, 14, 17};
+        autotune_threads = 8;
     }
 
     RunConfig base;
@@ -689,6 +713,89 @@ int main(int argc, char** argv) {
                         name.c_str(), sustainable, dispatch_p99_target_us);
         }
         if (!report.write(out_path("BENCH_dispatch.json"))) return 1;
+    }
+
+    // --- phase 8: ring-size autotune sweep -----------------------------------
+    //
+    // Sweeps the fig9 ring-order grid per queue and joins throughput with
+    // the substrate's health columns: segment_reuse_rate (is the pool
+    // absorbing ring closes?) and the dTLB/LLC per-op miss rates (is the
+    // ring's footprint thrashing translation?).  The prefill holds a
+    // standing population of ~3 rings so every order exercises close +
+    // append + pool reuse, not just the fast path.  Each queue also gets
+    // a "ring_autotune_pick" row with the recommended order: the
+    // *smallest* order whose mean throughput is within
+    // --autotune-tolerance-pct of the best — bigger rings cost dTLB
+    // reach and pool memory, so ties go to small.
+    // scripts/ring_autotune.py re-derives the pick from the sweep rows
+    // and fails if the two disagree; scripts/bench_compare.py gates the
+    // recommended order and the miss rates across generations.
+    if (!autotune_queues.empty() && !autotune_orders.empty()) {
+        RunConfig at_cfg = base;
+        at_cfg.threads = autotune_threads;
+        at_cfg.measure_hw = true;
+        JsonReport report("regress/ring_autotune");
+        report.set_config(at_cfg);
+        report.set_extra("queues", string_list_json(autotune_queues));
+        report.set_extra("order_list", int_list_json(autotune_orders));
+        report.set_extra("tolerance_pct", Json(autotune_tol_pct));
+        for (const auto& name : autotune_queues) {
+            struct SweepPoint {
+                std::int64_t order;
+                double mean;
+            };
+            std::vector<SweepPoint> sweep;
+            for (std::int64_t order : autotune_orders) {
+                QueueOptions at_opt = qopt;
+                at_opt.ring_order = static_cast<unsigned>(order);
+                RunConfig cfg = at_cfg;
+                cfg.prefill = std::uint64_t{3} << order;
+                const RunResult r = run_pairs(name, at_opt, cfg);
+                if (r.throughput.count() == 0) {
+                    std::fprintf(stderr, "ring_autotune: no completed run for %s\n",
+                                 name.c_str());
+                    return 1;
+                }
+                report.add_result(result_json(name, cfg, r)
+                                      .set("experiment", "ring_autotune")
+                                      .set("ring_order", order));
+                std::printf("autotune   %-10s R=2^%-2lld  %s\n", name.c_str(),
+                            static_cast<long long>(order),
+                            throughput_cell(r).c_str());
+                sweep.push_back({order, r.throughput.mean()});
+            }
+            double best_mean = 0;
+            std::int64_t best_order = sweep.front().order;
+            for (const auto& p : sweep) {
+                if (p.mean > best_mean) {
+                    best_mean = p.mean;
+                    best_order = p.order;
+                }
+            }
+            // Orders were swept ascending: the first within-tolerance
+            // point is the smallest.
+            std::int64_t pick = best_order;
+            for (const auto& p : sweep) {
+                if (p.mean >= best_mean * (1.0 - autotune_tol_pct / 100.0)) {
+                    pick = p.order;
+                    break;
+                }
+            }
+            report.add_result(Json::object()
+                                  .set("experiment", "ring_autotune_pick")
+                                  .set("queue", name)
+                                  .set("threads", static_cast<std::int64_t>(
+                                                      autotune_threads))
+                                  .set("recommended_ring_order", pick)
+                                  .set("best_ring_order", best_order)
+                                  .set("best_mean_ops_per_sec", best_mean)
+                                  .set("tolerance_pct", autotune_tol_pct));
+            std::printf("autotune   %-10s recommend R=2^%lld (best 2^%lld, "
+                        "tol %.0f%%)\n",
+                        name.c_str(), static_cast<long long>(pick),
+                        static_cast<long long>(best_order), autotune_tol_pct);
+        }
+        if (!report.write(out_path("BENCH_ring_autotune.json"))) return 1;
     }
 
     return 0;

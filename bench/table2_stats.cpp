@@ -23,15 +23,33 @@ using namespace lcrq::bench;
 
 namespace {
 
+// Hardware-event cell: the per-op rate when the event counted, else
+// "n/a (<why>)" so the hole names its cause (perf_event_paranoid,
+// seccomp, ...) instead of leaving the reader to guess which events the
+// kernel refused.
+std::string hw_cell(const HwCounts& hw, double ops, HwEvent e, int precision = 2) {
+    const auto v = hw.get(e);
+    if (v.has_value() && ops > 0) {
+        return format_double(static_cast<double>(*v) / ops, precision);
+    }
+    const auto& why = hw.reason[static_cast<std::size_t>(e)];
+    if (why.empty()) return "n/a";
+    // The errno text is the informative part; drop the syscall prefix.
+    static constexpr const char kPrefix[] = "perf_event_open: ";
+    static constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+    return "n/a (" + (why.rfind(kPrefix, 0) == 0 ? why.substr(kPrefixLen) : why) + ")";
+}
+
 struct Row {
     std::string queue;
     double ns_per_op;
     double atomics_per_op;
     double cas_fail_per_op;
     double faa_per_op;
-    std::optional<double> instr_per_op;
-    std::optional<double> l1_per_op;
-    std::optional<double> llc_per_op;
+    std::string instr_cell;
+    std::string l1_cell;
+    std::string llc_cell;
+    std::string dtlb_cell;
 };
 
 Row measure(const std::string& name, const QueueOptions& qopt, RunConfig cfg,
@@ -50,22 +68,14 @@ Row measure(const std::string& name, const QueueOptions& qopt, RunConfig cfg,
                                                   r.events[stats::Event::kCas2Failure]) /
                               ops;
         row.faa_per_op = static_cast<double>(r.events[stats::Event::kFaa]) / ops;
-        auto per_op = [&](HwEvent e) -> std::optional<double> {
-            const auto v = r.hw.get(e);
-            if (!v.has_value()) return std::nullopt;
-            return static_cast<double>(*v) / ops;
-        };
-        row.instr_per_op = per_op(HwEvent::kInstructions);
-        row.l1_per_op = per_op(HwEvent::kL1DMisses);
-        row.llc_per_op = per_op(HwEvent::kLLCMisses);
     } else {
         row.atomics_per_op = row.cas_fail_per_op = row.faa_per_op = 0;
     }
+    row.instr_cell = hw_cell(r.hw, ops, HwEvent::kInstructions, 0);
+    row.l1_cell = hw_cell(r.hw, ops, HwEvent::kL1DMisses);
+    row.llc_cell = hw_cell(r.hw, ops, HwEvent::kLLCMisses);
+    row.dtlb_cell = hw_cell(r.hw, ops, HwEvent::kDTLBMisses);
     return row;
-}
-
-std::string opt_cell(const std::optional<double>& v, int precision = 2) {
-    return v.has_value() ? format_double(*v, precision) : std::string("n/a");
 }
 
 void print_block(const char* title, const std::vector<std::string>& queues,
@@ -81,7 +91,7 @@ void print_block(const char* title, const std::vector<std::string>& queues,
 
     Table table({"queue", "latency us/op", "rel latency", "atomic ops/op",
                  "CAS fails/op", "F&A/op", "instr/op", "L1d miss/op",
-                 "LLC miss/op"});
+                 "LLC miss/op", "dTLB miss/op"});
     for (auto& r : rows) {
         table.row()
             .cell(r.queue)
@@ -90,9 +100,10 @@ void print_block(const char* title, const std::vector<std::string>& queues,
             .cell(r.atomics_per_op, 2)
             .cell(r.cas_fail_per_op, 2)
             .cell(r.faa_per_op, 2)
-            .cell(opt_cell(r.instr_per_op, 0))
-            .cell(opt_cell(r.l1_per_op))
-            .cell(opt_cell(r.llc_per_op));
+            .cell(r.instr_cell)
+            .cell(r.l1_cell)
+            .cell(r.llc_cell)
+            .cell(r.dtlb_cell);
     }
     if (csv) {
         table.print_csv();

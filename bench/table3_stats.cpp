@@ -21,8 +21,18 @@ using namespace lcrq::bench;
 
 namespace {
 
-std::string opt_cell(const std::optional<double>& v, int precision = 2) {
-    return v.has_value() ? format_double(*v, precision) : std::string("n/a");
+// Hardware-event cell: the per-op rate when the event counted, else
+// "n/a (<why>)" carrying the kernel's per-event denial reason.
+std::string hw_cell(const HwCounts& hw, double ops, HwEvent e, int precision = 2) {
+    const auto v = hw.get(e);
+    if (v.has_value() && ops > 0) {
+        return format_double(static_cast<double>(*v) / ops, precision);
+    }
+    const auto& why = hw.reason[static_cast<std::size_t>(e)];
+    if (why.empty()) return "n/a";
+    static constexpr const char kPrefix[] = "perf_event_open: ";
+    static constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+    return "n/a (" + (why.rfind(kPrefix, 0) == 0 ? why.substr(kPrefixLen) : why) + ")";
 }
 
 void print_block(const char* title, const char* mode,
@@ -33,7 +43,7 @@ void print_block(const char* title, const char* mode,
 
     Table table({"queue", "latency us/op", "rel latency", "atomic ops/op",
                  "CAS fails/op", "F&A/op", "cluster handoffs", "instr/op",
-                 "L1d miss/op", "LLC miss/op"});
+                 "L1d miss/op", "LLC miss/op", "dTLB miss/op"});
     double base = 0;
     for (const auto& name : queues) {
         stats::reset_all();
@@ -42,11 +52,6 @@ void print_block(const char* title, const char* mode,
         const double ops = static_cast<double>(r.events.operations());
         const double ns = r.ns_per_op(cfg.threads);
         if (base <= 0) base = ns > 0 ? ns : 1;
-        auto per_op = [&](HwEvent e) -> std::optional<double> {
-            const auto v = r.hw.get(e);
-            if (!v.has_value() || ops <= 0) return std::nullopt;
-            return static_cast<double>(*v) / ops;
-        };
         table.row()
             .cell(name)
             .cell(ns / 1e3, 3)
@@ -61,9 +66,10 @@ void print_block(const char* title, const char* mode,
             .cell(ops > 0 ? static_cast<double>(r.events[stats::Event::kFaa]) / ops : 0,
                   2)
             .cell(r.events[stats::Event::kClusterHandoff])
-            .cell(opt_cell(per_op(HwEvent::kInstructions), 0))
-            .cell(opt_cell(per_op(HwEvent::kL1DMisses)))
-            .cell(opt_cell(per_op(HwEvent::kLLCMisses)));
+            .cell(hw_cell(r.hw, ops, HwEvent::kInstructions, 0))
+            .cell(hw_cell(r.hw, ops, HwEvent::kL1DMisses))
+            .cell(hw_cell(r.hw, ops, HwEvent::kLLCMisses))
+            .cell(hw_cell(r.hw, ops, HwEvent::kDTLBMisses));
     }
     if (csv) {
         table.print_csv();

@@ -212,6 +212,41 @@ class Comparison:
             rel_limit=self.args.tickets_pct / 100.0,
             abs_slack=0.05,
         )
+        # Hardware translation/cache health (ring_autotune and table rows
+        # with a measured hw block).  Wide limits: PMU counts on a shared
+        # host swing with co-tenants, so only a blowup — the ring stopped
+        # fitting its dTLB reach, the working set fell out of LLC — flags.
+        self.check_metric_growth(
+            key,
+            base,
+            new,
+            "hw.dtlb_miss_per_op",
+            "dTLB misses/op",
+            rel_limit=self.args.hw_miss_pct / 100.0,
+            abs_slack=0.5,
+        )
+        self.check_metric_growth(
+            key,
+            base,
+            new,
+            "hw.llc_miss_per_op",
+            "LLC misses/op",
+            rel_limit=self.args.hw_miss_pct / 100.0,
+            abs_slack=0.5,
+        )
+        # Autotuner pick rows: the recommended order creeping *up* means
+        # the queue now needs a bigger ring for the same throughput —
+        # each +1 doubles segment memory, so a jump past the slack is a
+        # substrate regression even if peak throughput held.
+        self.check_metric_growth(
+            key,
+            base,
+            new,
+            "recommended_ring_order",
+            "recommended ring order",
+            rel_limit=0.0,
+            abs_slack=self.args.autotune_order_slack,
+        )
         self.check_stall_p99(key, base, new)
         self.check_metric_growth(
             key,
@@ -601,6 +636,55 @@ def synthetic_dispatch_report(p99=400000.0, shed=0.01, miss=0.02, sustain=0.3):
     }
 
 
+def synthetic_autotune_report(dtlb=0.02, llc=0.05, pick=6):
+    # Mirrors regress.cpp phase 8: per-(queue, ring_order) sweep rows with
+    # an hw block, plus the per-queue ring_autotune_pick summary row.
+    def entry(order, tput):
+        return {
+            "experiment": "ring_autotune",
+            "queue": "lcrq",
+            "workload": "pairs",
+            "threads": 4,
+            "ring_order": order,
+            "throughput": {
+                "mean_ops_per_sec": tput,
+                "cv": 0.01,
+                "min": tput * 0.99,
+                "max": tput * 1.01,
+                "runs": 3,
+            },
+            "ns_per_op": 1e9 / tput,
+            "total_ops": 80000,
+            "counters": {"derived": {"segment_reuse_rate": 0.9}},
+            "hw": {
+                "instructions_per_op": 120.0,
+                "l1d_miss_per_op": 0.8,
+                "llc_miss_per_op": llc,
+                "dtlb_miss_per_op": dtlb,
+            },
+        }
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "regress/ring_autotune",
+        "host": {"description": "self-check", "cpus": 1, "clusters": 1, "hw_threads": 1},
+        "tolerance_pct": 5.0,
+        "results": [
+            entry(6, 6.9e6),
+            entry(8, 7.0e6),
+            {
+                "experiment": "ring_autotune_pick",
+                "queue": "lcrq",
+                "threads": 4,
+                "recommended_ring_order": pick,
+                "best_ring_order": 8,
+                "best_mean_ops_per_sec": 7.0e6,
+                "tolerance_pct": 5.0,
+            },
+        ],
+    }
+
+
 def self_check(args):
     failures = []
 
@@ -844,6 +928,55 @@ def self_check(args):
             f"within-noise sustainable dip was flagged: {cmp.regressions}",
         )
 
+        # 24-27: the ring-autotune artifact — substrate health gating.
+        at_base = write("at_base.json", synthetic_autotune_report())
+        cmp = compare_files(at_base, at_base, args)
+        expect(cmp.regressions == [], f"autotune self-compare flagged: {cmp.regressions}")
+        expect(cmp.compared == 3, "autotune self-compare did not compare every entry")
+
+        # 24. A dTLB miss-rate blowup (0.02 -> 1.5/op: the ring stopped
+        # fitting its translation reach) must flag on the sweep row.
+        thrashing = write("at_thrash.json", synthetic_autotune_report(dtlb=1.5))
+        cmp = compare_files(at_base, thrashing, args)
+        expect(
+            any("dTLB misses/op grew" in r for r in cmp.regressions),
+            f"dTLB miss blowup not flagged: {cmp.regressions}",
+        )
+
+        # 25. ...but PMU jitter inside the 50% + 0.5 slack must NOT be.
+        warm_tlb = write("at_warm.json", synthetic_autotune_report(dtlb=0.4))
+        cmp = compare_files(at_base, warm_tlb, args)
+        expect(
+            not any("dTLB" in r for r in cmp.regressions),
+            f"within-noise dTLB growth was flagged: {cmp.regressions}",
+        )
+
+        # 26. Same gate for LLC misses/op (0.05 -> 2.0).
+        spilled = write("at_spill.json", synthetic_autotune_report(llc=2.0))
+        cmp = compare_files(at_base, spilled, args)
+        expect(
+            any("LLC misses/op grew" in r for r in cmp.regressions),
+            f"LLC miss blowup not flagged: {cmp.regressions}",
+        )
+
+        # 27. The recommended ring order jumping past the slack (2^6 ->
+        # 2^12: the queue needs 64x the segment memory for the same
+        # throughput) must flag on the pick row...
+        inflated = write("at_inflated.json", synthetic_autotune_report(pick=12))
+        cmp = compare_files(at_base, inflated, args)
+        expect(
+            any("recommended ring order grew" in r for r in cmp.regressions),
+            f"recommended-order inflation not flagged: {cmp.regressions}",
+        )
+
+        # 27a. ...but a one-order wobble is inside the +-2 slack.
+        wobble = write("at_wobble.json", synthetic_autotune_report(pick=7))
+        cmp = compare_files(at_base, wobble, args)
+        expect(
+            not any("recommended ring order" in r for r in cmp.regressions),
+            f"one-order wobble was flagged: {cmp.regressions}",
+        )
+
         # 13. Wrong schema version must be rejected.
         bad = synthetic_report()
         bad["schema_version"] = SCHEMA_VERSION + 1
@@ -954,6 +1087,20 @@ def main(argv):
         default=50.0,
         help="allowed max_sustainable_mops shrink in %% plus 0.1 absolute "
         "slack, on dispatch_slo entries (default 50)",
+    )
+    parser.add_argument(
+        "--hw-miss-pct",
+        type=float,
+        default=50.0,
+        help="allowed dTLB/LLC miss-per-op growth in %% plus 0.5 absolute "
+        "slack, on entries with a measured hw block (default 50)",
+    )
+    parser.add_argument(
+        "--autotune-order-slack",
+        type=float,
+        default=2.0,
+        help="allowed recommended_ring_order growth in ring orders, on "
+        "ring_autotune_pick entries (default 2)",
     )
     parser.add_argument(
         "--self-check",

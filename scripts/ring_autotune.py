@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Ring-size autotune report: join and validate BENCH_ring_autotune.json.
+
+bench/regress (phase 8) sweeps the fig9 ring-order grid per queue and
+emits, for every (queue, ring_order) point, mean throughput plus the
+substrate health columns — segment_reuse_rate and the dTLB/LLC per-op
+miss rates — and one "ring_autotune_pick" row per queue naming the
+recommended order.  This script renders the joined table and
+*independently recomputes* the pick from the sweep rows using the same
+rule (smallest order whose mean throughput is within tolerance_pct of
+the best).  A disagreement between the recomputation and the artifact's
+pick row exits nonzero: either the C++ rule changed without this
+validator, or the artifact is stale/corrupt.  Either way the number a
+human would copy into --ring-order is not trustworthy, which is exactly
+what a gate is for.
+
+stdlib only; no third-party imports.
+
+Usage:
+  ring_autotune.py BENCH_ring_autotune.json      render + validate
+  ring_autotune.py --self-check                  run built-in fixtures
+"""
+
+import argparse
+import json
+import sys
+
+
+def fmt(v, digits=3):
+    if v is None:
+        return "n/a"
+    return f"{v:.{digits}f}"
+
+
+def load_rows(doc):
+    """Split a report document into sweep rows and pick rows."""
+    sweep, picks = [], []
+    for r in doc.get("results", []):
+        exp = r.get("experiment")
+        if exp == "ring_autotune":
+            sweep.append(r)
+        elif exp == "ring_autotune_pick":
+            picks.append(r)
+    return sweep, picks
+
+
+def mean_tput(row):
+    t = row.get("throughput") or {}
+    return t.get("mean_ops_per_sec")
+
+
+def recompute_pick(points, tolerance_pct):
+    """The C++ rule, re-derived: smallest order within tolerance of best.
+
+    `points` is a list of (ring_order, mean_ops_per_sec); order ties go
+    to small because bigger rings cost dTLB reach and pool memory.
+    """
+    if not points:
+        return None
+    best = max(m for _, m in points)
+    for order, m in sorted(points):
+        if m >= best * (1.0 - tolerance_pct / 100.0):
+            return order
+    return max(points)[0]
+
+
+def validate(doc, out=sys.stdout):
+    """Render the join table and cross-check pick rows.  Returns #errors."""
+    sweep, picks = load_rows(doc)
+    errors = 0
+    if not sweep:
+        print("error: no ring_autotune sweep rows in artifact", file=out)
+        return 1
+    tolerance = doc.get("tolerance_pct")
+    if tolerance is None:
+        print("error: artifact missing top-level tolerance_pct", file=out)
+        return 1
+
+    by_queue = {}
+    for r in sweep:
+        by_queue.setdefault(r.get("queue", "?"), []).append(r)
+
+    header = (
+        f"{'queue':<12} {'R':>6} {'Mops/s':>9} {'reuse':>7} "
+        f"{'dTLB/op':>9} {'LLC/op':>9}"
+    )
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    pick_by_queue = {p.get("queue"): p for p in picks}
+    for queue, rows in sorted(by_queue.items()):
+        points = []
+        for r in sorted(rows, key=lambda r: r.get("ring_order", 0)):
+            order = r.get("ring_order")
+            m = mean_tput(r)
+            if m is None:
+                print(f"error: {queue} R=2^{order}: no throughput", file=out)
+                errors += 1
+                continue
+            points.append((order, m))
+            derived = (r.get("counters") or {}).get("derived") or {}
+            hw = r.get("hw") or {}
+            print(
+                f"{queue:<12} 2^{order:<4} {m / 1e6:>9.3f} "
+                f"{fmt(derived.get('segment_reuse_rate'), 3):>7} "
+                f"{fmt(hw.get('dtlb_miss_per_op'), 4):>9} "
+                f"{fmt(hw.get('llc_miss_per_op'), 4):>9}",
+                file=out,
+            )
+
+        expected = recompute_pick(points, tolerance)
+        pick = pick_by_queue.get(queue)
+        if pick is None:
+            print(f"error: {queue}: no ring_autotune_pick row", file=out)
+            errors += 1
+            continue
+        recorded = pick.get("recommended_ring_order")
+        if recorded != expected:
+            print(
+                f"error: {queue}: artifact recommends R=2^{recorded} but the "
+                f"sweep rows imply R=2^{expected} at {tolerance}% tolerance "
+                f"(stale artifact or drifted pick rule)",
+                file=out,
+            )
+            errors += 1
+        else:
+            print(f"{queue:<12} -> recommended R=2^{recorded}", file=out)
+    for queue in pick_by_queue:
+        if queue not in by_queue:
+            print(f"error: pick row for {queue} has no sweep rows", file=out)
+            errors += 1
+    return errors
+
+
+# --- self-check fixtures ----------------------------------------------------
+
+
+def synthetic_doc(orders_means, tolerance_pct=5.0, pick_override=None):
+    """An artifact with one queue, given (order, mean) points."""
+    results = []
+    for order, m in orders_means:
+        results.append(
+            {
+                "experiment": "ring_autotune",
+                "queue": "lcrq",
+                "ring_order": order,
+                "throughput": {"mean_ops_per_sec": m},
+                "counters": {"derived": {"segment_reuse_rate": 0.9}},
+                "hw": {"dtlb_miss_per_op": 0.01, "llc_miss_per_op": 0.02},
+            }
+        )
+    pick = recompute_pick(orders_means, tolerance_pct)
+    if pick_override is not None:
+        pick = pick_override
+    results.append(
+        {
+            "experiment": "ring_autotune_pick",
+            "queue": "lcrq",
+            "recommended_ring_order": pick,
+            "best_ring_order": max(orders_means, key=lambda p: p[1])[0],
+            "tolerance_pct": tolerance_pct,
+        }
+    )
+    return {"tolerance_pct": tolerance_pct, "results": results}
+
+
+def self_check():
+    import io
+
+    failures = []
+
+    def expect(num, what, cond):
+        status = "ok" if cond else "FAIL"
+        print(f"  [{num}] {what}: {status}")
+        if not cond:
+            failures.append(num)
+
+    sink = io.StringIO()
+
+    # Pick-rule unit cases.
+    expect(1, "best order wins with tight tolerance",
+           recompute_pick([(6, 100.0), (8, 200.0)], 1.0) == 8)
+    expect(2, "smaller order wins inside tolerance",
+           recompute_pick([(6, 196.0), (8, 200.0)], 5.0) == 6)
+    expect(3, "ties go to the smallest order",
+           recompute_pick([(6, 200.0), (8, 200.0)], 0.0) == 6)
+    expect(4, "unordered input is sorted before picking",
+           recompute_pick([(10, 100.0), (4, 99.0), (8, 98.0)], 5.0) == 4)
+
+    # Artifact validation end to end.
+    expect(5, "consistent artifact validates clean",
+           validate(synthetic_doc([(6, 196.0), (8, 200.0)]), out=sink) == 0)
+    expect(6, "drifted pick row is an error",
+           validate(synthetic_doc([(6, 196.0), (8, 200.0)], pick_override=8),
+                    out=sink) != 0)
+    expect(7, "missing pick row is an error",
+           validate({"tolerance_pct": 5.0,
+                     "results": synthetic_doc([(6, 1.0)])["results"][:-1]},
+                    out=sink) != 0)
+    expect(8, "empty artifact is an error",
+           validate({"tolerance_pct": 5.0, "results": []}, out=sink) != 0)
+    expect(9, "missing tolerance is an error",
+           validate({"results": synthetic_doc([(6, 1.0)])["results"]},
+                    out=sink) != 0)
+
+    doc = synthetic_doc([(6, 196.0), (8, 200.0)])
+    doc["results"].append(
+        {"experiment": "ring_autotune_pick", "queue": "ghost",
+         "recommended_ring_order": 6}
+    )
+    expect(10, "pick row without sweep rows is an error",
+           validate(doc, out=sink) != 0)
+
+    if failures:
+        print(f"self-check FAILED: {failures}")
+        return 1
+    print("self-check passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("artifact", nargs="?", help="BENCH_ring_autotune.json")
+    ap.add_argument("--self-check", action="store_true",
+                    help="run built-in fixtures and exit")
+    args = ap.parse_args()
+
+    if args.self_check:
+        return self_check()
+    if not args.artifact:
+        ap.error("an artifact path (or --self-check) is required")
+    with open(args.artifact) as f:
+        doc = json.load(f)
+    errors = validate(doc)
+    if errors:
+        print(f"{errors} error(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,9 @@ enum class Event : unsigned {
     kBulkWasted,       // batch tickets that produced no enqueue/dequeue
     kSegmentAlloc,     // ring segments obtained from the allocator
     kSegmentReuse,     // ring segments recycled from a segment pool
+    kSegmentPopLocal,  // pool pops served by the popper's home shard
+    kSegmentPopRemote, // pool pops that had to scan a foreign shard
+    kSegmentHuge,      // ring slabs actually backed by MADV_HUGEPAGE
     kLaneLocalHit,     // multilane dequeues served by the caller's own lane
     kLaneSteal,        // multilane dequeues served by another thread's lane
     kLaneEmptyScan,    // multilane full-lane scans that found nothing
@@ -83,6 +86,7 @@ constexpr std::string_view event_name(Event e) noexcept {
         "cluster_handoff", "bulk_enqueue", "bulk_dequeue",
         "bulk_faa",      "bulk_tickets", "bulk_wasted",
         "segment_alloc", "segment_reuse",
+        "segment_pop_local", "segment_pop_remote", "segment_huge",
         "lane_local_hit", "lane_steal",  "lane_empty_scan",
         "wcq_slow_path", "wcq_help",
         "blocked_enq",   "blocked_deq",  "shed",

@@ -99,6 +99,14 @@ Json counters_json(const stats::Snapshot& delta) {
                  ratio(static_cast<double>(delta[stats::Event::kLaneSteal]),
                        static_cast<double>(delta[stats::Event::kLaneLocalHit] +
                                            delta[stats::Event::kLaneSteal])))
+            // Fraction of pool pops served by the popper's home shard;
+            // null for non-pooled queues (or runs with no ring close).
+            // Low values under a cluster-spread workload mean poppers are
+            // crossing clusters for segments — NUMA locality is broken.
+            .set("segment_local_pop_rate",
+                 ratio(static_cast<double>(delta[stats::Event::kSegmentPopLocal]),
+                       static_cast<double>(delta[stats::Event::kSegmentPopLocal] +
+                                           delta[stats::Event::kSegmentPopRemote])))
             // Fraction of hierarchical enters that expired their timeout
             // and claimed the cluster tag (§4.1.1); null for queues without
             // the hierarchy policy.  Low = batching works (most enters find
@@ -109,6 +117,32 @@ Json counters_json(const stats::Snapshot& delta) {
                        static_cast<double>(delta[stats::Event::kClusterEnter])));
     return Json::object().set("counts", std::move(counts)).set("derived",
                                                                std::move(derived));
+}
+
+Json hw_json(const HwCounts& hw, std::uint64_t total_ops) {
+    const auto ops = static_cast<double>(total_ops);
+    const auto per_op = [&](HwEvent e) {
+        const auto v = hw.get(e);
+        return v.has_value() ? ratio(static_cast<double>(*v), ops) : Json();
+    };
+    Json out = Json::object()
+                   .set("instructions_per_op", per_op(HwEvent::kInstructions))
+                   .set("l1d_miss_per_op", per_op(HwEvent::kL1DMisses))
+                   .set("llc_miss_per_op", per_op(HwEvent::kLLCMisses))
+                   .set("dtlb_miss_per_op", per_op(HwEvent::kDTLBMisses));
+    // Per-event denial reasons, so an n/a rate in the artifact names its
+    // cause (perf_event_paranoid, seccomp, ...) instead of leaving the
+    // reader to guess which layer dropped the data.
+    Json unavailable = Json::object();
+    bool any_missing = false;
+    for (std::size_t i = 0; i < kHwEventCount; ++i) {
+        if (hw.valid[i]) continue;
+        any_missing = true;
+        unavailable.set(hw_event_name(static_cast<HwEvent>(i)),
+                        hw.reason[i].empty() ? Json() : Json(hw.reason[i]));
+    }
+    if (any_missing) out.set("unavailable", std::move(unavailable));
+    return out;
 }
 
 Json latency_json(const LatencyHistogram& h) {
@@ -137,6 +171,7 @@ Json result_json(const std::string& queue, const RunConfig& cfg, const RunResult
                      .set("total_ops", r.total_ops)
                      .set("empty_dequeues", r.empty_dequeues)
                      .set("counters", counters_json(r.events));
+    if (cfg.measure_hw) entry.set("hw", hw_json(r.hw, r.total_ops));
     if (r.latency.total() != 0) entry.set("latency", latency_json(r.latency));
     return entry;
 }

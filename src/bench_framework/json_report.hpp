@@ -42,6 +42,13 @@ Json throughput_json(const RunningStats& s);
 // Ratios with a zero denominator serialize as null, never as 0.
 Json counters_json(const stats::Snapshot& delta);
 
+// {"instructions_per_op", "l1d_miss_per_op", "llc_miss_per_op",
+//  "dtlb_miss_per_op"} — per-operation hardware-event rates, null for
+// events the kernel refused (with an "unavailable" map naming each
+// refused event's reason).  Emitted in result_json only when the run
+// measured hardware counters.
+Json hw_json(const HwCounts& hw, std::uint64_t total_ops);
+
 // {"samples", "mean_ns", "p50_ns", "p90_ns", "p99_ns", "p999_ns",
 //  "max_ns"}; percentiles are null when nothing was sampled.
 Json latency_json(const LatencyHistogram& h);

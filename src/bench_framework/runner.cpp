@@ -234,6 +234,10 @@ RunResult run_pairs(const QueueFactory& factory, const RunConfig& cfg) {
                 if (o.hw.valid[e]) {
                     result.hw.counts[e] += o.hw.counts[e];
                     result.hw.valid[e] = true;
+                } else if (result.hw.reason[e].empty() && !o.hw.reason[e].empty()) {
+                    // Keep the first worker's denial reason next to the
+                    // hole it explains, for the report's "unavailable" map.
+                    result.hw.reason[e] = o.hw.reason[e];
                 }
             }
         }

@@ -39,6 +39,8 @@
 #include "arch/inject.hpp"
 #include "arch/primitives.hpp"
 #include "queues/queue_common.hpp"
+#include "topology/mem_policy.hpp"
+#include "topology/topology.hpp"
 
 namespace lcrq {
 
@@ -98,9 +100,20 @@ class Crq {
         : size_(std::uint64_t{1} << opt.ring_order),
           mask_(size_ - 1),
           starvation_limit_(opt.starvation_limit == 0 ? 1 : opt.starvation_limit),
-          spin_wait_iters_(opt.spin_wait_iters) {
+          spin_wait_iters_(opt.spin_wait_iters),
+          home_cluster_(topo::current_cluster()) {
         assert(opt.ring_order >= 1 && opt.ring_order < 63);
-        ring_ = check_alloc(aligned_array_alloc<Node>(size_));
+        // The allocating thread's cluster is the ring's home for life: the
+        // init_ring below first-touches every node from this thread, so the
+        // slab's pages land on (or, via mbind on the hugepage path, prefer)
+        // the home node.  The segment pool files the recycled ring back
+        // under this cluster (segment_pool.hpp).
+        slab_ = mem::slab_alloc(
+            size_ * sizeof(Node), kCacheLineSize,
+            {opt.huge_segments && opt.ring_order >= kHugeMinRingOrder,
+             home_cluster_});
+        ring_ = static_cast<Node*>(check_alloc(slab_.ptr));
+        if (slab_.huge_backed) stats::count(stats::Event::kSegmentHuge);
         init_ring(first);
     }
 
@@ -120,7 +133,7 @@ class Crq {
         init_ring(first);
     }
 
-    ~Crq() { aligned_array_free(ring_); }
+    ~Crq() { mem::slab_free(slab_); }
 
     Crq(const Crq&) = delete;
     Crq& operator=(const Crq&) = delete;
@@ -306,6 +319,15 @@ class Crq {
     }
     std::uint64_t ring_size() const noexcept { return size_; }
 
+    // The cluster whose thread allocated this ring's slab — where its
+    // pages live on a first-touch kernel.  Stable across reset(): memory
+    // does not move when a ring is recycled, so the pool keeps filing it
+    // under its birthplace.
+    int home_cluster() const noexcept { return home_cluster_; }
+    // Whether the slab's MADV_HUGEPAGE request was accepted (always false
+    // on the plain path and under the THP-unavailable fallback).
+    bool huge_backed() const noexcept { return slab_.huge_backed; }
+
     // Instantaneous item-count estimate.  Under concurrency it is a
     // snapshot of racing indices (never negative, may over-count by
     // in-flight operations); clamped to the ring capacity because failed
@@ -476,6 +498,8 @@ class Crq {
     // the ring; stable while the ring is published.
     unsigned starvation_limit_;
     unsigned spin_wait_iters_;
+    const int home_cluster_;
+    mem::Slab slab_;
     Node* ring_;
 
     CacheAligned<std::atomic<std::uint64_t>, kDestructivePairSize> head_{0};

@@ -266,7 +266,8 @@ class Lscq {
             }
         }
         stats::count(stats::Event::kSegmentAlloc);
-        return check_alloc(new (std::nothrow) ScqT(opt_.ring_order, first));
+        return check_alloc(
+            new (std::nothrow) ScqT(opt_.ring_order, first, opt_.huge_segments));
     }
 
     // Loser appender's unpublished segment; see Lcrq::discard_ring.

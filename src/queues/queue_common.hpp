@@ -32,6 +32,12 @@ inline constexpr value_t kMaxValue = ~value_t{0} - 2;
 
 constexpr bool is_enqueueable(value_t v) noexcept { return v <= kMaxValue; }
 
+// Rings of at least this order (R >= 2^14) are worth a hugepage mapping
+// when QueueOptions::huge_segments asks for one: below it a ring fits in
+// a few 4 KiB pages and the 2 MiB rounding would waste more memory than
+// the dTLB entries it saves.
+inline constexpr unsigned kHugeMinRingOrder = 14;
+
 // Result of an enqueue into a *tantrum* segment (CRQ, SCQ): the ring may
 // refuse and return kClosed, after which every enqueue on it returns
 // kClosed and the list layer (LCRQ/LSCQ) appends a fresh segment.
@@ -156,6 +162,12 @@ struct QueueOptions {
     // Max ring segments the list queues (LCRQ/LSCQ) keep cached for reuse;
     // overflow falls back to the allocator.  0 disables pooling.
     std::size_t segment_pool_cap = 16;
+    // Opt-in (the registry's -huge knob): back ring slabs of at least
+    // kHugeMinRingOrder with MADV_HUGEPAGE mappings so a big ring's node
+    // array sits on a handful of dTLB entries instead of thousands of
+    // 4 KiB ones.  Transparently falls back to plain allocation when THP
+    // is unavailable (see topology/mem_policy.hpp).
+    bool huge_segments = false;
     // Lane count for the multilane front-end (multilane.hpp).  0 = auto:
     // one lane per hardware thread, at least 2 so the lane machinery is
     // exercised even on a single-CPU host.

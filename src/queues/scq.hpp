@@ -43,6 +43,8 @@
 #include "arch/faa_policy.hpp"
 #include "arch/inject.hpp"
 #include "queues/queue_common.hpp"
+#include "topology/mem_policy.hpp"
+#include "topology/topology.hpp"
 
 namespace lcrq {
 
@@ -66,7 +68,7 @@ class ScqRing {
     // integers seed_begin..seed_end-1 (fq starts holding every free index;
     // LSCQ appends segments already containing one published index).
     explicit ScqRing(unsigned order, std::uint64_t seed_begin = 0,
-                     std::uint64_t seed_end = 0)
+                     std::uint64_t seed_end = 0, bool huge = false)
         : order_(order),
           capacity_(std::uint64_t{1} << order),
           size_(capacity_ * 2),
@@ -75,7 +77,12 @@ class ScqRing {
           bottom_(size_ - 1),
           threshold_full_(static_cast<std::int64_t>(3 * capacity_ - 1)) {
         assert(order >= 1 && order < 32);
-        entries_ = check_alloc(aligned_array_alloc<Entry>(size_));
+        // NUMA home is first-touch (init_ring writes every entry from the
+        // allocating thread); `huge` is pre-gated by the caller (Scq
+        // applies kHugeMinRingOrder).
+        slab_ = mem::slab_alloc(size_ * sizeof(Entry), kCacheLineSize,
+                                {huge, topo::current_cluster()});
+        entries_ = static_cast<Entry*>(check_alloc(slab_.ptr));
         init_ring(seed_begin, seed_end);
     }
 
@@ -86,7 +93,9 @@ class ScqRing {
         init_ring(seed_begin, seed_end);
     }
 
-    ~ScqRing() { aligned_array_free(entries_); }
+    ~ScqRing() { mem::slab_free(slab_); }
+
+    bool huge_backed() const noexcept { return slab_.huge_backed; }
 
     ScqRing(const ScqRing&) = delete;
     ScqRing& operator=(const ScqRing&) = delete;
@@ -434,6 +443,7 @@ class ScqRing {
     const unsigned idx_bits_;    // order_ + 1
     const std::uint64_t bottom_; // ⊥ == the all-ones index field
     const std::int64_t threshold_full_;  // 3n - 1
+    mem::Slab slab_;
     Entry* entries_;
 
     CacheAligned<std::atomic<std::uint64_t>, kDestructivePairSize> head_{0};
@@ -460,11 +470,17 @@ class Scq {
 
     // Capacity 2^order values, optionally seeded with one item (LSCQ
     // appends segments "initialized to contain x", like LCRQ does CRQs).
-    explicit Scq(unsigned order, std::optional<value_t> first = std::nullopt)
+    explicit Scq(unsigned order, std::optional<value_t> first = std::nullopt,
+                 bool huge = false)
         : capacity_(std::uint64_t{1} << order),
-          aq_(order, 0, first.has_value() ? 1 : 0),
-          fq_(order, first.has_value() ? 1 : 0, capacity_) {
-        data_ = check_alloc(aligned_array_alloc<value_t>(capacity_));
+          huge_(huge && order >= kHugeMinRingOrder),
+          home_cluster_(topo::current_cluster()),
+          aq_(order, 0, first.has_value() ? 1 : 0, huge_),
+          fq_(order, first.has_value() ? 1 : 0, capacity_, huge_) {
+        data_slab_ = mem::slab_alloc(capacity_ * sizeof(value_t),
+                                     kCacheLineSize, {huge_, home_cluster_});
+        data_ = static_cast<value_t*>(check_alloc(data_slab_.ptr));
+        if (huge_backed()) stats::count(stats::Event::kSegmentHuge);
         if (first.has_value()) {
             assert(is_enqueueable(*first));
             data_[0] = *first;
@@ -472,7 +488,7 @@ class Scq {
         std::atomic_thread_fence(std::memory_order_seq_cst);
     }
 
-    ~Scq() { aligned_array_free(data_); }
+    ~Scq() { mem::slab_free(data_slab_); }
 
     // In-place reinitialization for segment recycling (cf. Crq::reset).
     // Caller owns the segment exclusively and the order must match.
@@ -573,14 +589,26 @@ class Scq {
     Ring& allocated_ring() noexcept { return aq_; }
     Ring& free_ring() noexcept { return fq_; }
 
+    // The cluster whose thread allocated this segment's slabs (stable
+    // across reset(): memory does not move when a segment is recycled).
+    int home_cluster() const noexcept { return home_cluster_; }
+    // Whether every slab (both rings and the data array) got its
+    // MADV_HUGEPAGE request accepted.
+    bool huge_backed() const noexcept {
+        return data_slab_.huge_backed && aq_.huge_backed() && fq_.huge_backed();
+    }
+
     // Intrusive link and cluster tag used by Lscq; unused standalone.
     std::atomic<Scq*> next{nullptr};
     std::atomic<int> cluster{0};
 
   private:
     const std::uint64_t capacity_;
+    const bool huge_;  // hugepage request, pre-gated by kHugeMinRingOrder
+    const int home_cluster_;
     Ring aq_;  // allocated: indices of slots currently holding items
     Ring fq_;  // free: indices of vacant slots
+    mem::Slab data_slab_;
     value_t* data_;
 };
 

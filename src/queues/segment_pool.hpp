@@ -20,14 +20,20 @@
 //    cannot reappear under a CAS while that holder can still compare
 //    against it).
 //
-// Cluster-ownership hint (§4.1.1 support): the free list is sharded by the
-// parking thread's cluster, and try_pop prefers the popper's own shard
-// before scanning the rest.  A segment drained by cluster C's batch has
-// its cache lines resident on C, so a ring reopened on C reuses the slab
-// the coherence protocol already placed there; on a flat host every thread
-// is cluster 0 and the pool degenerates to the single Treiber stack it was
-// before.  The hint is best-effort placement, never a partition: any
-// cluster can pop any shard, so capacity and correctness are unchanged.
+// Cluster placement (§4.1.1 support, NUMA-aware since the mem_policy
+// substrate): the free list is sharded by cluster and try_pop serves the
+// popper's own shard before scanning the rest.  Filing is by the
+// segment's *home* cluster when the segment records one (the cluster
+// whose thread allocated the slab — where its pages physically live on a
+// first-touch kernel; see topology/mem_policy.hpp), falling back to the
+// parking thread's cluster for plain intrusive nodes.  Cache residency
+// and page residency then both favor the popping cluster: a ring drained
+// on C has its lines on C, and a slab allocated on C has its pages on C,
+// so a pop from the home shard reopens memory that is local twice over.
+// On a flat host every thread is cluster 0 and the pool degenerates to
+// the single Treiber stack it was before.  The shard preference is
+// best-effort placement, never a partition: any cluster can pop any
+// shard, so capacity and correctness are unchanged.
 //
 // Each shard is a Treiber stack threaded through the segments' own
 // intrusive `next` link (unused while a segment is parked).  One textbook
@@ -38,17 +44,30 @@
 // `next` it just read under private ownership, so neither needs tags or
 // CAS2 (LSCQ stays free of double-width atomics).
 //
-// Capacity is approximate and pool-wide: `count_` is maintained with
-// relaxed RMWs that are not atomic with the list updates, so a burst of
-// concurrent pushes can briefly overshoot the cap by the number of
-// pushers.  The cap exists to bound idle memory, not to enforce an exact
-// high-water mark.
+// Counting: sizes are per-shard relaxed counters bumped at push/pop, so
+// size() and shard_size() never walk a chain that a concurrent try_pop
+// could exchange away (or an over-capacity push could delete) mid-walk.
+// The counters are approximate under concurrency — a pop decrements only
+// after the remainder chain is republished, so a racing reader can
+// transiently see one node too many — but they only ever read from the
+// pool's own memory.
+//
+// Capacity is approximate and pool-wide: the capacity gate reads the
+// summed count with relaxed ordering and is not atomic with the list
+// update, so a burst of concurrent pushes can overshoot the cap by at
+// most the number of in-flight pushers (each passed the gate before any
+// of them incremented).  Poppers never widen that bound: a pop's
+// decrement happens only after its republish, so the count a pusher reads
+// is never transiently *low*.  The cap exists to bound idle memory, not
+// to enforce an exact high-water mark.
 #pragma once
 
 #include <atomic>
+#include <concepts>
 #include <cstddef>
 
 #include "arch/cacheline.hpp"
+#include "arch/counters.hpp"
 #include "topology/topology.hpp"
 
 namespace lcrq {
@@ -78,7 +97,7 @@ class SegmentPool {
     SegmentPool& operator=(const SegmentPool&) = delete;
 
     // Take one parked segment, or nullptr when the pool is empty.  Prefers
-    // the caller's own cluster shard (see the ownership-hint note above).
+    // the caller's own cluster shard (see the placement note above).
     // The caller owns the returned segment exclusively and must reset() it
     // before publishing (its ring still holds the drained state).
     Seg* try_pop() {
@@ -88,50 +107,70 @@ class SegmentPool {
             Seg* s = heads_[shard].ptr.exchange(nullptr, std::memory_order_acquire);
             if (s == nullptr) continue;
             Seg* rest = s->next.load(std::memory_order_relaxed);
-            count_.fetch_sub(1, std::memory_order_relaxed);
+            // Republish the remainder BEFORE decrementing: between the
+            // exchange above and the counter update the pool's count may
+            // transiently overstate, which at worst makes a concurrent
+            // push delete a segment it could have parked — never the
+            // reverse (see the capacity note in the header).
             if (rest != nullptr) push_chain(shard, rest);
+            heads_[shard].count.fetch_sub(1, std::memory_order_relaxed);
             s->next.store(nullptr, std::memory_order_relaxed);
+            stats::count(i == 0 ? stats::Event::kSegmentPopLocal
+                                : stats::Event::kSegmentPopRemote);
             return s;
         }
         return nullptr;
     }
 
-    // Park `s` for reuse, filed under the parking thread's cluster (the
-    // segment's last owner).  Always takes ownership; returns false when
-    // the pool was at capacity and the segment was deleted instead.  The
-    // caller must hold `s` exclusively (unpublished, or past a hazard
-    // scan).
+    // Park `s` for reuse, filed under its home cluster when it records
+    // one, else under the parking thread's cluster (the segment's last
+    // owner).  Always takes ownership; returns false when the pool was at
+    // capacity and the segment was deleted instead.  The caller must hold
+    // `s` exclusively (unpublished, or past a hazard scan).
     bool push(Seg* s) {
-        if (count_.load(std::memory_order_relaxed) >= capacity_) {
+        if (size() >= capacity_) {
             delete s;
             return false;
         }
-        count_.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t shard = shard_of(filing_cluster(s));
+        heads_[shard].count.fetch_add(1, std::memory_order_relaxed);
         s->next.store(nullptr, std::memory_order_relaxed);
-        push_chain(shard_of(topo::current_cluster()), s);
+        push_chain(shard, s);
         return true;
     }
 
-    // Approximate; see the capacity note above.
+    // Approximate; see the counting note above.
     std::size_t size() const noexcept {
-        return count_.load(std::memory_order_relaxed);
+        std::size_t n = 0;
+        for (const auto& head : heads_) {
+            n += head.count.load(std::memory_order_relaxed);
+        }
+        return n;
     }
     std::size_t capacity() const noexcept { return capacity_; }
 
     // Parked segments filed under `cluster`'s shard (tests/introspection;
-    // approximate under concurrency for the same reason size() is).
+    // approximate under concurrency for the same reason size() is, but
+    // never dereferences the chain — safe against concurrent pop/delete).
     std::size_t shard_size(int cluster) const noexcept {
-        std::size_t n = 0;
-        for (Seg* s = heads_[shard_of(cluster)].ptr.load(std::memory_order_acquire);
-             s != nullptr; s = s->next.load(std::memory_order_relaxed)) {
-            ++n;
-        }
-        return n;
+        return heads_[shard_of(cluster)].count.load(std::memory_order_relaxed);
     }
 
   private:
     static std::size_t shard_of(int cluster) noexcept {
         return static_cast<std::size_t>(cluster < 0 ? 0 : cluster) % kShards;
+    }
+
+    // Where to file a parked segment: its recorded home cluster (slab
+    // pages live there) when the segment type exposes one, else the
+    // parking thread's cluster (cache lines live there).
+    static int filing_cluster(Seg* s) noexcept {
+        if constexpr (requires {
+                          { s->home_cluster() } -> std::convertible_to<int>;
+                      }) {
+            if (const int home = s->home_cluster(); home >= 0) return home;
+        }
+        return topo::current_cluster();
     }
 
     // Push an already-linked chain (its tail's next may be anything; it is
@@ -152,13 +191,14 @@ class SegmentPool {
 
     // Shard heads on separate cache lines so cluster-local push/pop
     // traffic does not false-share across clusters (the point of the
-    // hint).
+    // hint).  The per-shard count rides on the same line as its head:
+    // they are always touched together.
     struct alignas(kCacheLineSize) ShardHead {
         std::atomic<Seg*> ptr{nullptr};
+        std::atomic<std::size_t> count{0};
     };
 
     ShardHead heads_[kShards];
-    std::atomic<std::size_t> count_{0};
     const std::size_t capacity_;
 };
 

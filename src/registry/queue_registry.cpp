@@ -235,9 +235,42 @@ std::optional<HKnob> split_h_knob(const std::string& name) {
     return HKnob{name.substr(0, pos + 2), us};
 }
 
+// "lcrq-huge" → "lcrq".  Unlike -ml/-h this knob is boolean: it takes no
+// digits, must be the final suffix, and composes with the other knobs
+// ("lcrq-ml8-huge", "lscq-h250-huge") — strip it, set
+// QueueOptions::huge_segments, and resolve the remainder as usual.  Safe
+// next to the -h<digits> grammar because "uge" is not a digit string.
+std::optional<std::string> split_huge_knob(const std::string& name) {
+    static constexpr const char kSuffix[] = "-huge";
+    static constexpr std::size_t kLen = sizeof(kSuffix) - 1;
+    if (name.size() <= kLen) return std::nullopt;
+    if (name.compare(name.size() - kLen, kLen, kSuffix) != 0) return std::nullopt;
+    return name.substr(0, name.size() - kLen);
+}
+
 const Entry* find_entry(const std::string& name) {
     for (const auto& e : entries()) {
         if (e.info.name == name) return &e;
+    }
+    return nullptr;
+}
+
+// Resolution chain shared by lookup and construction: exact catalog name,
+// then the -ml and -h digit knobs.  (The -huge suffix is stripped by the
+// callers before this runs.)
+const Entry* resolve_entry(const std::string& name, QueueOptions& opt) {
+    if (const Entry* e = find_entry(name)) return e;
+    if (const auto knob = split_ml_knob(name)) {
+        if (const Entry* e = find_entry(knob->base)) {
+            opt.lanes = knob->lanes;
+            return e;
+        }
+    }
+    if (const auto knob = split_h_knob(name)) {
+        if (const Entry* e = find_entry(knob->base)) {
+            opt.cluster_timeout_ns = knob->timeout_us * 1'000;
+            return e;
+        }
     }
     return nullptr;
 }
@@ -271,14 +304,10 @@ const std::vector<QueueInfo>& queue_catalog() {
 }
 
 const QueueInfo* find_queue_info(const std::string& raw) {
-    const std::string name = canonical_name(raw);
-    if (const Entry* e = find_entry(name)) return &e->info;
-    if (const auto knob = split_ml_knob(name)) {
-        if (const Entry* e = find_entry(knob->base)) return &e->info;
-    }
-    if (const auto knob = split_h_knob(name)) {
-        if (const Entry* e = find_entry(knob->base)) return &e->info;
-    }
+    std::string name = canonical_name(raw);
+    if (const auto base = split_huge_knob(name)) name = *base;
+    QueueOptions scratch;
+    if (const Entry* e = resolve_entry(name, scratch)) return &e->info;
     return nullptr;
 }
 
@@ -291,21 +320,14 @@ std::vector<std::string> paper_multi_processor_set() {
 }
 
 std::unique_ptr<AnyQueue> make_queue(const std::string& raw, const QueueOptions& opt) {
-    const std::string name = canonical_name(raw);
-    if (const Entry* e = find_entry(name)) return e->make(raw, opt);
-    if (const auto knob = split_ml_knob(name)) {
-        if (const Entry* e = find_entry(knob->base)) {
-            QueueOptions lane_opt = opt;
-            lane_opt.lanes = knob->lanes;
-            return e->make(raw, lane_opt);
-        }
+    std::string name = canonical_name(raw);
+    QueueOptions resolved_opt = opt;
+    if (const auto base = split_huge_knob(name)) {
+        name = *base;
+        resolved_opt.huge_segments = true;
     }
-    if (const auto knob = split_h_knob(name)) {
-        if (const Entry* e = find_entry(knob->base)) {
-            QueueOptions h_opt = opt;
-            h_opt.cluster_timeout_ns = knob->timeout_us * 1'000;
-            return e->make(raw, h_opt);
-        }
+    if (const Entry* e = resolve_entry(name, resolved_opt)) {
+        return e->make(raw, resolved_opt);
     }
     return nullptr;
 }

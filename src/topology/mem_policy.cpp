@@ -1,0 +1,193 @@
+#include "topology/mem_policy.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace lcrq::mem {
+
+namespace {
+
+void* plain_alloc(std::size_t bytes, std::size_t align) noexcept {
+    return ::operator new(bytes, std::align_val_t{align}, std::nothrow);
+}
+
+void plain_free(void* p, std::size_t align) noexcept {
+    ::operator delete(p, std::align_val_t{align});
+}
+
+}  // namespace
+
+#if defined(__linux__)
+
+namespace {
+
+constexpr std::uintptr_t round_up(std::uintptr_t v, std::uintptr_t to) noexcept {
+    return (v + to - 1) & ~(to - 1);
+}
+
+// sysfs policy, read once: "[never]" means MADV_HUGEPAGE is a guaranteed
+// no-op, anything else ("always"/"madvise" selected) makes it worth
+// asking.  Missing file (THP not compiled in) counts as unavailable.
+bool thp_sysfs_enabled() noexcept {
+    static const bool enabled = [] {
+        std::FILE* f =
+            std::fopen("/sys/kernel/mm/transparent_hugepage/enabled", "r");
+        if (f == nullptr) return false;
+        char buf[128] = {};
+        const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+        std::fclose(f);
+        buf[n] = '\0';
+        return std::strstr(buf, "[never]") == nullptr;
+    }();
+    return enabled;
+}
+
+// Number of NUMA nodes the host exposes (counted once; nodes do not
+// hotplug under us in any environment this code targets).
+int numa_node_count() noexcept {
+    static const int count = [] {
+        DIR* dir = ::opendir("/sys/devices/system/node");
+        if (dir == nullptr) return 1;
+        int nodes = 0;
+        while (dirent* e = ::readdir(dir)) {
+            if (std::strncmp(e->d_name, "node", 4) == 0 &&
+                e->d_name[4] >= '0' && e->d_name[4] <= '9') {
+                ++nodes;
+            }
+        }
+        ::closedir(dir);
+        return nodes > 0 ? nodes : 1;
+    }();
+    return count;
+}
+
+// Raw mbind(2): MPOL_PREFERRED steers future faults in [p, p+len) toward
+// `node` without failing the fault when that node is full.  No libnuma —
+// the syscall is wrapped directly and any refusal (seccomp, CONFIG_NUMA
+// off) degrades to first-touch.
+bool bind_preferred(void* p, std::size_t len, int node) noexcept {
+#if defined(__NR_mbind)
+    constexpr int kMpolPreferred = 1;
+    if (node < 0 || node >= static_cast<int>(sizeof(unsigned long) * 8)) {
+        return false;
+    }
+    unsigned long mask = 1ul << node;
+    return ::syscall(__NR_mbind, p, len, kMpolPreferred, &mask,
+                     sizeof(mask) * 8, 0ul) == 0;
+#else
+    (void)p;
+    (void)len;
+    (void)node;
+    return false;
+#endif
+}
+
+// mmap a hugepage-aligned span of `len` bytes (len already a multiple of
+// kHugePageBytes): over-map by one hugepage, trim head and tail.  THP
+// only backs 2 MiB-aligned 2 MiB extents, so without the alignment the
+// madvise would be advisory in the worst sense.
+void* map_aligned(std::size_t len) noexcept {
+    const std::size_t over = len + kHugePageBytes;
+    void* raw = ::mmap(nullptr, over, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw == MAP_FAILED) return nullptr;
+    const auto base = reinterpret_cast<std::uintptr_t>(raw);
+    const std::uintptr_t start = round_up(base, kHugePageBytes);
+    if (const std::size_t head = start - base; head != 0) {
+        ::munmap(raw, head);
+    }
+    if (const std::size_t tail = over - (start - base) - len; tail != 0) {
+        ::munmap(reinterpret_cast<void*>(start + len), tail);
+    }
+    return reinterpret_cast<void*>(start);
+}
+
+}  // namespace
+
+bool thp_available() noexcept {
+    // Re-read per call: tests toggle this around individual allocations.
+    const char* force = std::getenv("LCRQ_FORCE_NO_THP");
+    if (force != nullptr && force[0] != '\0' && force[0] != '0') return false;
+    return thp_sysfs_enabled();
+}
+
+bool numa_available() noexcept { return numa_node_count() > 1; }
+
+int node_of_cluster(int cluster) noexcept {
+    if (cluster < 0 || !numa_available()) return -1;
+    return cluster % numa_node_count();
+}
+
+Slab slab_alloc(std::size_t bytes, std::size_t align, SlabPlacement place) noexcept {
+    Slab out;
+    if (bytes == 0) bytes = 1;
+    if (place.huge && thp_available()) {
+        const std::size_t len =
+            static_cast<std::size_t>(round_up(bytes, kHugePageBytes));
+        if (void* p = map_aligned(len)) {
+            out.ptr = p;
+            out.bytes = len;
+            out.mapped = true;
+            out.huge_backed = ::madvise(p, len, MADV_HUGEPAGE) == 0;
+            if (const int node = node_of_cluster(place.cluster); node >= 0) {
+                out.numa_bound = bind_preferred(p, len, node);
+            }
+            return out;
+        }
+        // mmap refused: fall through to the plain path below.
+    }
+    // Plain path: aligned operator new.  Placement is first-touch — the
+    // caller initializes the slab before publishing it, so the pages land
+    // on the allocating thread's node without any policy call (mbind
+    // needs page-aligned spans, which this path does not guarantee).
+    if (void* p = plain_alloc(bytes, align)) {
+        out.ptr = p;
+        out.bytes = bytes;
+        out.align = align;
+    }
+    return out;
+}
+
+void slab_free(const Slab& slab) noexcept {
+    if (slab.ptr == nullptr) return;
+    if (slab.mapped) {
+        ::munmap(slab.ptr, slab.bytes);
+    } else {
+        plain_free(slab.ptr, slab.align);
+    }
+}
+
+#else  // !__linux__
+
+bool thp_available() noexcept { return false; }
+bool numa_available() noexcept { return false; }
+int node_of_cluster(int) noexcept { return -1; }
+
+Slab slab_alloc(std::size_t bytes, std::size_t align, SlabPlacement) noexcept {
+    Slab out;
+    if (bytes == 0) bytes = 1;
+    if (void* p = plain_alloc(bytes, align)) {
+        out.ptr = p;
+        out.bytes = bytes;
+        out.align = align;
+    }
+    return out;
+}
+
+void slab_free(const Slab& slab) noexcept {
+    if (slab.ptr != nullptr) plain_free(slab.ptr, slab.align);
+}
+
+#endif
+
+}  // namespace lcrq::mem

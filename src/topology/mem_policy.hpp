@@ -1,0 +1,77 @@
+// Slab placement for ring segments: NUMA-preferred, optionally
+// hugepage-backed allocation with transparent degradation.
+//
+// The paper's CRQ argument prices the ring in cache-coherence traffic;
+// once the segment pool removed malloc/free from the close path
+// (segment_pool.hpp), the remaining memory-system costs are *placement*
+// (a ring drained on cluster C reopened from a slab whose pages live on
+// another node) and *translation* (large rings spanning thousands of
+// 4 KiB pages thrash the dTLB).  This module is the single place both
+// are decided:
+//
+//  * Placement: the allocating thread is the first toucher (the ring
+//    initializer writes every node before the segment is published), so
+//    on a first-touch kernel the slab's pages land on the allocator's
+//    node with no syscall at all.  When the host really has multiple
+//    NUMA nodes, the hugepage path additionally binds the mapping with
+//    a raw mbind(MPOL_PREFERRED) — no libnuma dependency — so pages
+//    faulted later (e.g. by a consumer that outran the initializer's
+//    stores) still prefer the home node.
+//  * Translation: `SlabPlacement::huge` maps the slab with mmap, aligns
+//    it to the 2 MiB hugepage boundary, and requests MADV_HUGEPAGE.
+//    When transparent hugepages are unavailable (sysfs says "never",
+//    the madvise is refused, or LCRQ_FORCE_NO_THP=1 forces the
+//    degradation branch for tests/CI) the allocation silently falls
+//    back to the plain aligned path — callers never see a failure mode
+//    that plain allocation would have survived.
+//
+// Everything here is best-effort by contract: the only hard failure is
+// out-of-memory (slab_alloc returns a null Slab, callers route it
+// through check_alloc as before).
+#pragma once
+
+#include <cstddef>
+
+namespace lcrq::mem {
+
+// 2 MiB: the x86-64 transparent-hugepage size.
+inline constexpr std::size_t kHugePageBytes = std::size_t{2} << 20;
+
+struct SlabPlacement {
+    bool huge = false;  // request a hugepage-backed mapping
+    int cluster = -1;   // preferred home cluster (-1 = no preference)
+};
+
+struct Slab {
+    void* ptr = nullptr;
+    std::size_t bytes = 0;  // length actually allocated (rounded when mapped)
+    std::size_t align = 0;  // alignment of the plain-allocation path
+    bool mapped = false;      // mmap (munmap to free) vs operator new
+    bool huge_backed = false; // MADV_HUGEPAGE accepted on the mapping
+    bool numa_bound = false;  // mbind(MPOL_PREFERRED) accepted
+
+    explicit operator bool() const noexcept { return ptr != nullptr; }
+};
+
+// True when requesting MADV_HUGEPAGE can possibly work: Linux, sysfs
+// does not pin THP to "never", and the LCRQ_FORCE_NO_THP environment
+// override is not set.  The env var is re-read on every call (slab
+// allocation is cold) so tests can force the fallback branch without
+// caring about initialization order.
+bool thp_available() noexcept;
+
+// True when the host exposes more than one NUMA node.
+bool numa_available() noexcept;
+
+// The NUMA node slabs for `cluster` prefer (clusters wrap across nodes),
+// or -1 when the host is flat / non-Linux.
+int node_of_cluster(int cluster) noexcept;
+
+// Allocate `bytes` with at least `align` alignment under `place`.
+// Returns a null Slab only on out-of-memory.
+Slab slab_alloc(std::size_t bytes, std::size_t align, SlabPlacement place) noexcept;
+
+// Release a slab from slab_alloc.  Null slabs are ignored.
+void slab_free(const Slab& slab) noexcept;
+
+}  // namespace lcrq::mem

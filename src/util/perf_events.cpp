@@ -17,6 +17,7 @@ const char* hw_event_name(HwEvent e) noexcept {
         case HwEvent::kInstructions: return "instructions";
         case HwEvent::kL1DMisses: return "L1d_misses";
         case HwEvent::kLLCMisses: return "LLC_misses";
+        case HwEvent::kDTLBMisses: return "dTLB_misses";
         case HwEvent::kCount: break;
     }
     return "?";
@@ -38,19 +39,39 @@ int open_event(std::uint32_t type, std::uint64_t config) {
         ::syscall(SYS_perf_event_open, &attr, 0 /* this thread */, -1, -1, 0));
 }
 
+constexpr std::uint64_t cache_miss_config(std::uint64_t cache) {
+    return cache | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+           (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+}
+
 }  // namespace
 
 PerfCounters::PerfCounters() {
     fds_.fill(-1);
-    fds_[static_cast<std::size_t>(HwEvent::kInstructions)] =
-        open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
-    fds_[static_cast<std::size_t>(HwEvent::kL1DMisses)] = open_event(
-        PERF_TYPE_HW_CACHE, PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
-                                (PERF_COUNT_HW_CACHE_RESULT_MISS << 16));
-    fds_[static_cast<std::size_t>(HwEvent::kLLCMisses)] =
-        open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+    // errno must be captured immediately after each failed open: partial
+    // perf_event_paranoid setups refuse events for *different* reasons
+    // (EACCES vs ENOENT for an unsupported cache event), and a later open
+    // clobbers errno.
+    const auto open_one = [&](HwEvent e, std::uint32_t type, std::uint64_t config) {
+        const std::size_t i = static_cast<std::size_t>(e);
+        fds_[i] = open_event(type, config);
+        if (fds_[i] < 0) {
+            reasons_[i] = std::string("perf_event_open: ") + std::strerror(errno);
+        }
+    };
+    open_one(HwEvent::kInstructions, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+    open_one(HwEvent::kL1DMisses, PERF_TYPE_HW_CACHE,
+             cache_miss_config(PERF_COUNT_HW_CACHE_L1D));
+    open_one(HwEvent::kLLCMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+    open_one(HwEvent::kDTLBMisses, PERF_TYPE_HW_CACHE,
+             cache_miss_config(PERF_COUNT_HW_CACHE_DTLB));
     if (!any_available()) {
-        reason_ = std::string("perf_event_open: ") + std::strerror(errno);
+        for (const std::string& r : reasons_) {
+            if (!r.empty()) {
+                reason_ = r;
+                break;
+            }
+        }
     }
 }
 
@@ -79,12 +100,17 @@ HwCounts PerfCounters::stop() {
     HwCounts out;
     for (std::size_t i = 0; i < kHwEventCount; ++i) {
         const int fd = fds_[i];
-        if (fd < 0) continue;
+        if (fd < 0) {
+            out.reason[i] = reasons_[i];
+            continue;
+        }
         ::ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
         std::uint64_t value = 0;
         if (::read(fd, &value, sizeof(value)) == static_cast<ssize_t>(sizeof(value))) {
             out.counts[i] = value;
             out.valid[i] = true;
+        } else {
+            out.reason[i] = "perf read failed";
         }
     }
     return out;
@@ -92,11 +118,18 @@ HwCounts PerfCounters::stop() {
 
 #else  // !__linux__
 
-PerfCounters::PerfCounters() : reason_("perf_event_open: not Linux") { fds_.fill(-1); }
+PerfCounters::PerfCounters() : reason_("perf_event_open: not Linux") {
+    fds_.fill(-1);
+    reasons_.fill(reason_);
+}
 PerfCounters::~PerfCounters() = default;
 bool PerfCounters::any_available() const noexcept { return false; }
 void PerfCounters::start() {}
-HwCounts PerfCounters::stop() { return {}; }
+HwCounts PerfCounters::stop() {
+    HwCounts out;
+    out.reason.fill("perf_event_open: not Linux");
+    return out;
+}
 
 #endif
 

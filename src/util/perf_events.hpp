@@ -1,11 +1,14 @@
-// perf_event_open wrapper for the hardware rows of Tables 2 and 3
-// (instructions retired, L1/L2/LLC data-cache misses).
+// perf_event_open wrapper for the hardware rows of Tables 2 and 3 and the
+// ring-autotune sweep (instructions retired, L1/LLC data-cache misses,
+// dTLB load misses).
 //
 // Containers routinely deny perf_event_open (kernel.perf_event_paranoid,
-// seccomp); the wrapper degrades to "unavailable" and the table benches
-// print `n/a` for those rows while the software-counter rows (atomic ops,
-// CAS failures) — which carry the paper's actual argument — are always
-// measured.
+// seccomp) — often *partially*: generic events open while cache/TLB
+// events are refused.  The wrapper degrades per event and records why
+// each refused event is unavailable, so the table benches can annotate
+// exactly the `n/a` cells instead of guessing, while the software-counter
+// rows (atomic ops, CAS failures) — which carry the paper's actual
+// argument — are always measured.
 #pragma once
 
 #include <array>
@@ -19,6 +22,7 @@ enum class HwEvent : unsigned {
     kInstructions = 0,
     kL1DMisses,
     kLLCMisses,
+    kDTLBMisses,
     kCount,
 };
 
@@ -29,6 +33,10 @@ const char* hw_event_name(HwEvent e) noexcept;
 struct HwCounts {
     std::array<std::uint64_t, kHwEventCount> counts{};
     std::array<bool, kHwEventCount> valid{};
+    // Why an invalid event has no data ("" for valid events).  Carried in
+    // the counts struct so aggregation across worker threads can keep the
+    // cause next to the hole it explains.
+    std::array<std::string, kHwEventCount> reason{};
 
     std::optional<std::uint64_t> get(HwEvent e) const noexcept {
         const auto i = static_cast<std::size_t>(e);
@@ -39,7 +47,7 @@ struct HwCounts {
 
 // Per-thread counter group.  Counts events of the calling thread between
 // start() and stop().  Construction attempts to open all events; events
-// the kernel refuses are marked invalid.
+// the kernel refuses are marked invalid with a per-event reason.
 class PerfCounters {
   public:
     PerfCounters();
@@ -49,14 +57,25 @@ class PerfCounters {
     PerfCounters& operator=(const PerfCounters&) = delete;
 
     bool any_available() const noexcept;
+    bool available(HwEvent e) const noexcept {
+        return fds_[static_cast<std::size_t>(e)] >= 0;
+    }
     void start();
     HwCounts stop();
 
-    // Why counters are unavailable (empty if all opened).
+    // Why `e` is unavailable (empty if it opened).
+    const std::string& reason(HwEvent e) const noexcept {
+        return reasons_[static_cast<std::size_t>(e)];
+    }
+
+    // Why counters are unavailable wholesale: the first refused event's
+    // reason when *everything* was denied, empty otherwise.  Callers that
+    // care about partial denial use reason(e).
     const std::string& unavailable_reason() const noexcept { return reason_; }
 
   private:
     std::array<int, kHwEventCount> fds_;
+    std::array<std::string, kHwEventCount> reasons_;
     std::string reason_;
 };
 

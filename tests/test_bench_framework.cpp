@@ -189,6 +189,42 @@ TEST(JsonReport, ResultEntryCarriesFullSchema) {
               entry.at("latency").at("p50_ns").as_double());
 }
 
+TEST(JsonReport, HwBlockReportsPerOpRatesAndReasonedHoles) {
+    // Two valid events, two refused with distinct causes: the hw block
+    // must carry per-op rates for the former, nulls plus an "unavailable"
+    // map naming each cause for the latter.
+    HwCounts hw;
+    hw.counts[static_cast<std::size_t>(HwEvent::kInstructions)] = 1'000;
+    hw.valid[static_cast<std::size_t>(HwEvent::kInstructions)] = true;
+    hw.counts[static_cast<std::size_t>(HwEvent::kDTLBMisses)] = 25;
+    hw.valid[static_cast<std::size_t>(HwEvent::kDTLBMisses)] = true;
+    hw.reason[static_cast<std::size_t>(HwEvent::kL1DMisses)] =
+        "perf_event_open: Permission denied";
+    hw.reason[static_cast<std::size_t>(HwEvent::kLLCMisses)] =
+        "perf_event_open: No such file or directory";
+
+    const Json block = hw_json(hw, /*total_ops=*/500);
+    EXPECT_DOUBLE_EQ(block.at("instructions_per_op").as_double(), 2.0);
+    EXPECT_DOUBLE_EQ(block.at("dtlb_miss_per_op").as_double(), 0.05);
+    EXPECT_TRUE(block.at("l1d_miss_per_op").is_null());
+    EXPECT_TRUE(block.at("llc_miss_per_op").is_null());
+    const Json& unavailable = block.at("unavailable");
+    EXPECT_EQ(unavailable.at("L1d_misses").as_string(),
+              "perf_event_open: Permission denied");
+    EXPECT_EQ(unavailable.at("LLC_misses").as_string(),
+              "perf_event_open: No such file or directory");
+
+    // Fully valid counts: no "unavailable" key at all.
+    HwCounts all;
+    for (std::size_t i = 0; i < kHwEventCount; ++i) {
+        all.counts[i] = 100;
+        all.valid[i] = true;
+    }
+    const Json clean = hw_json(all, /*total_ops=*/100);
+    EXPECT_EQ(clean.find("unavailable"), nullptr);
+    EXPECT_DOUBLE_EQ(clean.at("llc_miss_per_op").as_double(), 1.0);
+}
+
 TEST(JsonReport, NaNResultSerializesAsNull) {
     RunConfig cfg = quick_config();
     const RunResult failed;  // no runs recorded

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <optional>
 #include <set>
 #include <thread>
@@ -15,7 +16,9 @@
 
 #include "arch/counters.hpp"
 #include "queues/lscq.hpp"
+#include "queues/segment_pool.hpp"
 #include "test_support.hpp"
+#include "topology/topology.hpp"
 #include "verify/history.hpp"
 #include "verify/lin_check.hpp"
 #include "verify/schedule_injection.hpp"
@@ -197,7 +200,13 @@ TEST_F(InjectPool, ParkedHeadSwingCannotAbaAcrossRecycling) {
 // capacity-4 segments, capacity-2 pool, 2x2 MPMC with full history
 // recording.  Every seed must stay linearizable, actually recycle, and
 // reclaim everything by the end.  Failures print their replay line.
-TEST_F(InjectPool, RandomPerturbationSweepRecyclingStaysLinearizable) {
+//
+// `cluster_of` maps a worker id to the (virtual) cluster it claims via
+// topo::set_current_cluster, so the same sweep runs both on the default
+// single-cluster shape and spread across a virtual topology whose ids
+// exceed the pool's shard count — the pool's filing, counting, and
+// home-first popping must be schedule-independent under either shape.
+void recycling_sweep(const std::function<int(int)>& cluster_of) {
     constexpr int kProducers = 2;
     constexpr int kConsumers = 2;
     constexpr std::uint64_t kPerProducer = 60;
@@ -215,6 +224,7 @@ TEST_F(InjectPool, RandomPerturbationSweepRecyclingStaysLinearizable) {
 
         run_threads(kProducers + kConsumers, [&](int id) {
             ctl().bind_thread(id);
+            topo::set_current_cluster(cluster_of(id));
             if (id < kProducers) {
                 for (std::uint64_t i = 0; i < kPerProducer; ++i) {
                     logs[static_cast<std::size_t>(id)].enqueue(
@@ -241,6 +251,23 @@ TEST_F(InjectPool, RandomPerturbationSweepRecyclingStaysLinearizable) {
         EXPECT_EQ(q.hazard_domain().retired_count(), 0u)
             << "replay: " << ctl().replay_hint();
     }
+}
+
+TEST_F(InjectPool, RandomPerturbationSweepRecyclingStaysLinearizable) {
+    recycling_sweep([](int) { return 0; });
+}
+
+TEST_F(InjectPool, RandomPerturbationSweepAcrossVirtualClusters) {
+    // Spread the four workers over a virtual topology whose cluster ids
+    // straddle the pool's shard count (0, 5, 10, 15 with kShards = 8):
+    // segments file under wrapped shards and recycled pops cross shards,
+    // under the same injected schedules as the single-cluster sweep.
+    const topo::Topology virt = topo::make_virtual(topo::discover(), 4);
+    ASSERT_GE(virt.num_clusters, 4);
+    static_assert(SegmentPool<int>::kShards == 8,
+                  "cluster spread below assumes 8 shards");
+    recycling_sweep([](int id) { return id * 5; });
+    topo::set_current_cluster(0);
 }
 
 }  // namespace

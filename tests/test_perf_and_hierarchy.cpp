@@ -46,6 +46,34 @@ TEST(PerfCounters, EventNames) {
     EXPECT_STREQ(hw_event_name(HwEvent::kInstructions), "instructions");
     EXPECT_STREQ(hw_event_name(HwEvent::kL1DMisses), "L1d_misses");
     EXPECT_STREQ(hw_event_name(HwEvent::kLLCMisses), "LLC_misses");
+    EXPECT_STREQ(hw_event_name(HwEvent::kDTLBMisses), "dTLB_misses");
+}
+
+// Partial denial is the norm in containers: generic events open while
+// cache/TLB events are refused.  Every refused event must carry its own
+// reason — a single shared string can misattribute (or hide) the cause
+// for the other n/a cells.
+TEST(PerfCounters, EveryUnavailableEventCarriesItsOwnReason) {
+    PerfCounters pc;
+    pc.start();
+    const HwCounts counts = pc.stop();
+    for (std::size_t i = 0; i < kHwEventCount; ++i) {
+        const auto e = static_cast<HwEvent>(i);
+        if (pc.available(e)) {
+            EXPECT_TRUE(pc.reason(e).empty()) << hw_event_name(e);
+            // An opened event either reads a value or explains why not
+            // (a failed read is still a reasoned hole, never a silent 0).
+            EXPECT_TRUE(counts.valid[i] || !counts.reason[i].empty())
+                << hw_event_name(e);
+        } else {
+            EXPECT_FALSE(pc.reason(e).empty())
+                << hw_event_name(e) << " refused without a recorded cause";
+            EXPECT_FALSE(counts.valid[i]) << hw_event_name(e);
+            // The stopped snapshot must carry the cause alongside the
+            // hole so downstream aggregation can annotate the cell.
+            EXPECT_EQ(counts.reason[i], pc.reason(e)) << hw_event_name(e);
+        }
+    }
 }
 
 TEST(Hierarchy, NoHierarchyIsFree) {

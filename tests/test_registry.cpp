@@ -267,6 +267,36 @@ TEST(Registry, MalformedHKnobsAreRejected) {
     }
 }
 
+TEST(Registry, HugeKnobResolvesAndComposes) {
+    // "-huge" is a boolean suffix knob (QueueOptions::huge_segments): it
+    // resolves to the base entry, reports the requested spelling, and
+    // composes as a final suffix with the digit knobs.
+    for (const std::string name :
+         {"lcrq-huge", "lscq-huge", "lcrq-ml2-huge", "lscq-h100-huge"}) {
+        auto q = make_queue(name);
+        ASSERT_NE(q, nullptr) << name;
+        EXPECT_EQ(q->name(), name);
+        for (value_t v = 1; v <= 10; ++v) q->enqueue(v);
+        for (value_t v = 1; v <= 10; ++v) {
+            EXPECT_EQ(q->dequeue().value_or(0), v) << name;
+        }
+        EXPECT_FALSE(q->dequeue().has_value()) << name;
+    }
+    const QueueInfo* info = find_queue_info("lcrq-huge");
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->name, "lcrq");
+    const QueueInfo* composed = find_queue_info("lscq-ml4-huge");
+    ASSERT_NE(composed, nullptr);
+    EXPECT_EQ(composed->name, "lscq-ml");
+
+    // The suffix must be final and complete.
+    for (const std::string name :
+         {"lcrq-huge2", "lcrq-hugex", "-huge", "no-such-huge"}) {
+        EXPECT_EQ(make_queue(name), nullptr) << name;
+        EXPECT_EQ(find_queue_info(name), nullptr) << name;
+    }
+}
+
 TEST(Registry, PlusHAliasStillResolves) {
     // The variants were briefly catalogued as "lcrq+h"; scripts and JSON
     // artifacts carrying the old spelling must keep working.

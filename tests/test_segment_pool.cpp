@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "arch/counters.hpp"
@@ -16,6 +19,7 @@
 #include "queues/scq.hpp"
 #include "queues/segment_pool.hpp"
 #include "test_support.hpp"
+#include "topology/mem_policy.hpp"
 #include "topology/topology.hpp"
 
 namespace lcrq {
@@ -201,6 +205,127 @@ TEST(SegmentPool, ClusterHintFilesAndPrefersHomeShard) {
     topo::set_current_cluster(0);
 }
 
+// Regression for the counting data race: shard_size()/size() used to walk
+// the shard's intrusive chain through raw `next` loads, racing with the
+// whole-stack exchange in try_pop and the over-capacity `delete` in push
+// — a use-after-free an observer thread could hit under churn.  Counting
+// is per-shard atomic counters now; this hammers the accessors from an
+// observer while workers churn, and samples the capacity bound *live*
+// rather than only after quiescence.
+TEST(SegmentPool, SizeAccessorsRaceChurnWithoutTouchingFreedNodes) {
+    constexpr int kWorkers = 3;
+    constexpr std::size_t kCap = 8;
+    constexpr int kIters = 6000;
+    const int before = PoolNode::live.load();
+    {
+        SegmentPool<PoolNode> pool(kCap);
+        std::atomic<bool> done{false};
+        std::atomic<std::uint64_t> samples{0};
+        std::thread observer([&] {
+            constexpr int kClusterSpan =
+                2 * static_cast<int>(SegmentPool<PoolNode>::kShards);
+            while (!done.load(std::memory_order_acquire)) {
+                // The documented bound is capacity + in-flight pushers;
+                // reading the per-shard counters one at a time adds up to
+                // one more count of skew per worker mid-migration (its
+                // node tallied in the old shard and already in the new).
+                EXPECT_LE(pool.size(), kCap + 2 * kWorkers);
+                for (int c = 0; c < kClusterSpan; ++c) {
+                    (void)pool.shard_size(c);
+                }
+                samples.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+        test::run_threads(kWorkers, [&](int t) {
+            for (int i = 0; i < kIters; ++i) {
+                topo::set_current_cluster((t + i) % 3);
+                // Interleave *frees* with the observer's reads: a quarter
+                // of iterations injects a fresh node without popping (so
+                // over-capacity pushes delete), another quarter deletes
+                // the popped node outright.  Concurrent delete is what
+                // made the old chain-walking accessors a use-after-free.
+                if (i % 4 == 0) {
+                    pool.push(new PoolNode);
+                } else if (PoolNode* n = pool.try_pop(); n != nullptr) {
+                    if (i % 4 == 1) {
+                        delete n;
+                    } else {
+                        pool.push(n);
+                    }
+                } else {
+                    pool.push(new PoolNode);
+                }
+            }
+        });
+        done.store(true, std::memory_order_release);
+        observer.join();
+        EXPECT_GT(samples.load(), 0u);
+    }
+    EXPECT_EQ(PoolNode::live.load(), before);
+    topo::set_current_cluster(0);
+}
+
+TEST(SegmentPool, ClustersBeyondShardCountWrapToTheirShard) {
+    // Virtual topologies can hand out more clusters than the pool has
+    // shards; a cluster id >= kShards must keep filing, counting, and
+    // home-first popping coherent on its wrapped shard.
+    constexpr int kWrap = static_cast<int>(SegmentPool<PoolNode>::kShards);
+    SegmentPool<PoolNode> pool(8);
+    auto* near_node = new PoolNode;
+    auto* far_node = new PoolNode;
+    topo::set_current_cluster(1);
+    EXPECT_TRUE(pool.push(near_node));
+    topo::set_current_cluster(1 + kWrap);
+    EXPECT_TRUE(pool.push(far_node));
+    // Same shard from both spellings of the cluster.
+    EXPECT_EQ(pool.shard_size(1), 2u);
+    EXPECT_EQ(pool.shard_size(1 + kWrap), 2u);
+    EXPECT_EQ(pool.shard_size(0), 0u);
+
+    // A wrapped popper is *home* on that shard: its pop counts local.
+    const auto before = stats::global_snapshot();
+    PoolNode* a = pool.try_pop();
+    PoolNode* b = pool.try_pop();
+    const auto d = stats::global_snapshot() - before;
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(d[stats::Event::kSegmentPopLocal], 2u);
+    EXPECT_EQ(d[stats::Event::kSegmentPopRemote], 0u);
+    delete a;
+    delete b;
+    topo::set_current_cluster(0);
+}
+
+// Segments that know where their memory lives (home_cluster(), i.e. the
+// cluster whose node first-touched the ring pages) are filed under *that*
+// shard regardless of which thread parks them — page residency, not the
+// parking thread's whereabouts, is what makes a recycled segment cheap.
+struct HomeNode {
+    std::atomic<HomeNode*> next{nullptr};
+    int home;
+    explicit HomeNode(int h = -1) : home(h) {}
+    int home_cluster() const noexcept { return home; }
+};
+
+TEST(SegmentPool, FilesBySegmentHomeClusterWhenExposed) {
+    SegmentPool<HomeNode> pool(8);
+    topo::set_current_cluster(3);
+    auto* homed = new HomeNode(1);
+    auto* unhomed = new HomeNode(-1);
+    EXPECT_TRUE(pool.push(homed));    // files under its home, not the parker
+    EXPECT_TRUE(pool.push(unhomed));  // no home recorded: the parker's shard
+    EXPECT_EQ(pool.shard_size(1), 1u);
+    EXPECT_EQ(pool.shard_size(3), 1u);
+
+    topo::set_current_cluster(1);
+    EXPECT_EQ(pool.try_pop(), homed);
+    topo::set_current_cluster(3);
+    EXPECT_EQ(pool.try_pop(), unhomed);
+    delete homed;
+    delete unhomed;
+    topo::set_current_cluster(0);
+}
+
 TEST(ScqReset, DrainedClosedSegmentRecyclesToSeededState) {
     Scq<HardwareFaa> q(2);
     for (value_t v = 10; v < 14; ++v) {
@@ -294,6 +419,103 @@ TEST(LscqSegmentPool, MpmcChurnWithRecyclingKeepsFifo) {
 TEST(LscqSegmentPool, VariantNames) {
     EXPECT_EQ(LscqQueue::variant_name(), "lscq");
     EXPECT_EQ(LscqNoPoolQueue::variant_name(), "lscq-nopool");
+}
+
+// --- NUMA-local substrate ---------------------------------------------------
+
+TEST(ScqHomeCluster, RecordsAllocatingCluster) {
+    // The allocating thread's cluster is the segment's home for the rest
+    // of its life (reset never moves the memory); a virtual-topology
+    // cluster id beyond the host's shape must be recorded verbatim.
+    topo::set_current_cluster(5);
+    Scq<HardwareFaa> q(2);
+    EXPECT_EQ(q.home_cluster(), 5);
+    q.reset(2, value_t{9});
+    EXPECT_EQ(q.home_cluster(), 5);
+    EXPECT_EQ(q.dequeue().value_or(0), 9u);
+    topo::set_current_cluster(0);
+}
+
+TEST(LscqSegmentPool, SingleClusterChurnPopsOnlyItsHomeShard) {
+    // End-to-end NUMA locality: with all traffic on one (virtual) cluster,
+    // every recycled segment files under that cluster's shard and every
+    // pool pop is served home-first — zero remote pops.
+    const topo::Topology virt = topo::make_virtual(topo::discover(), 4);
+    ASSERT_GE(virt.num_clusters, 4);
+    topo::set_current_cluster(2);
+    const auto before = stats::global_snapshot();
+    {
+        LscqQueue q(tiny_lscq());
+        value_t in = 0, out = 0;
+        for (int round = 0; round < 100; ++round) {
+            for (int i = 0; i < 6; ++i) q.enqueue(in++);
+            for (int i = 0; i < 6; ++i) {
+                EXPECT_EQ(q.dequeue().value_or(~0ull), out++);
+            }
+        }
+    }
+    const auto d = stats::global_snapshot() - before;
+    EXPECT_GT(d[stats::Event::kSegmentReuse], 0u);
+    EXPECT_GT(d[stats::Event::kSegmentPopLocal], 0u);
+    EXPECT_EQ(d[stats::Event::kSegmentPopRemote], 0u);
+    topo::set_current_cluster(0);
+}
+
+// --- hugepage-backed slabs --------------------------------------------------
+
+TEST(HugeSegments, SlabAllocHonorsForceNoThp) {
+    // LCRQ_FORCE_NO_THP is the CI/test switch for "host without THP":
+    // the huge request must fall back to a plain allocation that is
+    // still fully usable, and the env var is re-read per call so test
+    // order can't latch a stale answer.
+    ::setenv("LCRQ_FORCE_NO_THP", "1", 1);
+    EXPECT_FALSE(mem::thp_available());
+    mem::Slab s = mem::slab_alloc(std::size_t{1} << 20, 64, {true, 0});
+    ASSERT_TRUE(static_cast<bool>(s));
+    EXPECT_FALSE(s.huge_backed);
+    std::memset(s.ptr, 0xAB, std::size_t{1} << 20);
+    mem::slab_free(s);
+    ::unsetenv("LCRQ_FORCE_NO_THP");
+}
+
+TEST(HugeSegments, ForcedFallbackRingStaysPlainAndCorrect) {
+    ::setenv("LCRQ_FORCE_NO_THP", "1", 1);
+    Scq<HardwareFaa> q(kHugeMinRingOrder, std::nullopt, /*huge=*/true);
+    EXPECT_FALSE(q.huge_backed());
+    for (value_t v = 0; v < 100; ++v) {
+        EXPECT_EQ(q.try_enqueue(v), ScqPutResult::kOk);
+    }
+    for (value_t v = 0; v < 100; ++v) {
+        EXPECT_EQ(q.dequeue().value_or(~0ull), v);
+    }
+    ::unsetenv("LCRQ_FORCE_NO_THP");
+}
+
+TEST(HugeSegments, SmallRingsNeverAskForHugepages) {
+    // Below kHugeMinRingOrder the 2 MiB rounding would waste more memory
+    // than the dTLB entries it saves: the opt-in is ignored.
+    Scq<HardwareFaa> q(2, std::nullopt, /*huge=*/true);
+    EXPECT_FALSE(q.huge_backed());
+    EXPECT_EQ(q.try_enqueue(7), ScqPutResult::kOk);
+    EXPECT_EQ(q.dequeue().value_or(0), 7u);
+}
+
+TEST(HugeSegments, OptInLargeRingWorksWithOrWithoutThp) {
+    // Whether this host grants THP or not, the opt-in ring must behave
+    // identically; when it is granted, the kSegmentHuge counter records
+    // the mapping.
+    const auto before = stats::global_snapshot();
+    Scq<HardwareFaa> q(kHugeMinRingOrder, std::nullopt, /*huge=*/true);
+    const auto d = stats::global_snapshot() - before;
+    if (q.huge_backed()) {
+        EXPECT_GE(d[stats::Event::kSegmentHuge], 1u);
+    }
+    for (value_t v = 0; v < 64; ++v) {
+        EXPECT_EQ(q.try_enqueue(v), ScqPutResult::kOk);
+    }
+    for (value_t v = 0; v < 64; ++v) {
+        EXPECT_EQ(q.dequeue().value_or(~0ull), v);
+    }
 }
 
 }  // namespace
